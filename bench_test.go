@@ -1,0 +1,189 @@
+// Package tigabench_test hosts the benchmark harness: one testing.B benchmark
+// per table and figure of the paper's evaluation (§5). Each benchmark runs
+// the corresponding experiment in Quick mode on the deterministic simulator
+// and reports domain metrics (committed txns/s of simulated load, latency)
+// alongside the usual ns/op.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The full-size sweeps live in cmd/tigabench.
+package tigabench_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"tiga/internal/clocks"
+	"tiga/internal/harness"
+	"tiga/internal/workload"
+)
+
+func quickOpts(seed int64) harness.Options {
+	return harness.Options{Seed: seed, Quick: true, Keys: 10000}
+}
+
+// benchRun drives a single protocol at one operating point and reports
+// throughput; it is the building block the per-figure benches share.
+func benchRun(b *testing.B, protocol string, skew float64, rate float64, rotated bool, clock clocks.Model) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		gen := workload.NewMicroBench(3, 10000, skew)
+		spec := harness.ClusterSpec{
+			Protocol: protocol, Shards: 3, F: 1, Rotated: rotated, Clock: clock,
+			CoordsPerRegion: 2, CoordsRemote: 2, Seed: int64(42 + i), Gen: gen,
+			CostScale: harness.CPUScale,
+		}
+		d := harness.Build(spec)
+		res := harness.RunLoad(d, gen, harness.LoadSpec{
+			RatePerCoord: rate, Outstanding: 300,
+			Warmup: 300 * time.Millisecond, Duration: time.Second, Seed: 7,
+		})
+		b.ReportMetric(res.Run.Throughput(), "txns/s")
+		b.ReportMetric(float64(res.Run.Lat.Percentile(50))/1e6, "p50-ms")
+		b.ReportMetric(res.Run.Counters.CommitRate(), "commit-%")
+	}
+}
+
+// ---- Table 1: maximum throughput, MicroBench (one sub-bench per protocol) ----
+
+func BenchmarkTable1MicroBench(b *testing.B) {
+	for _, p := range harness.Protocols {
+		if p == "NCC+" {
+			continue
+		}
+		b.Run(p, func(b *testing.B) { benchRun(b, p, 0.5, 2500, false, clocks.ModelChrony) })
+	}
+}
+
+// ---- Figures 7 & 8: rate sweep, local and remote latency ----
+
+func BenchmarkFig7LocalRegion(b *testing.B) {
+	for _, p := range []string{"Tiga", "Janus", "Calvin+", "Tapir"} {
+		for _, rate := range []float64{250, 1000} {
+			b.Run(fmt.Sprintf("%s/rate=%.0f", p, rate), func(b *testing.B) {
+				benchRun(b, p, 0.5, rate, false, clocks.ModelChrony)
+			})
+		}
+	}
+}
+
+func BenchmarkFig8RemoteRegion(b *testing.B) {
+	// Same sweep; the HK latency column is what Fig 8 plots. The harness
+	// records both regions in one pass, so this bench exercises the same
+	// code path at a different operating point.
+	for _, p := range []string{"Tiga", "2PL+Paxos", "NCC"} {
+		b.Run(p, func(b *testing.B) { benchRun(b, p, 0.5, 500, false, clocks.ModelChrony) })
+	}
+}
+
+// ---- Figure 9: skew sweep ----
+
+func BenchmarkFig9Skew(b *testing.B) {
+	for _, p := range []string{"Tiga", "Janus", "Calvin+"} {
+		for _, skew := range []float64{0.5, 0.99} {
+			b.Run(fmt.Sprintf("%s/skew=%.2f", p, skew), func(b *testing.B) {
+				benchRun(b, p, skew, 600, false, clocks.ModelChrony)
+			})
+		}
+	}
+}
+
+// ---- Figure 10 / Table 1 TPC-C column ----
+
+func BenchmarkFig10TPCC(b *testing.B) {
+	o := quickOpts(42)
+	for _, p := range []string{"Tiga", "Janus", "Calvin+"} {
+		b.Run(p, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows := harness.Fig10ForProtocol(io.Discard, o, p, 400)
+				if len(rows) > 0 {
+					b.ReportMetric(rows[len(rows)-1].Thpt, "txns/s")
+					b.ReportMetric(float64(rows[len(rows)-1].P50)/1e6, "p50-ms")
+				}
+			}
+		})
+	}
+}
+
+// ---- Figure 11: leader failure recovery ----
+
+func BenchmarkFig11FailureRecovery(b *testing.B) {
+	o := quickOpts(42)
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig11(io.Discard, o)
+		b.ReportMetric(res.RecoverySec, "recovery-s")
+	}
+}
+
+// ---- Table 2 / Figure 12: leader separation ----
+
+func BenchmarkTable2Rotation(b *testing.B) {
+	for _, p := range []string{"Tiga", "Janus"} {
+		b.Run(p, func(b *testing.B) { benchRun(b, p, 0.5, 1000, true, clocks.ModelChrony) })
+	}
+}
+
+func BenchmarkFig12ColocateVsSeparate(b *testing.B) {
+	for _, rotated := range []bool{false, true} {
+		name := "colocate"
+		if rotated {
+			name = "separate"
+		}
+		// The separated (detective) mode serializes hot-key conflicts at
+		// ~1 WRTT each, so its skewed-load operating point is lower.
+		rate := 600.0
+		if rotated {
+			rate = 80
+		}
+		b.Run(name, func(b *testing.B) { benchRun(b, "Tiga", 0.9, rate, rotated, clocks.ModelChrony) })
+	}
+}
+
+// ---- Figure 13: headroom sensitivity ----
+
+func BenchmarkFig13Headroom(b *testing.B) {
+	o := quickOpts(42)
+	for i := 0; i < b.N; i++ {
+		rows := harness.Fig13(io.Discard, o)
+		for _, r := range rows {
+			if r.DeltaMs == 0 {
+				b.ReportMetric(r.Rollback, "rollback-%")
+				b.ReportMetric(float64(r.SCP50)/1e6, "sc-p50-ms")
+			}
+		}
+	}
+}
+
+// ---- Table 3 / Figure 14: clock ablation ----
+
+func BenchmarkTable3Clocks(b *testing.B) {
+	for _, m := range []clocks.Model{clocks.ModelNtpd, clocks.ModelChrony, clocks.ModelHuygens, clocks.ModelBad} {
+		b.Run(m.String(), func(b *testing.B) { benchRun(b, "Tiga", 0.99, 1500, false, m) })
+	}
+}
+
+func BenchmarkFig14ClockLatency(b *testing.B) {
+	for _, m := range []clocks.Model{clocks.ModelChrony, clocks.ModelBad} {
+		b.Run(m.String(), func(b *testing.B) { benchRun(b, "Tiga", 0.99, 500, false, m) })
+	}
+}
+
+// ---- Ablations beyond the paper's figures ----
+
+func BenchmarkAblationEpsilonMode(b *testing.B) {
+	o := quickOpts(42)
+	for i := 0; i < b.N; i++ {
+		harness.AblationEpsilon(io.Discard, o)
+	}
+}
+
+func BenchmarkAblationBatchedSlowReplies(b *testing.B) {
+	o := quickOpts(42)
+	for i := 0; i < b.N; i++ {
+		harness.AblationSlowReply(io.Discard, o)
+	}
+}

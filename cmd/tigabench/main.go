@@ -1,0 +1,68 @@
+// Command tigabench regenerates the tables and figures of the Tiga paper's
+// evaluation (§5) on the simulated geo-distributed testbed.
+//
+// Usage:
+//
+//	tigabench -exp table1            # Table 1: max throughput
+//	tigabench -exp fig7              # Figs 7+8: rate sweep, local + remote
+//	tigabench -exp fig9              # Fig 9: skew sweep
+//	tigabench -exp fig10             # Fig 10: TPC-C rate sweep
+//	tigabench -exp fig11             # Fig 11: leader failure recovery
+//	tigabench -exp table2            # Table 2: server rotation
+//	tigabench -exp fig12             # Fig 12: colocate vs separate
+//	tigabench -exp fig13             # Fig 13: headroom sensitivity
+//	tigabench -exp table3            # Table 3: clock ablation
+//	tigabench -exp fig14             # Fig 14: latency per clock model
+//	tigabench -exp ablations         # extra ablations (ε-mode, Appendix E)
+//	tigabench -exp all               # everything
+//
+// Add -quick for a reduced sweep (seconds instead of minutes per figure).
+// Throughput is reported in simulated-testbed units: per-operation CPU costs
+// are scaled by harness.CPUScale (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tiga/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|fig7|fig8|fig9|fig10|fig11|table2|fig12|fig13|table3|fig14|ablations|all")
+	quick := flag.Bool("quick", false, "reduced sweeps and durations")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	keys := flag.Int("keys", 0, "MicroBench keys per shard (0 = default)")
+	flag.Parse()
+
+	o := harness.Options{Seed: *seed, Quick: *quick, Keys: *keys}
+	w := os.Stdout
+	start := time.Now()
+
+	run := func(name string, fn func()) {
+		if *exp != "all" && *exp != name && !(name == "fig7" && *exp == "fig8") {
+			return
+		}
+		t0 := time.Now()
+		fn()
+		fmt.Fprintf(w, "[%s done in %v]\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("table1", func() { harness.Table1(w, o) })
+	run("fig7", func() { harness.Fig7And8(w, o) })
+	run("fig9", func() { harness.Fig9(w, o) })
+	run("fig10", func() { harness.Fig10(w, o) })
+	run("fig11", func() { harness.Fig11(w, o) })
+	run("table2", func() { harness.Table2(w, o) })
+	run("fig12", func() { harness.Fig12(w, o) })
+	run("fig13", func() { harness.Fig13(w, o) })
+	run("table3", func() { harness.Table3(w, o) })
+	run("fig14", func() { harness.Fig14(w, o) })
+	run("ablations", func() {
+		harness.AblationEpsilon(w, o)
+		harness.AblationSlowReply(w, o)
+	})
+	fmt.Fprintf(w, "total: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,133 @@
+package clocks
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPerfectClock(t *testing.T) {
+	c := Perfect{}
+	if c.Read(5*time.Second) != 5*time.Second {
+		t.Fatal("perfect clock should read true time")
+	}
+	if c.WhenReads(3*time.Second, time.Second) != 3*time.Second {
+		t.Fatal("WhenReads")
+	}
+	if c.WhenReads(time.Second, 3*time.Second) != 3*time.Second {
+		t.Fatal("WhenReads in the past should clamp to now")
+	}
+}
+
+func TestOffsetClock(t *testing.T) {
+	c := Offset{Off: 10 * time.Millisecond}
+	if c.Read(time.Second) != time.Second+10*time.Millisecond {
+		t.Fatal("Read")
+	}
+	at := c.WhenReads(2*time.Second, 0)
+	if c.Read(at) != 2*time.Second {
+		t.Fatalf("WhenReads inversion: Read(%v) = %v", at, c.Read(at))
+	}
+}
+
+// Property: for every clock model, WhenReads returns a time at which Read
+// meets or exceeds the target, and never before `now`.
+func TestWhenReadsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, model := range []Model{ModelPerfect, ModelHuygens, ModelChrony, ModelNtpd, ModelBad} {
+		f := NewFactory(model, time.Minute, 11)
+		for i := 0; i < 20; i++ {
+			c := f.New()
+			check := func(targetMs, nowMs uint16) bool {
+				target := time.Duration(targetMs) * time.Millisecond
+				now := time.Duration(nowMs) * time.Millisecond
+				at := c.WhenReads(target, now)
+				if at < now {
+					return false
+				}
+				// Allow sub-ms slack for wandering clocks' interpolation.
+				return c.Read(at) >= target-time.Millisecond
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+				t.Fatalf("model %v: %v", model, err)
+			}
+		}
+	}
+}
+
+// Property: clocks are monotonically non-decreasing in true time.
+func TestMonotonicProperty(t *testing.T) {
+	for _, model := range []Model{ModelChrony, ModelNtpd, ModelBad} {
+		f := NewFactory(model, time.Minute, 13)
+		c := f.New()
+		prev := c.Read(0)
+		for ms := 1; ms < 60000; ms += 7 {
+			now := time.Duration(ms) * time.Millisecond
+			v := c.Read(now)
+			if v < prev-time.Millisecond { // slewing may dip marginally
+				t.Fatalf("model %v: clock went backwards at %v: %v < %v", model, now, v, prev)
+			}
+			if v > prev {
+				prev = v
+			}
+		}
+	}
+}
+
+// TestErrorMagnitudes checks each model's measured error lands in the right
+// regime relative to Table 3 (Huygens µs-level ≪ chrony ms-level ≪ ntpd ≪
+// bad clock).
+func TestErrorMagnitudes(t *testing.T) {
+	measure := func(m Model) time.Duration {
+		f := NewFactory(m, time.Minute, 17)
+		cs := make([]Clock, 24)
+		for i := range cs {
+			cs[i] = f.New()
+		}
+		return MeasureError(cs, time.Minute, 100)
+	}
+	hu, ch, nt, bad := measure(ModelHuygens), measure(ModelChrony), measure(ModelNtpd), measure(ModelBad)
+	if !(hu < ch && ch < nt && nt < bad) {
+		t.Fatalf("error ordering wrong: huygens=%v chrony=%v ntpd=%v bad=%v", hu, ch, nt, bad)
+	}
+	if hu > 100*time.Microsecond {
+		t.Errorf("Huygens error %v should be microsecond-scale", hu)
+	}
+	if ch > 10*time.Millisecond || ch < 100*time.Microsecond {
+		t.Errorf("chrony error %v should be low-millisecond-scale", ch)
+	}
+	if bad < 5*time.Millisecond {
+		t.Errorf("bad-clock error %v should be tens of ms", bad)
+	}
+}
+
+func TestBoundedByAmplitude(t *testing.T) {
+	for _, m := range []Model{ModelChrony, ModelNtpd, ModelBad} {
+		f := NewFactory(m, time.Minute, 23)
+		for i := 0; i < 10; i++ {
+			c := f.New()
+			for ms := 0; ms < 60000; ms += 97 {
+				now := time.Duration(ms) * time.Millisecond
+				off := c.Read(now) - now
+				if off < 0 {
+					off = -off
+				}
+				if off > m.Err() {
+					t.Fatalf("model %v offset %v exceeds amplitude %v", m, off, m.Err())
+				}
+			}
+		}
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	for m, want := range map[Model]string{
+		ModelPerfect: "Perfect", ModelHuygens: "Huygens", ModelChrony: "Chrony",
+		ModelNtpd: "Ntpd", ModelBad: "Bad-Clock",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}

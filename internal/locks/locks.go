@@ -1,0 +1,186 @@
+// Package locks implements a shared/exclusive lock table with the wound-wait
+// deadlock-prevention policy used by the 2PL+Paxos baseline (§5.1) and the
+// lock stages of decomposed interactive transactions (Appendix F).
+//
+// Wound-wait: lock requests carry a priority (lower value = older = higher
+// priority). An older requester "wounds" (aborts) younger holders; a younger
+// requester waits behind older holders.
+package locks
+
+import "tiga/internal/txn"
+
+// Mode is the lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+type holder struct {
+	id   txn.ID
+	prio uint64
+	mode Mode
+}
+
+type waiter struct {
+	holder
+	grant func()
+}
+
+type lock struct {
+	holders []holder
+	queue   []waiter
+}
+
+// Table is a per-shard lock table.
+type Table struct {
+	locks map[string]*lock
+	// Wound is invoked when an older transaction wounds a younger holder;
+	// the protocol must abort that holder and eventually ReleaseAll it.
+	Wound func(victim txn.ID)
+	held  map[txn.ID][]string
+}
+
+// NewTable returns an empty lock table.
+func NewTable() *Table {
+	return &Table{locks: make(map[string]*lock), held: make(map[txn.ID][]string)}
+}
+
+func compatible(hs []holder, m Mode) bool {
+	if len(hs) == 0 {
+		return true
+	}
+	if m == Exclusive {
+		return false
+	}
+	for _, h := range hs {
+		if h.mode == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire requests key in mode m for transaction id with priority prio.
+// It returns true when granted immediately. Otherwise wound-wait applies:
+// if id is older than every incompatible holder, those holders are wounded
+// (via the Wound callback) and id waits for the grant callback; if id is
+// younger than any incompatible holder it also waits. Acquire never returns
+// false for a queued request — cancellation happens via ReleaseAll.
+func (t *Table) Acquire(key string, m Mode, id txn.ID, prio uint64, grant func()) bool {
+	l := t.locks[key]
+	if l == nil {
+		l = &lock{}
+		t.locks[key] = l
+	}
+	// Re-entrant upgrade-free fast path.
+	for i, h := range l.holders {
+		if h.id == id {
+			if m == Exclusive && h.mode == Shared {
+				if len(l.holders) == 1 {
+					l.holders[i].mode = Exclusive
+					return true
+				}
+				break
+			}
+			return true
+		}
+	}
+	if compatible(l.holders, m) && len(l.queue) == 0 {
+		l.holders = append(l.holders, holder{id: id, prio: prio, mode: m})
+		t.held[id] = append(t.held[id], key)
+		return true
+	}
+	// Wound younger incompatible holders.
+	if t.Wound != nil {
+		for _, h := range l.holders {
+			if h.prio > prio && !(m == Shared && h.mode == Shared) {
+				t.Wound(h.id)
+			}
+		}
+	}
+	l.queue = append(l.queue, waiter{holder: holder{id: id, prio: prio, mode: m}, grant: grant})
+	return false
+}
+
+// ReleaseAll drops every lock and queued request owned by id, granting any
+// now-compatible waiters (their grant callbacks run synchronously).
+func (t *Table) ReleaseAll(id txn.ID) {
+	keys := t.held[id]
+	delete(t.held, id)
+	seen := map[string]bool{}
+	for _, k := range keys {
+		seen[k] = true
+		t.release(k, id)
+	}
+	// Also purge queued (never-granted) requests on other keys.
+	for key, l := range t.locks {
+		if seen[key] {
+			continue
+		}
+		for i := 0; i < len(l.queue); {
+			if l.queue[i].id == id {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			} else {
+				i++
+			}
+		}
+		t.grantWaiters(key, l)
+	}
+}
+
+func (t *Table) release(key string, id txn.ID) {
+	l := t.locks[key]
+	if l == nil {
+		return
+	}
+	for i := 0; i < len(l.holders); {
+		if l.holders[i].id == id {
+			l.holders = append(l.holders[:i], l.holders[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	for i := 0; i < len(l.queue); {
+		if l.queue[i].id == id {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	t.grantWaiters(key, l)
+}
+
+func (t *Table) grantWaiters(key string, l *lock) {
+	for len(l.queue) > 0 && compatible(l.holders, l.queue[0].mode) {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		l.holders = append(l.holders, w.holder)
+		t.held[w.id] = append(t.held[w.id], key)
+		if w.grant != nil {
+			w.grant()
+		}
+	}
+	if len(l.holders) == 0 && len(l.queue) == 0 {
+		delete(t.locks, key)
+	}
+}
+
+// Holds reports whether id currently holds key.
+func (t *Table) Holds(key string, id txn.ID) bool {
+	l := t.locks[key]
+	if l == nil {
+		return false
+	}
+	for _, h := range l.holders {
+		if h.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Outstanding returns the number of keys with holders or waiters.
+func (t *Table) Outstanding() int { return len(t.locks) }

@@ -1,0 +1,128 @@
+package locks
+
+import (
+	"testing"
+
+	"tiga/internal/txn"
+)
+
+func id(n uint64) txn.ID { return txn.ID{Coord: 1, Seq: n} }
+
+func TestSharedCompatible(t *testing.T) {
+	lt := NewTable()
+	if !lt.Acquire("k", Shared, id(1), 1, nil) {
+		t.Fatal("first shared lock should grant")
+	}
+	if !lt.Acquire("k", Shared, id(2), 2, nil) {
+		t.Fatal("second shared lock should grant")
+	}
+	if !lt.Holds("k", id(1)) || !lt.Holds("k", id(2)) {
+		t.Fatal("Holds")
+	}
+}
+
+func TestExclusiveBlocks(t *testing.T) {
+	lt := NewTable()
+	lt.Acquire("k", Exclusive, id(1), 1, nil)
+	granted := false
+	// Younger (higher prio value) waits.
+	if lt.Acquire("k", Exclusive, id(2), 2, func() { granted = true }) {
+		t.Fatal("conflicting exclusive lock must not grant immediately")
+	}
+	if granted {
+		t.Fatal("grant callback fired too early")
+	}
+	lt.ReleaseAll(id(1))
+	if !granted {
+		t.Fatal("waiter not granted after release")
+	}
+	if !lt.Holds("k", id(2)) {
+		t.Fatal("waiter should hold the lock now")
+	}
+}
+
+func TestWoundWait(t *testing.T) {
+	lt := NewTable()
+	var wounded []txn.ID
+	lt.Wound = func(v txn.ID) { wounded = append(wounded, v) }
+	// Younger txn (prio 10) holds; older (prio 1) requests: wound.
+	lt.Acquire("k", Exclusive, id(2), 10, nil)
+	lt.Acquire("k", Exclusive, id(1), 1, func() {})
+	if len(wounded) != 1 || wounded[0] != id(2) {
+		t.Fatalf("wounded = %v, want [id(2)]", wounded)
+	}
+	// Older holds; younger requests: no wound, just wait.
+	wounded = nil
+	lt2 := NewTable()
+	lt2.Wound = func(v txn.ID) { wounded = append(wounded, v) }
+	lt2.Acquire("k", Exclusive, id(1), 1, nil)
+	lt2.Acquire("k", Exclusive, id(2), 10, func() {})
+	if len(wounded) != 0 {
+		t.Fatalf("young requester wounded the old holder: %v", wounded)
+	}
+}
+
+func TestSharedHoldersNotWoundedByOlderShared(t *testing.T) {
+	lt := NewTable()
+	var wounded []txn.ID
+	lt.Wound = func(v txn.ID) { wounded = append(wounded, v) }
+	lt.Acquire("k", Shared, id(2), 10, nil)
+	lt.Acquire("k", Shared, id(1), 1, nil) // shared-shared compatible
+	if len(wounded) != 0 {
+		t.Fatalf("shared-shared should not wound: %v", wounded)
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	lt := NewTable()
+	lt.Acquire("k", Shared, id(1), 1, nil)
+	if !lt.Acquire("k", Exclusive, id(1), 1, nil) {
+		t.Fatal("sole shared holder should upgrade")
+	}
+	if lt.Acquire("k", Shared, id(2), 2, func() {}) {
+		t.Fatal("upgraded lock should exclude others")
+	}
+}
+
+func TestReleaseAllPurgesQueuedRequests(t *testing.T) {
+	lt := NewTable()
+	lt.Acquire("a", Exclusive, id(1), 1, nil)
+	fired := false
+	lt.Acquire("a", Exclusive, id(2), 2, func() { fired = true })
+	// id(2) also holds b.
+	lt.Acquire("b", Exclusive, id(2), 2, nil)
+	lt.ReleaseAll(id(2))
+	// Releasing id(1) must NOT grant the purged waiter.
+	lt.ReleaseAll(id(1))
+	if fired {
+		t.Fatal("purged waiter was granted")
+	}
+	if lt.Outstanding() != 0 {
+		t.Fatalf("%d locks left, want 0", lt.Outstanding())
+	}
+}
+
+func TestFIFOGrantOrder(t *testing.T) {
+	lt := NewTable()
+	lt.Acquire("k", Exclusive, id(1), 1, nil)
+	var order []uint64
+	lt.Acquire("k", Exclusive, id(2), 2, func() { order = append(order, 2) })
+	lt.Acquire("k", Exclusive, id(3), 3, func() { order = append(order, 3) })
+	lt.ReleaseAll(id(1))
+	lt.ReleaseAll(id(2))
+	lt.ReleaseAll(id(3))
+	if len(order) != 2 || order[0] != 2 || order[1] != 3 {
+		t.Fatalf("grant order %v, want [2 3]", order)
+	}
+}
+
+func TestQueuedRequestBlocksNewShared(t *testing.T) {
+	lt := NewTable()
+	lt.Acquire("k", Shared, id(1), 1, nil)
+	lt.Acquire("k", Exclusive, id(2), 2, func() {})
+	// A new shared request must queue behind the waiting exclusive one
+	// (no starvation of writers).
+	if lt.Acquire("k", Shared, id(3), 3, func() {}) {
+		t.Fatal("shared request jumped the exclusive waiter")
+	}
+}

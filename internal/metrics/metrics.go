@@ -1,0 +1,162 @@
+// Package metrics collects the measurements reported in the paper's
+// evaluation: throughput, commit rate, latency percentiles (p50/p90), and
+// per-second time series for the failure-recovery experiment (Fig 11).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Latency accumulates latency samples and answers percentile queries.
+type Latency struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (l *Latency) Add(d time.Duration) {
+	l.samples = append(l.samples, d)
+	l.sorted = false
+}
+
+// Count returns the number of samples.
+func (l *Latency) Count() int { return len(l.samples) }
+
+// Percentile returns the p-th percentile (p in [0,100]); 0 with no samples.
+func (l *Latency) Percentile(p float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+	idx := int(p / 100 * float64(len(l.samples)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(l.samples) {
+		idx = len(l.samples) - 1
+	}
+	return l.samples[idx]
+}
+
+// Mean returns the average sample.
+func (l *Latency) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Series buckets counts into fixed-width time bins — the throughput-vs-time
+// view in Fig 11.
+type Series struct {
+	Bucket time.Duration
+	counts []int64
+}
+
+// NewSeries returns a series with the given bucket width.
+func NewSeries(bucket time.Duration) *Series { return &Series{Bucket: bucket} }
+
+// Add increments the bin containing t.
+func (s *Series) Add(t time.Duration) {
+	i := int(t / s.Bucket)
+	for len(s.counts) <= i {
+		s.counts = append(s.counts, 0)
+	}
+	s.counts[i]++
+}
+
+// Rate returns per-bucket counts converted to events/second.
+func (s *Series) Rate() []float64 {
+	out := make([]float64, len(s.counts))
+	for i, c := range s.counts {
+		out[i] = float64(c) / s.Bucket.Seconds()
+	}
+	return out
+}
+
+// Counters tracks outcome counts for one run.
+type Counters struct {
+	Submitted int64
+	Committed int64
+	Aborted   int64
+	FastPath  int64
+	SlowPath  int64
+	Rollbacks int64 // Tiga Case-3 revocations
+	Retries   int64
+}
+
+// CommitRate returns committed/submitted as a percentage.
+func (c *Counters) CommitRate() float64 {
+	if c.Submitted == 0 {
+		return 0
+	}
+	return 100 * float64(c.Committed) / float64(c.Submitted)
+}
+
+// RollbackRate returns rollbacks/committed as a percentage (Fig 13).
+func (c *Counters) RollbackRate() float64 {
+	if c.Committed == 0 {
+		return 0
+	}
+	return 100 * float64(c.Rollbacks) / float64(c.Committed)
+}
+
+// Run aggregates the metrics for one experiment run, optionally keeping
+// separate latency recorders per region (Figs 7, 8, 12, 14).
+type Run struct {
+	Counters Counters
+	Lat      Latency
+	ByRegion map[string]*Latency
+	Thpt     *Series
+	Start    time.Duration
+	End      time.Duration
+}
+
+// NewRun returns an initialized Run with 1-second throughput bins.
+func NewRun() *Run {
+	return &Run{ByRegion: make(map[string]*Latency), Thpt: NewSeries(time.Second)}
+}
+
+// RecordCommit records a commit observed at virtual time now with the given
+// latency, attributed to a region label.
+func (r *Run) RecordCommit(now, lat time.Duration, region string, fastPath bool) {
+	r.Counters.Committed++
+	if fastPath {
+		r.Counters.FastPath++
+	} else {
+		r.Counters.SlowPath++
+	}
+	r.Lat.Add(lat)
+	rl := r.ByRegion[region]
+	if rl == nil {
+		rl = &Latency{}
+		r.ByRegion[region] = rl
+	}
+	rl.Add(lat)
+	r.Thpt.Add(now)
+}
+
+// Throughput returns committed transactions per second over the run window.
+func (r *Run) Throughput() float64 {
+	dur := (r.End - r.Start).Seconds()
+	if dur <= 0 {
+		return 0
+	}
+	return float64(r.Counters.Committed) / dur
+}
+
+// String summarizes the run.
+func (r *Run) String() string {
+	return fmt.Sprintf("thpt=%.0f txn/s commit=%.1f%% p50=%s p90=%s fast=%d slow=%d rollback=%d",
+		r.Throughput(), r.Counters.CommitRate(), r.Lat.Percentile(50), r.Lat.Percentile(90),
+		r.Counters.FastPath, r.Counters.SlowPath, r.Counters.Rollbacks)
+}

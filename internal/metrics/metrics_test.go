@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentiles(t *testing.T) {
+	var l Latency
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	if p := l.Percentile(50); p < 49*time.Millisecond || p > 51*time.Millisecond {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := l.Percentile(90); p < 89*time.Millisecond || p > 91*time.Millisecond {
+		t.Fatalf("p90 = %v", p)
+	}
+	if l.Percentile(0) != time.Millisecond || l.Percentile(100) != 100*time.Millisecond {
+		t.Fatal("extremes")
+	}
+	if l.Mean() != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", l.Mean())
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var l Latency
+	if l.Percentile(50) != 0 || l.Mean() != 0 {
+		t.Fatal("empty recorder should return 0")
+	}
+}
+
+func TestPercentileAfterInterleavedAdds(t *testing.T) {
+	var l Latency
+	l.Add(3 * time.Millisecond)
+	l.Add(time.Millisecond)
+	_ = l.Percentile(50)
+	l.Add(2 * time.Millisecond) // invalidates sort
+	if l.Percentile(100) != 3*time.Millisecond {
+		t.Fatal("re-sort after Add failed")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Add(100 * time.Millisecond)
+	s.Add(900 * time.Millisecond)
+	s.Add(1500 * time.Millisecond)
+	r := s.Rate()
+	if len(r) != 2 || r[0] != 2 || r[1] != 1 {
+		t.Fatalf("rate = %v", r)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := Counters{Submitted: 200, Committed: 150, Rollbacks: 30}
+	if c.CommitRate() != 75 {
+		t.Fatalf("commit rate %v", c.CommitRate())
+	}
+	if c.RollbackRate() != 20 {
+		t.Fatalf("rollback rate %v", c.RollbackRate())
+	}
+	var zero Counters
+	if zero.CommitRate() != 0 || zero.RollbackRate() != 0 {
+		t.Fatal("zero division")
+	}
+}
+
+func TestRunAggregation(t *testing.T) {
+	r := NewRun()
+	r.Start, r.End = 0, 2*time.Second
+	r.RecordCommit(500*time.Millisecond, 100*time.Millisecond, "SC", true)
+	r.RecordCommit(1500*time.Millisecond, 200*time.Millisecond, "HK", false)
+	if r.Throughput() != 1 {
+		t.Fatalf("throughput %v", r.Throughput())
+	}
+	if r.Counters.FastPath != 1 || r.Counters.SlowPath != 1 {
+		t.Fatal("path counters")
+	}
+	if r.ByRegion["SC"].Count() != 1 || r.ByRegion["HK"].Count() != 1 {
+		t.Fatal("region split")
+	}
+	if r.String() == "" {
+		t.Fatal("String")
+	}
+}

@@ -1,0 +1,182 @@
+// Package paxos implements the steady-state of Multi-Paxos: a stable leader
+// replicates commands to 2f+1 replicas and commits them after f
+// acknowledgements (one WAN round trip when replicas are geo-distributed).
+// It is the consensus layer underneath the layered baselines (2PL+Paxos,
+// OCC+Paxos, NCC+), exactly the "stacked" design whose extra WRTTs Tiga's
+// consolidation removes (§1, §2).
+//
+// Leader election is out of scope here: the baselines' fault tolerance is not
+// exercised by the paper's experiments (Fig 11 evaluates Tiga only), so the
+// leader is fixed at construction.
+package paxos
+
+import (
+	"tiga/internal/simnet"
+)
+
+// Command is an opaque replicated command.
+type Command any
+
+// accept is the leader's phase-2a message.
+type accept struct {
+	GroupTag string
+	Slot     int
+	Cmd      Command
+	CommitTo int
+}
+
+// ack is the phase-2b acknowledgement.
+type ack struct {
+	GroupTag string
+	Slot     int
+	From     int
+}
+
+// commit propagates the commit point to followers.
+type commit struct {
+	GroupTag string
+	CommitTo int
+}
+
+// Replica is one member of a replication group. The owning protocol server
+// must forward messages to Handle; Paxos traffic shares the server's node.
+type Replica struct {
+	Tag    string // distinguishes multiple groups sharing nodes
+	node   *simnet.Node
+	peers  []simnet.NodeID // all members, index = replica id
+	me     int
+	leader int
+	f      int
+
+	log      []Command
+	acks     map[int]map[int]bool
+	commitTo int
+	applied  int
+
+	// OnCommit fires in slot order on every replica once a slot commits.
+	OnCommit func(slot int, cmd Command)
+}
+
+// NewReplica creates a group member. peers[leader] is the stable leader.
+func NewReplica(tag string, node *simnet.Node, peers []simnet.NodeID, me, leader, f int) *Replica {
+	return &Replica{Tag: tag, node: node, peers: peers, me: me, leader: leader, f: f,
+		acks: make(map[int]map[int]bool)}
+}
+
+// IsLeader reports whether this replica is the group leader.
+func (r *Replica) IsLeader() bool { return r.me == r.leader }
+
+// Propose replicates cmd (leader only) and returns its slot. Each proposal
+// also retransmits the oldest uncommitted slots, so lost accepts/acks are
+// recovered as long as traffic keeps flowing (call Tick during idle periods).
+func (r *Replica) Propose(cmd Command) int {
+	slot := len(r.log)
+	r.log = append(r.log, cmd)
+	r.acks[slot] = map[int]bool{r.me: true}
+	for i, p := range r.peers {
+		if i == r.me {
+			continue
+		}
+		r.node.Send(p, accept{GroupTag: r.Tag, Slot: slot, Cmd: cmd, CommitTo: r.commitTo})
+	}
+	r.retransmit(4)
+	r.maybeCommit(slot)
+	return slot
+}
+
+// Tick retransmits stalled slots; owners should call it periodically when
+// running over lossy links.
+func (r *Replica) Tick() {
+	if r.IsLeader() {
+		r.retransmit(16)
+		r.maybeCommit(r.commitTo)
+	}
+}
+
+func (r *Replica) retransmit(max int) {
+	for s := r.commitTo; s < len(r.log) && s < r.commitTo+max; s++ {
+		if s == len(r.log)-1 {
+			break // just sent
+		}
+		for i, p := range r.peers {
+			if i == r.me || r.acks[s][i] {
+				continue
+			}
+			r.node.Send(p, accept{GroupTag: r.Tag, Slot: s, Cmd: r.log[s], CommitTo: r.commitTo})
+		}
+	}
+}
+
+// Handle processes a message if it belongs to this group, reporting whether
+// it was consumed.
+func (r *Replica) Handle(from simnet.NodeID, msg simnet.Message) bool {
+	switch m := msg.(type) {
+	case accept:
+		if m.GroupTag != r.Tag {
+			return false
+		}
+		for len(r.log) <= m.Slot {
+			r.log = append(r.log, nil)
+		}
+		r.log[m.Slot] = m.Cmd
+		r.advanceCommit(m.CommitTo)
+		r.node.Send(from, ack{GroupTag: r.Tag, Slot: m.Slot, From: r.me})
+		return true
+	case ack:
+		if m.GroupTag != r.Tag {
+			return false
+		}
+		if r.acks[m.Slot] != nil {
+			r.acks[m.Slot][m.From] = true
+			r.maybeCommit(m.Slot)
+		}
+		return true
+	case commit:
+		if m.GroupTag != r.Tag {
+			return false
+		}
+		r.advanceCommit(m.CommitTo)
+		return true
+	}
+	return false
+}
+
+func (r *Replica) maybeCommit(slot int) {
+	if !r.IsLeader() || slot != r.commitTo {
+		return
+	}
+	for r.commitTo < len(r.log) && len(r.acks[r.commitTo]) >= r.f+1 {
+		delete(r.acks, r.commitTo)
+		r.commitTo++
+	}
+	r.apply()
+	if r.commitTo > 0 {
+		for i, p := range r.peers {
+			if i != r.me {
+				r.node.Send(p, commit{GroupTag: r.Tag, CommitTo: r.commitTo})
+			}
+		}
+	}
+}
+
+func (r *Replica) advanceCommit(to int) {
+	if to > r.commitTo {
+		r.commitTo = to
+		r.apply()
+	}
+}
+
+func (r *Replica) apply() {
+	for r.applied < r.commitTo && r.applied < len(r.log) {
+		if r.log[r.applied] == nil {
+			return // gap: wait for retransmission via later accepts
+		}
+		if r.OnCommit != nil {
+			r.OnCommit(r.applied, r.log[r.applied])
+		}
+		r.applied++
+	}
+}
+
+// Committed returns the number of committed slots (tests).
+func (r *Replica) Committed() int { return r.commitTo }

@@ -1,0 +1,262 @@
+// Package calvin implements the Calvin+ baseline (§5.1): Calvin's
+// deterministic epoch-based ordering with its Paxos consensus layer replaced
+// by a Nezha-style 1-WRTT batch replication, saving at least one WRTT per
+// commit.
+//
+// Each region runs a sequencer that batches incoming transactions into fixed
+// epochs and broadcasts each epoch batch to every region. A region's
+// schedulers merge the per-region batches of an epoch in a deterministic
+// order and execute them serially per shard. The merge barrier — epoch e
+// cannot run until ALL regions' epoch-e batches have arrived — is Calvin's
+// straggler problem: one slow region or overloaded shard delays everyone
+// (§5.2, §5.3).
+package calvin
+
+import (
+	"sort"
+	"time"
+
+	"tiga/internal/simnet"
+	"tiga/internal/store"
+	"tiga/internal/txn"
+)
+
+// Spec describes the deployment.
+type Spec struct {
+	Shards       int
+	Regions      int // replication degree; one full replica per region
+	Net          *simnet.Network
+	CoordRegions []simnet.Region
+	Seed         func(shard int, st *store.Store)
+	ExecCost     time.Duration
+	Epoch        time.Duration
+}
+
+type submitMsg struct {
+	T     *txn.Txn
+	Coord simnet.NodeID
+	// HomeRegion is the region whose executors answer this coordinator.
+	HomeRegion int
+}
+
+type epochBatch struct {
+	Region int
+	Epoch  int
+	Txns   []submitMsg
+}
+
+type resultMsg struct {
+	Shard int
+	ID    txn.ID
+	Ret   []byte
+}
+
+// sequencer batches submissions per region.
+type sequencer struct {
+	sys    *System
+	region int
+	node   *simnet.Node
+	buf    []submitMsg
+	epoch  int
+}
+
+// executor executes one shard's pieces at one region, in global epoch order.
+type executor struct {
+	sys     *System
+	region  int
+	shard   int
+	node    *simnet.Node
+	st      *store.Store
+	batches map[int]map[int]epochBatch // epoch -> region -> batch
+	next    int                        // next epoch to run
+}
+
+// System is a running Calvin+ deployment.
+type System struct {
+	spec   Spec
+	seqs   []*sequencer
+	execs  [][]*executor // [region][shard]
+	coords []*coordinator
+}
+
+// New builds the deployment.
+func New(spec Spec) *System {
+	if spec.Epoch == 0 {
+		spec.Epoch = 10 * time.Millisecond
+	}
+	if spec.Regions == 0 {
+		spec.Regions = 3
+	}
+	sys := &System{spec: spec}
+	for reg := 0; reg < spec.Regions; reg++ {
+		node := spec.Net.AddNode(simnet.Region(reg), nil)
+		sq := &sequencer{sys: sys, region: reg, node: node}
+		node.SetHandler(sq.handle)
+		sys.seqs = append(sys.seqs, sq)
+	}
+	sys.execs = make([][]*executor, spec.Regions)
+	for reg := 0; reg < spec.Regions; reg++ {
+		sys.execs[reg] = make([]*executor, spec.Shards)
+		for sh := 0; sh < spec.Shards; sh++ {
+			node := spec.Net.AddNode(simnet.Region(reg), nil)
+			ex := &executor{sys: sys, region: reg, shard: sh, node: node,
+				st: store.New(), batches: make(map[int]map[int]epochBatch)}
+			if spec.Seed != nil {
+				spec.Seed(sh, ex.st)
+			}
+			node.SetHandler(ex.handle)
+			sys.execs[reg][sh] = ex
+		}
+	}
+	for _, reg := range spec.CoordRegions {
+		node := spec.Net.AddNode(reg, nil)
+		co := &coordinator{sys: sys, node: node, idx: int32(len(sys.coords) + 1),
+			pending: make(map[txn.ID]*pending)}
+		// Coordinators use the nearest server region's replica for results.
+		co.home = nearestRegion(spec.Net, reg, spec.Regions)
+		node.SetHandler(co.handle)
+		sys.coords = append(sys.coords, co)
+	}
+	return sys
+}
+
+func nearestRegion(net *simnet.Network, from simnet.Region, regions int) int {
+	best, bestD := 0, time.Duration(1<<62)
+	for r := 0; r < regions; r++ {
+		if d := net.BaseOWD(from, simnet.Region(r)); d < bestD {
+			best, bestD = r, d
+		}
+	}
+	return best
+}
+
+// Start launches the epoch tickers.
+func (sys *System) Start() {
+	for _, sq := range sys.seqs {
+		sq := sq
+		sq.node.Every(sys.spec.Epoch, func() bool {
+			sq.flush()
+			return true
+		})
+	}
+}
+
+// NumCoords returns the coordinator count.
+func (sys *System) NumCoords() int { return len(sys.coords) }
+
+// Store exposes a region's shard store (tests).
+func (sys *System) Store(region, shard int) *store.Store { return sys.execs[region][shard].st }
+
+// ---- sequencer ----
+
+func (sq *sequencer) handle(from simnet.NodeID, msg simnet.Message) {
+	if m, ok := msg.(submitMsg); ok {
+		sq.buf = append(sq.buf, m)
+	}
+}
+
+// flush closes the current epoch and broadcasts its batch (possibly empty —
+// every region must see every epoch for the merge barrier) to all executors
+// in all regions.
+func (sq *sequencer) flush() {
+	b := epochBatch{Region: sq.region, Epoch: sq.epoch, Txns: sq.buf}
+	sq.epoch++
+	sq.buf = nil
+	for reg := 0; reg < sq.sys.spec.Regions; reg++ {
+		for sh := 0; sh < sq.sys.spec.Shards; sh++ {
+			sq.node.Send(sq.sys.execs[reg][sh].node.ID(), b)
+		}
+	}
+}
+
+// ---- executor ----
+
+func (ex *executor) handle(from simnet.NodeID, msg simnet.Message) {
+	m, ok := msg.(epochBatch)
+	if !ok {
+		return
+	}
+	byRegion := ex.batches[m.Epoch]
+	if byRegion == nil {
+		byRegion = make(map[int]epochBatch)
+		ex.batches[m.Epoch] = byRegion
+	}
+	byRegion[m.Region] = m
+	// Merge barrier: run epochs in order once all regions' batches arrived.
+	for {
+		br, ok := ex.batches[ex.next]
+		if !ok || len(br) < ex.sys.spec.Regions {
+			return
+		}
+		ex.runEpoch(br)
+		delete(ex.batches, ex.next)
+		ex.next++
+	}
+}
+
+// runEpoch merges the per-region batches deterministically (region id, then
+// submission order) and executes this shard's pieces serially.
+func (ex *executor) runEpoch(byRegion map[int]epochBatch) {
+	regions := make([]int, 0, len(byRegion))
+	for r := range byRegion {
+		regions = append(regions, r)
+	}
+	sort.Ints(regions)
+	for _, r := range regions {
+		for _, sm := range byRegion[r].Txns {
+			piece := sm.T.Pieces[ex.shard]
+			if piece == nil {
+				continue
+			}
+			ex.node.Work(ex.sys.spec.ExecCost)
+			ret := ex.st.Execute(sm.T.ID, txn.Timestamp{}, piece)
+			ex.st.Commit(sm.T.ID)
+			if sm.HomeRegion == ex.region {
+				ex.node.Send(sm.Coord, resultMsg{Shard: ex.shard, ID: sm.T.ID, Ret: ret})
+			}
+		}
+	}
+}
+
+// ---- coordinator ----
+
+type pending struct {
+	t       *txn.Txn
+	done    func(txn.Result)
+	results map[int][]byte
+}
+
+type coordinator struct {
+	sys     *System
+	node    *simnet.Node
+	idx     int32
+	seq     uint64
+	home    int
+	pending map[txn.ID]*pending
+}
+
+// Submit hands t to the coordinator's nearest sequencer.
+func (sys *System) Submit(coord int, t *txn.Txn, done func(txn.Result)) {
+	co := sys.coords[coord]
+	co.seq++
+	t.ID = txn.ID{Coord: co.idx, Seq: co.seq}
+	co.pending[t.ID] = &pending{t: t, done: done, results: make(map[int][]byte)}
+	co.node.Send(co.sys.seqs[co.home].node.ID(), submitMsg{T: t, Coord: co.node.ID(), HomeRegion: co.home})
+}
+
+func (co *coordinator) handle(from simnet.NodeID, msg simnet.Message) {
+	m, ok := msg.(resultMsg)
+	if !ok {
+		return
+	}
+	p := co.pending[m.ID]
+	if p == nil {
+		return
+	}
+	p.results[m.Shard] = m.Ret
+	if len(p.results) < len(p.t.Pieces) {
+		return
+	}
+	delete(co.pending, m.ID)
+	p.done(txn.Result{OK: true, PerShard: p.results})
+}

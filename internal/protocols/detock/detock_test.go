@@ -1,0 +1,118 @@
+package detock
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tiga/internal/simnet"
+	"tiga/internal/store"
+	"tiga/internal/txn"
+)
+
+func build(t *testing.T, seed int64) (*simnet.Sim, *System) {
+	t.Helper()
+	sim := simnet.NewSim(seed)
+	net := simnet.NewNetwork(sim, simnet.GeoConfig(500*time.Microsecond, 0))
+	sys := New(Spec{
+		Shards: 3, Regions: 3, Net: net,
+		CoordRegions: []simnet.Region{0, 1, 2},
+		Seed: func(shard int, st *store.Store) {
+			for i := 0; i < 8; i++ {
+				st.Seed(fmt.Sprintf("d%d-%d", shard, i), txn.EncodeInt(0))
+			}
+		},
+		ExecCost: time.Microsecond,
+	})
+	sys.Start()
+	return sim, sys
+}
+
+// TestSingleHomeCommit: a transaction touching one home region commits with
+// local ordering plus synchronous geo-replication.
+func TestSingleHomeCommit(t *testing.T) {
+	sim, sys := build(t, 1)
+	var res *txn.Result
+	var lat time.Duration
+	sim.At(50*time.Millisecond, func() {
+		s := sim.Now()
+		tx := &txn.Txn{Pieces: map[int]*txn.Piece{0: txn.IncrementPiece("d0-0")}}
+		// Shard 0 is homed in region 0; submit from the region-0 coordinator.
+		sys.Submit(0, tx, func(r txn.Result) { res, lat = &r, sim.Now()-s })
+	})
+	sim.Run(3 * time.Second)
+	if res == nil || !res.OK {
+		t.Fatal("no commit")
+	}
+	// Local ordering (LAN) + sync replication to the nearest remote region
+	// (SC↔FI, 110 ms RTT) + local reply.
+	if lat < 100*time.Millisecond || lat > 200*time.Millisecond {
+		t.Fatalf("single-home latency %v, want ~1 WRTT for sync replication", lat)
+	}
+}
+
+// TestMultiHomeCommit: spanning all three home regions costs the sequence
+// exchange plus replication (≥2 WRTTs from the farthest pair).
+func TestMultiHomeCommit(t *testing.T) {
+	sim, sys := build(t, 2)
+	committed := 0
+	const n = 10
+	for i := 0; i < n; i++ {
+		i := i
+		sim.At(time.Duration(50+i*30)*time.Millisecond, func() {
+			tx := &txn.Txn{Pieces: map[int]*txn.Piece{
+				0: txn.IncrementPiece(fmt.Sprintf("d0-%d", i%8)),
+				1: txn.IncrementPiece(fmt.Sprintf("d1-%d", i%8)),
+				2: txn.IncrementPiece(fmt.Sprintf("d2-%d", i%8)),
+			}}
+			sys.Submit(i%3, tx, func(r txn.Result) {
+				if r.OK {
+					committed++
+				}
+			})
+		})
+	}
+	sim.Run(8 * time.Second)
+	if committed != n {
+		t.Fatalf("committed %d of %d multi-home txns", committed, n)
+	}
+	// Synchronous replication propagated writes to every region's copy.
+	for reg := 1; reg < 3; reg++ {
+		for sh := 0; sh < 3; sh++ {
+			if !sys.Store(0, sh).Equal(sys.Store(reg, sh)) {
+				t.Fatalf("region %d shard %d copy diverged", reg, sh)
+			}
+		}
+	}
+}
+
+// TestConflictingMultiHomeSerialize: conflicting multi-home transactions from
+// different regions are ordered deterministically (no lost updates).
+func TestConflictingMultiHomeSerialize(t *testing.T) {
+	sim, sys := build(t, 3)
+	hot := func() *txn.Txn {
+		return &txn.Txn{Pieces: map[int]*txn.Piece{
+			0: txn.IncrementPiece("d0-0"),
+			1: txn.IncrementPiece("d1-0"),
+		}}
+	}
+	const n = 20
+	committed := 0
+	for i := 0; i < n; i++ {
+		i := i
+		sim.At(time.Duration(50+i)*time.Millisecond, func() {
+			sys.Submit(i%3, hot(), func(r txn.Result) {
+				if r.OK {
+					committed++
+				}
+			})
+		})
+	}
+	sim.Run(10 * time.Second)
+	if committed != n {
+		t.Fatalf("committed %d of %d", committed, n)
+	}
+	if got := txn.DecodeInt(sys.Store(0, 0).Get("d0-0")); got != n {
+		t.Fatalf("d0-0 = %d, want %d (lost updates)", got, n)
+	}
+}

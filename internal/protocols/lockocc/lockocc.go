@@ -1,0 +1,486 @@
+// Package lockocc implements the two classic layered baselines from the
+// paper's evaluation (§5.1): 2PL+Paxos (wound-wait two-phase locking with
+// two-phase commit over Multi-Paxos) and OCC+Paxos (optimistic execution with
+// validation at prepare time, over the same consensus layer).
+//
+// Both stack a concurrency-control round on top of a consensus round, so a
+// geo-distributed commit costs ~3 WRTTs: request/vote (1), commit + Paxos
+// replication (1.5–2), and the reply (0.5). The long lock/validation window
+// across WAN round trips is what drives their abort rates under contention
+// (§5.2, §5.3).
+package lockocc
+
+import (
+	"time"
+
+	"tiga/internal/locks"
+	"tiga/internal/paxos"
+	"tiga/internal/simnet"
+	"tiga/internal/store"
+	"tiga/internal/txn"
+)
+
+// CC selects the concurrency-control flavor.
+type CC int
+
+// Concurrency control flavors.
+const (
+	TwoPL CC = iota
+	OCC
+)
+
+func (c CC) String() string {
+	if c == TwoPL {
+		return "2PL+Paxos"
+	}
+	return "OCC+Paxos"
+}
+
+// Spec describes the deployment.
+type Spec struct {
+	CC           CC
+	Shards       int
+	F            int
+	Net          *simnet.Network
+	ServerRegion func(shard, replica int) simnet.Region
+	CoordRegions []simnet.Region
+	Seed         func(shard int, st *store.Store)
+	ExecCost     time.Duration
+	MaxRetries   int
+	RetryBackoff time.Duration
+}
+
+// ---- messages ----
+
+type reqExec struct {
+	T     *txn.Txn
+	Prio  uint64
+	Coord simnet.NodeID
+}
+
+type voteMsg struct {
+	Shard  int
+	ID     txn.ID
+	OK     bool
+	Ret    []byte
+	Writes map[string][]byte
+	Reads  map[string]uint64 // OCC: observed versions
+}
+
+type commitReq struct {
+	ID    txn.ID
+	Coord simnet.NodeID
+	Reads map[string]uint64
+}
+
+type abortReq struct{ ID txn.ID }
+
+type committedMsg struct {
+	Shard int
+	ID    txn.ID
+	OK    bool
+}
+
+// commitRec is the Paxos-replicated commit record.
+type commitRec struct {
+	ID     txn.ID
+	Writes map[string][]byte
+}
+
+type pendingSrv struct {
+	t       *txn.Txn
+	prio    uint64
+	coord   simnet.NodeID
+	wounded bool
+	voted   bool
+	writes  map[string][]byte
+	waiting int // outstanding lock grants (2PL)
+	occHeld []string
+}
+
+// server is a shard leader plus its Paxos group membership.
+type server struct {
+	sys     *System
+	shard   int
+	replica int
+	node    *simnet.Node
+	st      *store.Store
+	lt      *locks.Table
+	vers    map[string]uint64 // OCC versions
+	occLock map[string]txn.ID // OCC prepared-key locks
+	pax     *paxos.Replica
+	pending map[txn.ID]*pendingSrv
+	onSlot  map[int]txn.ID // slot -> awaiting commit reply
+}
+
+// System is a running 2PL/OCC deployment.
+type System struct {
+	spec    Spec
+	servers [][]*server // [shard][replica]; replica 0 leads
+	coords  []*coordinator
+	// Aborts counts client-visible aborts after retries were exhausted.
+	Aborts int64
+}
+
+// New builds the deployment.
+func New(spec Spec) *System {
+	if spec.MaxRetries == 0 {
+		spec.MaxRetries = 4
+	}
+	if spec.RetryBackoff == 0 {
+		spec.RetryBackoff = 25 * time.Millisecond
+	}
+	sys := &System{spec: spec}
+	n := 2*spec.F + 1
+	nodes := make([][]simnet.NodeID, spec.Shards)
+	for s := 0; s < spec.Shards; s++ {
+		nodes[s] = make([]simnet.NodeID, n)
+		for r := 0; r < n; r++ {
+			nodes[s][r] = spec.Net.AddNode(spec.ServerRegion(s, r), nil).ID()
+		}
+	}
+	sys.servers = make([][]*server, spec.Shards)
+	for s := 0; s < spec.Shards; s++ {
+		sys.servers[s] = make([]*server, n)
+		for r := 0; r < n; r++ {
+			node := spec.Net.Node(nodes[s][r])
+			srv := &server{
+				sys: sys, shard: s, replica: r, node: node,
+				st: store.New(), lt: locks.NewTable(),
+				vers: make(map[string]uint64), occLock: make(map[string]txn.ID),
+				pending: make(map[txn.ID]*pendingSrv), onSlot: make(map[int]txn.ID),
+			}
+			srv.pax = paxos.NewReplica("pax", node, nodes[s], r, 0, spec.F)
+			srv.pax.OnCommit = srv.onPaxosCommit
+			srv.lt.Wound = srv.onWound
+			if spec.Seed != nil {
+				spec.Seed(s, srv.st)
+			}
+			node.SetHandler(srv.handle)
+			sys.servers[s][r] = srv
+		}
+	}
+	for _, reg := range spec.CoordRegions {
+		node := spec.Net.AddNode(reg, nil)
+		co := &coordinator{sys: sys, node: node, idx: int32(len(sys.coords) + 1),
+			pending: make(map[txn.ID]*pendingCo)}
+		node.SetHandler(co.handle)
+		sys.coords = append(sys.coords, co)
+	}
+	return sys
+}
+
+// Start is a no-op (no periodic tasks); present for interface symmetry.
+func (sys *System) Start() {}
+
+// NumCoords returns the coordinator count.
+func (sys *System) NumCoords() int { return len(sys.coords) }
+
+// Store exposes a shard leader's store (tests).
+func (sys *System) Store(shard int) *store.Store { return sys.servers[shard][0].st }
+
+func (sys *System) leaderNode(shard int) simnet.NodeID { return sys.servers[shard][0].node.ID() }
+
+// ---- server ----
+
+func (s *server) handle(from simnet.NodeID, msg simnet.Message) {
+	if s.pax.Handle(from, msg) {
+		return
+	}
+	if s.replica != 0 {
+		return // followers only participate in Paxos
+	}
+	switch m := msg.(type) {
+	case reqExec:
+		s.onReqExec(m)
+	case commitReq:
+		s.onCommitReq(m)
+	case abortReq:
+		s.abortLocal(m.ID)
+	}
+}
+
+func (s *server) onWound(victim txn.ID) {
+	if p := s.pending[victim]; p != nil {
+		p.wounded = true
+	}
+}
+
+func (s *server) onReqExec(m reqExec) {
+	id := m.T.ID
+	if _, dup := s.pending[id]; dup {
+		return
+	}
+	p := &pendingSrv{t: m.T, prio: m.Prio, coord: m.Coord}
+	s.pending[id] = p
+	piece := m.T.Pieces[s.shard]
+	if s.sys.spec.CC == OCC {
+		// Optimistic execution: no locks, record read versions.
+		s.node.Work(s.sys.spec.ExecCost)
+		reads := make(map[string]uint64, len(piece.ReadSet))
+		for _, k := range piece.ReadSet {
+			reads[k] = s.vers[k]
+		}
+		ret, writes := executeBuffered(s.st, piece)
+		p.writes = writes
+		s.node.Send(m.Coord, voteMsg{Shard: s.shard, ID: id, OK: true, Ret: ret, Writes: writes, Reads: reads})
+		return
+	}
+	// 2PL: acquire all locks (wound-wait), then execute.
+	p.waiting = 0
+	grant := func() {
+		p.waiting--
+		if p.waiting == 0 {
+			s.finishLock(id)
+		}
+	}
+	for _, k := range piece.ReadSet {
+		if !contains(piece.WriteSet, k) && !s.lt.Acquire(k, locks.Shared, id, m.Prio, grant) {
+			p.waiting++
+		}
+	}
+	for _, k := range piece.WriteSet {
+		if !s.lt.Acquire(k, locks.Exclusive, id, m.Prio, grant) {
+			p.waiting++
+		}
+	}
+	if p.waiting == 0 {
+		s.finishLock(id)
+	}
+}
+
+func (s *server) finishLock(id txn.ID) {
+	p := s.pending[id]
+	if p == nil || p.voted {
+		return
+	}
+	if p.wounded {
+		s.lt.ReleaseAll(id)
+		delete(s.pending, id)
+		s.node.Send(p.coord, voteMsg{Shard: s.shard, ID: id, OK: false})
+		return
+	}
+	p.voted = true
+	s.node.Work(s.sys.spec.ExecCost)
+	ret, writes := executeBuffered(s.st, p.t.Pieces[s.shard])
+	p.writes = writes
+	s.node.Send(p.coord, voteMsg{Shard: s.shard, ID: id, OK: true, Ret: ret, Writes: writes})
+}
+
+func (s *server) onCommitReq(m commitReq) {
+	p := s.pending[m.ID]
+	if p == nil {
+		return
+	}
+	if s.sys.spec.CC == OCC {
+		// Validation: read versions unchanged and keys unlocked.
+		piece := s.pending[m.ID].t.Pieces[s.shard]
+		for k, v := range m.Reads {
+			if s.vers[k] != v {
+				s.failCommit(m, p)
+				return
+			}
+			if owner, locked := s.occLock[k]; locked && owner != m.ID {
+				s.failCommit(m, p)
+				return
+			}
+		}
+		for _, k := range piece.WriteSet {
+			if owner, locked := s.occLock[k]; locked && owner != m.ID {
+				s.failCommit(m, p)
+				return
+			}
+		}
+		for _, k := range piece.WriteSet {
+			s.occLock[k] = m.ID
+			p.occHeld = append(p.occHeld, k)
+		}
+	} else if p.wounded {
+		s.failCommit(m, p)
+		return
+	}
+	p.coord = m.Coord
+	slot := s.pax.Propose(commitRec{ID: m.ID, Writes: p.writes})
+	s.onSlot[slot] = m.ID
+}
+
+func (s *server) failCommit(m commitReq, p *pendingSrv) {
+	s.abortLocal(m.ID)
+	s.node.Send(m.Coord, committedMsg{Shard: s.shard, ID: m.ID, OK: false})
+}
+
+func (s *server) abortLocal(id txn.ID) {
+	p := s.pending[id]
+	if p == nil {
+		return
+	}
+	for _, k := range p.occHeld {
+		if s.occLock[k] == id {
+			delete(s.occLock, k)
+		}
+	}
+	s.lt.ReleaseAll(id)
+	delete(s.pending, id)
+}
+
+// onPaxosCommit applies a replicated commit record on every replica; the
+// leader additionally finishes the 2PC and answers the coordinator.
+func (s *server) onPaxosCommit(slot int, cmd paxos.Command) {
+	rec := cmd.(commitRec)
+	for k, v := range rec.Writes {
+		s.st.Seed(k, v)
+		s.vers[k]++
+	}
+	if s.replica != 0 {
+		return
+	}
+	if id, ok := s.onSlot[slot]; ok {
+		delete(s.onSlot, slot)
+		if p := s.pending[id]; p != nil {
+			for _, k := range p.occHeld {
+				if s.occLock[k] == id {
+					delete(s.occLock, k)
+				}
+			}
+			s.lt.ReleaseAll(id)
+			delete(s.pending, id)
+			s.node.Send(p.coord, committedMsg{Shard: s.shard, ID: id, OK: true})
+		}
+	}
+}
+
+// executeBuffered runs a piece reading the store but buffering writes.
+func executeBuffered(st *store.Store, p *txn.Piece) ([]byte, map[string][]byte) {
+	v := &bufView{st: st, writes: make(map[string][]byte)}
+	ret := p.Exec(v)
+	return ret, v.writes
+}
+
+type bufView struct {
+	st     *store.Store
+	writes map[string][]byte
+}
+
+func (v *bufView) Get(k string) []byte {
+	if w, ok := v.writes[k]; ok {
+		return w
+	}
+	return v.st.Get(k)
+}
+
+func (v *bufView) Put(k string, val []byte) { v.writes[k] = val }
+
+func contains(set []string, k string) bool {
+	for _, s := range set {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- coordinator ----
+
+type pendingCo struct {
+	t       *txn.Txn
+	done    func(txn.Result)
+	prio    uint64
+	votes   map[int]voteMsg
+	commits map[int]bool
+	phase   int // 0 = exec, 1 = commit
+	retries int
+	start   time.Duration
+}
+
+type coordinator struct {
+	sys     *System
+	node    *simnet.Node
+	idx     int32
+	seq     uint64
+	pending map[txn.ID]*pendingCo
+}
+
+// Submit runs the layered commit protocol for t.
+func (sys *System) Submit(coord int, t *txn.Txn, done func(txn.Result)) {
+	sys.coords[coord].submit(t, done, 0, 0)
+}
+
+func (co *coordinator) submit(t *txn.Txn, done func(txn.Result), retries int, prio uint64) {
+	co.seq++
+	t.ID = txn.ID{Coord: co.idx, Seq: co.seq}
+	p := &pendingCo{t: t, done: done, votes: make(map[int]voteMsg), commits: make(map[int]bool),
+		retries: retries, start: co.sys.spec.Net.Sim().Now()}
+	// Wound-wait priority: older transactions (earlier first submission)
+	// win; retries keep their original priority so victims make progress.
+	p.prio = prio
+	if p.prio == 0 {
+		p.prio = uint64(co.sys.spec.Net.Sim().Now())<<8 | uint64(co.idx)
+	}
+	co.pending[t.ID] = p
+	for _, sh := range t.Shards() {
+		co.node.Send(co.sys.leaderNode(sh), reqExec{T: t, Prio: p.prio, Coord: co.node.ID()})
+	}
+}
+
+func (co *coordinator) handle(from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case voteMsg:
+		co.onVote(m)
+	case committedMsg:
+		co.onCommitted(m)
+	}
+}
+
+func (co *coordinator) onVote(m voteMsg) {
+	p := co.pending[m.ID]
+	if p == nil || p.phase != 0 {
+		return
+	}
+	if !m.OK {
+		co.abort(p)
+		return
+	}
+	p.votes[m.Shard] = m
+	if len(p.votes) < len(p.t.Pieces) {
+		return
+	}
+	p.phase = 1
+	for sh, v := range p.votes {
+		co.node.Send(co.sys.leaderNode(sh), commitReq{ID: m.ID, Coord: co.node.ID(), Reads: v.Reads})
+	}
+}
+
+func (co *coordinator) onCommitted(m committedMsg) {
+	p := co.pending[m.ID]
+	if p == nil {
+		return
+	}
+	if !m.OK {
+		co.abort(p)
+		return
+	}
+	p.commits[m.Shard] = true
+	if len(p.commits) < len(p.t.Pieces) {
+		return
+	}
+	delete(co.pending, m.ID)
+	res := txn.Result{OK: true, Retries: p.retries, PerShard: make(map[int][]byte)}
+	for sh, v := range p.votes {
+		res.PerShard[sh] = v.Ret
+	}
+	p.done(res)
+}
+
+func (co *coordinator) abort(p *pendingCo) {
+	delete(co.pending, p.t.ID)
+	for _, sh := range p.t.Shards() {
+		co.node.Send(co.sys.leaderNode(sh), abortReq{ID: p.t.ID})
+	}
+	if p.retries >= co.sys.spec.MaxRetries {
+		co.sys.Aborts++
+		p.done(txn.Result{Aborted: true, Retries: p.retries})
+		return
+	}
+	backoff := co.sys.spec.RetryBackoff * time.Duration(p.retries+1)
+	co.node.After(backoff, func() { co.submit(p.t, p.done, p.retries+1, p.prio) })
+}

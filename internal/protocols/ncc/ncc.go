@@ -1,0 +1,272 @@
+// Package ncc implements the NCC baseline (Lu et al., OSDI 2023): Natural
+// Concurrency Control for strictly serializable single-region datastores.
+// Servers execute transactions in arrival order; Response Time Control (RTC)
+// guarantees strict serializability by holding a transaction's response until
+// the previous conflicting transaction's commit notification arrives —
+// artificially creating a ~1 WRTT gap between conflicting transactions.
+//
+// Per the paper's setup (§5.1), NCC's servers all live in one region (South
+// Carolina) without replication; NCC+ places NCC on top of a Paxos layer
+// replicated across three regions for fault tolerance, which degrades it
+// further (§5.2). RTC's queueing delay is what limits NCC's throughput under
+// load and contention.
+package ncc
+
+import (
+	"time"
+
+	"tiga/internal/paxos"
+	"tiga/internal/simnet"
+	"tiga/internal/store"
+	"tiga/internal/txn"
+)
+
+// Spec describes the deployment.
+type Spec struct {
+	Shards     int
+	F          int  // used only when Replicated (NCC+)
+	Replicated bool // NCC+ = NCC atop Paxos
+	Net        *simnet.Network
+	HomeRegion simnet.Region // region hosting the servers
+	// HomeRegionOf overrides HomeRegion per shard (the §5.5 rotation, which
+	// spreads NCC's servers across regions).
+	HomeRegionOf func(shard int) simnet.Region
+	CoordRegions []simnet.Region
+	Seed         func(shard int, st *store.Store)
+	ExecCost     time.Duration
+}
+
+type execReq struct {
+	T     *txn.Txn
+	Coord simnet.NodeID
+}
+
+type execRep struct {
+	Shard int
+	ID    txn.ID
+	Ret   []byte
+}
+
+type commitNote struct{ ID txn.ID }
+
+type pendingSrv struct {
+	t     *txn.Txn
+	coord simnet.NodeID
+	ret   []byte
+	// Gating state for RTC + (optionally) replication.
+	waitingOn  int  // conflicting predecessors not yet committed
+	replicated bool // Paxos slot committed (always true for plain NCC)
+	sent       bool
+	committed  bool
+	waiters    []txn.ID // successors gated on our commit note
+}
+
+// server executes one shard's transactions in arrival order with RTC.
+type server struct {
+	sys     *System
+	shard   int
+	node    *simnet.Node
+	st      *store.Store
+	lastKey map[string]txn.ID // key -> last conflicting uncommitted txn
+	pending map[txn.ID]*pendingSrv
+	pax     *paxos.Replica
+	onSlot  map[int]txn.ID
+}
+
+// System is a running NCC or NCC+ deployment.
+type System struct {
+	spec    Spec
+	servers []*server
+	coords  []*coordinator
+}
+
+// New builds the deployment.
+func New(spec Spec) *System {
+	sys := &System{spec: spec}
+	n := 1
+	if spec.Replicated {
+		n = 2*spec.F + 1
+	}
+	for sh := 0; sh < spec.Shards; sh++ {
+		var nodes []simnet.NodeID
+		home := spec.HomeRegion
+		if spec.HomeRegionOf != nil {
+			home = spec.HomeRegionOf(sh)
+		}
+		for r := 0; r < n; r++ {
+			reg := home
+			if spec.Replicated {
+				reg = simnet.Region((int(home) + r) % 3) // replicas across regions
+			}
+			nodes = append(nodes, spec.Net.AddNode(reg, nil).ID())
+		}
+		srv := &server{sys: sys, shard: sh, node: spec.Net.Node(nodes[0]),
+			st: store.New(), lastKey: make(map[string]txn.ID),
+			pending: make(map[txn.ID]*pendingSrv), onSlot: make(map[int]txn.ID)}
+		if spec.Seed != nil {
+			spec.Seed(sh, srv.st)
+		}
+		if spec.Replicated {
+			srv.pax = paxos.NewReplica("ncc", srv.node, nodes, 0, 0, spec.F)
+			srv.pax.OnCommit = srv.onPaxosCommit
+			for r := 1; r < n; r++ {
+				rep := paxos.NewReplica("ncc", spec.Net.Node(nodes[r]), nodes, r, 0, spec.F)
+				node := spec.Net.Node(nodes[r])
+				node.SetHandler(func(from simnet.NodeID, msg simnet.Message) { rep.Handle(from, msg) })
+			}
+		}
+		srv.node.SetHandler(srv.handle)
+		sys.servers = append(sys.servers, srv)
+	}
+	for _, reg := range spec.CoordRegions {
+		node := spec.Net.AddNode(reg, nil)
+		co := &coordinator{sys: sys, node: node, idx: int32(len(sys.coords) + 1),
+			pending: make(map[txn.ID]*pending)}
+		node.SetHandler(co.handle)
+		sys.coords = append(sys.coords, co)
+	}
+	return sys
+}
+
+// Start is a no-op.
+func (sys *System) Start() {}
+
+// NumCoords returns the coordinator count.
+func (sys *System) NumCoords() int { return len(sys.coords) }
+
+// Store exposes a shard store (tests).
+func (sys *System) Store(shard int) *store.Store { return sys.servers[shard].st }
+
+// ---- server ----
+
+func (s *server) handle(from simnet.NodeID, msg simnet.Message) {
+	if s.pax != nil && s.pax.Handle(from, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case execReq:
+		s.onExec(m)
+	case commitNote:
+		s.onCommitNote(m)
+	}
+}
+
+// onExec executes in arrival order and applies RTC gating.
+func (s *server) onExec(m execReq) {
+	id := m.T.ID
+	if _, dup := s.pending[id]; dup {
+		return
+	}
+	piece := m.T.Pieces[s.shard]
+	s.node.Work(s.sys.spec.ExecCost)
+	p := &pendingSrv{t: m.T, coord: m.Coord, replicated: !s.sys.spec.Replicated}
+	s.pending[id] = p
+	// RTC: gate on every uncommitted conflicting predecessor.
+	keys := append(append([]string(nil), piece.ReadSet...), piece.WriteSet...)
+	gated := make(map[txn.ID]bool)
+	for _, k := range keys {
+		if prev, ok := s.lastKey[k]; ok && prev != id && !gated[prev] {
+			if pp := s.pending[prev]; pp != nil && !pp.committed {
+				gated[prev] = true
+				pp.waiters = append(pp.waiters, id)
+				p.waitingOn++
+			}
+		}
+	}
+	for _, k := range piece.WriteSet {
+		s.lastKey[k] = id
+	}
+	for _, k := range piece.ReadSet {
+		s.lastKey[k] = id
+	}
+	p.ret = s.st.Execute(id, txn.Timestamp{}, piece)
+	s.st.Commit(id)
+	if s.pax != nil {
+		slot := s.pax.Propose(execReq{T: m.T})
+		s.onSlot[slot] = id
+	}
+	s.maybeReply(p)
+}
+
+func (s *server) maybeReply(p *pendingSrv) {
+	if p.sent || p.waitingOn > 0 || !p.replicated {
+		return
+	}
+	p.sent = true
+	s.node.Send(p.coord, execRep{Shard: s.shard, ID: p.t.ID, Ret: p.ret})
+}
+
+func (s *server) onPaxosCommit(slot int, cmd paxos.Command) {
+	if id, ok := s.onSlot[slot]; ok {
+		delete(s.onSlot, slot)
+		if p := s.pending[id]; p != nil {
+			p.replicated = true
+			s.maybeReply(p)
+		}
+	}
+}
+
+// onCommitNote releases RTC-gated successors.
+func (s *server) onCommitNote(m commitNote) {
+	p := s.pending[m.ID]
+	if p == nil || p.committed {
+		return
+	}
+	p.committed = true
+	for _, wid := range p.waiters {
+		if wp := s.pending[wid]; wp != nil {
+			wp.waitingOn--
+			s.maybeReply(wp)
+		}
+	}
+	p.waiters = nil
+}
+
+// ---- coordinator ----
+
+type pending struct {
+	t       *txn.Txn
+	done    func(txn.Result)
+	results map[int][]byte
+}
+
+type coordinator struct {
+	sys     *System
+	node    *simnet.Node
+	idx     int32
+	seq     uint64
+	pending map[txn.ID]*pending
+}
+
+// Submit sends t to its shard servers and commits once all reply.
+func (sys *System) Submit(coord int, t *txn.Txn, done func(txn.Result)) {
+	co := sys.coords[coord]
+	co.seq++
+	t.ID = txn.ID{Coord: co.idx, Seq: co.seq}
+	co.pending[t.ID] = &pending{t: t, done: done, results: make(map[int][]byte)}
+	m := execReq{T: t, Coord: co.node.ID()}
+	for _, sh := range t.Shards() {
+		co.node.Send(sys.servers[sh].node.ID(), m)
+	}
+}
+
+func (co *coordinator) handle(from simnet.NodeID, msg simnet.Message) {
+	m, ok := msg.(execRep)
+	if !ok {
+		return
+	}
+	p := co.pending[m.ID]
+	if p == nil {
+		return
+	}
+	p.results[m.Shard] = m.Ret
+	if len(p.results) < len(p.t.Pieces) {
+		return
+	}
+	delete(co.pending, m.ID)
+	// Commit: notify servers (releases RTC-gated successors), then reply.
+	for _, sh := range p.t.Shards() {
+		co.node.Send(co.sys.servers[sh].node.ID(), commitNote{ID: m.ID})
+	}
+	p.done(txn.Result{OK: true, PerShard: p.results})
+}

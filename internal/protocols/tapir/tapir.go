@@ -1,0 +1,395 @@
+// Package tapir implements the TAPIR baseline (Zhang et al., SOSP 2015): a
+// consolidated protocol built on inconsistent replication. The coordinator
+// multicasts PREPARE to every replica of every involved shard; each replica
+// independently runs OCC validation against its local state. If a super
+// quorum of replicas in each shard returns matching PREPARE-OK votes, the
+// transaction commits in 1 WRTT. Mismatched votes force a slow path (one
+// more round), and conflicts abort and retry.
+//
+// TAPIR's fast path is optimistic about arrival order: under concurrency,
+// transactions reach replicas in different orders, votes diverge, and the
+// commit rate collapses — the failure mode Figure 1 of the Tiga paper
+// illustrates and Tiga's proactive ordering avoids.
+package tapir
+
+import (
+	"time"
+
+	"tiga/internal/simnet"
+	"tiga/internal/store"
+	"tiga/internal/txn"
+)
+
+// Spec describes the deployment.
+type Spec struct {
+	Shards       int
+	F            int
+	Net          *simnet.Network
+	ServerRegion func(shard, replica int) simnet.Region
+	CoordRegions []simnet.Region
+	Seed         func(shard int, st *store.Store)
+	ExecCost     time.Duration
+	MaxRetries   int
+	RetryBackoff time.Duration
+}
+
+type prepareMsg struct {
+	T     *txn.Txn
+	Coord simnet.NodeID
+	Try   int
+}
+
+type prepareRep struct {
+	Shard   int
+	Replica int
+	ID      txn.ID
+	Try     int
+	OK      bool
+	Ret     []byte
+	Reads   map[string]uint64
+}
+
+// decideMsg is the coordinator's final decision (commit or abort), also used
+// as the slow-path consensus round.
+type decideMsg struct {
+	ID     txn.ID
+	T      *txn.Txn
+	Commit bool
+	Slow   bool
+	Coord  simnet.NodeID
+	Try    int
+}
+
+type decideAck struct {
+	Shard   int
+	Replica int
+	ID      txn.ID
+	Try     int
+}
+
+type replica struct {
+	sys      *System
+	shard    int
+	rep      int
+	node     *simnet.Node
+	st       *store.Store
+	vers     map[string]uint64
+	prepared map[txn.ID]*txn.Txn
+	pkeys    map[string]txn.ID // prepared-key write locks
+	applied  map[txn.ID]bool
+}
+
+// System is a running TAPIR deployment.
+type System struct {
+	spec     Spec
+	replicas [][]*replica
+	coords   []*coordinator
+	Aborts   int64
+}
+
+// New builds the deployment.
+func New(spec Spec) *System {
+	if spec.MaxRetries == 0 {
+		spec.MaxRetries = 5
+	}
+	if spec.RetryBackoff == 0 {
+		spec.RetryBackoff = 20 * time.Millisecond
+	}
+	sys := &System{spec: spec}
+	n := 2*spec.F + 1
+	sys.replicas = make([][]*replica, spec.Shards)
+	for s := 0; s < spec.Shards; s++ {
+		sys.replicas[s] = make([]*replica, n)
+		for r := 0; r < n; r++ {
+			node := spec.Net.AddNode(spec.ServerRegion(s, r), nil)
+			rp := &replica{sys: sys, shard: s, rep: r, node: node, st: store.New(),
+				vers: make(map[string]uint64), prepared: make(map[txn.ID]*txn.Txn),
+				pkeys: make(map[string]txn.ID), applied: make(map[txn.ID]bool)}
+			if spec.Seed != nil {
+				spec.Seed(s, rp.st)
+			}
+			node.SetHandler(rp.handle)
+			sys.replicas[s][r] = rp
+		}
+	}
+	for _, reg := range spec.CoordRegions {
+		node := spec.Net.AddNode(reg, nil)
+		co := &coordinator{sys: sys, node: node, idx: int32(len(sys.coords) + 1),
+			pending: make(map[txn.ID]*pending)}
+		node.SetHandler(co.handle)
+		sys.coords = append(sys.coords, co)
+	}
+	return sys
+}
+
+// Start is a no-op.
+func (sys *System) Start() {}
+
+// NumCoords returns the coordinator count.
+func (sys *System) NumCoords() int { return len(sys.coords) }
+
+// Store exposes a replica store (tests).
+func (sys *System) Store(shard, rep int) *store.Store { return sys.replicas[shard][rep].st }
+
+func (sys *System) superQuorum() int { return 1 + sys.spec.F + (sys.spec.F+1)/2 }
+
+// ---- replica ----
+
+func (rp *replica) handle(from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case prepareMsg:
+		rp.onPrepare(m)
+	case decideMsg:
+		rp.onDecide(m)
+	}
+}
+
+// onPrepare runs local OCC validation: reads must be current and no
+// conflicting transaction may be prepared.
+func (rp *replica) onPrepare(m prepareMsg) {
+	piece := m.T.Pieces[rp.shard]
+	rp.node.Work(rp.sys.spec.ExecCost)
+	id := m.T.ID
+	if rp.applied[id] {
+		return
+	}
+	ok := true
+	for _, k := range piece.ReadSet {
+		if owner, locked := rp.pkeys[k]; locked && owner != id {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		for _, k := range piece.WriteSet {
+			if owner, locked := rp.pkeys[k]; locked && owner != id {
+				ok = false
+				break
+			}
+		}
+	}
+	rep := prepareRep{Shard: rp.shard, Replica: rp.rep, ID: id, Try: m.Try, OK: ok}
+	if ok {
+		rp.prepared[id] = m.T
+		for _, k := range piece.WriteSet {
+			rp.pkeys[k] = id
+		}
+		rep.Reads = make(map[string]uint64, len(piece.ReadSet))
+		for _, k := range piece.ReadSet {
+			rep.Reads[k] = rp.vers[k]
+		}
+		ret, _ := executeBuffered(rp.st, piece)
+		rep.Ret = ret
+	}
+	rp.node.Send(m.Coord, rep)
+}
+
+func (rp *replica) onDecide(m decideMsg) {
+	id := m.ID
+	if t, ok := rp.prepared[id]; ok {
+		p := t.Pieces[rp.shard]
+		for _, k := range p.WriteSet {
+			if rp.pkeys[k] == id {
+				delete(rp.pkeys, k)
+			}
+		}
+		delete(rp.prepared, id)
+	}
+	if m.Commit && !rp.applied[id] {
+		rp.applied[id] = true
+		piece := m.T.Pieces[rp.shard]
+		_, writes := executeBuffered(rp.st, piece)
+		for k, v := range writes {
+			rp.st.Seed(k, v)
+			rp.vers[k]++
+		}
+	}
+	if m.Slow {
+		rp.node.Send(m.Coord, decideAck{Shard: rp.shard, Replica: rp.rep, ID: id, Try: m.Try})
+	}
+}
+
+func executeBuffered(st *store.Store, p *txn.Piece) ([]byte, map[string][]byte) {
+	v := &bufView{st: st, writes: make(map[string][]byte)}
+	ret := p.Exec(v)
+	return ret, v.writes
+}
+
+type bufView struct {
+	st     *store.Store
+	writes map[string][]byte
+}
+
+func (v *bufView) Get(k string) []byte {
+	if w, ok := v.writes[k]; ok {
+		return w
+	}
+	return v.st.Get(k)
+}
+
+func (v *bufView) Put(k string, val []byte) { v.writes[k] = val }
+
+// ---- coordinator ----
+
+type pending struct {
+	t       *txn.Txn
+	done    func(txn.Result)
+	votes   map[int]map[int]prepareRep // shard -> replica -> vote
+	acks    map[int]map[int]bool
+	rets    map[int][]byte
+	slow    bool
+	decided bool
+	retries int
+}
+
+type coordinator struct {
+	sys     *System
+	node    *simnet.Node
+	idx     int32
+	seq     uint64
+	pending map[txn.ID]*pending
+}
+
+// Submit runs TAPIR's prepare/decide protocol for t.
+func (sys *System) Submit(coord int, t *txn.Txn, done func(txn.Result)) {
+	sys.coords[coord].submit(t, done, 0)
+}
+
+func (co *coordinator) submit(t *txn.Txn, done func(txn.Result), retries int) {
+	co.seq++
+	t.ID = txn.ID{Coord: co.idx, Seq: co.seq}
+	p := &pending{t: t, done: done, retries: retries,
+		votes: make(map[int]map[int]prepareRep), acks: make(map[int]map[int]bool)}
+	co.pending[t.ID] = p
+	m := prepareMsg{T: t, Coord: co.node.ID(), Try: retries}
+	for _, sh := range t.Shards() {
+		for r := 0; r < 2*co.sys.spec.F+1; r++ {
+			co.node.Send(co.sys.replicas[sh][r].node.ID(), m)
+		}
+	}
+}
+
+func (co *coordinator) handle(from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case prepareRep:
+		co.onVote(m)
+	case decideAck:
+		co.onAck(m)
+	}
+}
+
+func (co *coordinator) onVote(m prepareRep) {
+	p := co.pending[m.ID]
+	if p == nil || p.decided || m.Try != p.retries {
+		return
+	}
+	byRep := p.votes[m.Shard]
+	if byRep == nil {
+		byRep = make(map[int]prepareRep)
+		p.votes[m.Shard] = byRep
+	}
+	byRep[m.Replica] = m
+	co.evaluate(p)
+}
+
+func (co *coordinator) evaluate(p *pending) {
+	n := 2*co.sys.spec.F + 1
+	sq := co.sys.superQuorum()
+	allFast, anyAbortQuorum, complete := true, false, true
+	for _, sh := range p.t.Shards() {
+		votes := p.votes[sh]
+		oks, nos := 0, 0
+		for _, v := range votes {
+			if v.OK {
+				oks++
+			} else {
+				nos++
+			}
+		}
+		switch {
+		case oks >= sq:
+			// fast OK on this shard
+		case nos >= co.sys.spec.F+1:
+			anyAbortQuorum = true
+		case oks >= co.sys.spec.F+1 && len(votes) == n:
+			allFast = false // classic quorum only: slow path required
+		default:
+			complete = false
+		}
+	}
+	if anyAbortQuorum {
+		co.decide(p, false)
+		return
+	}
+	if !complete {
+		return
+	}
+	co.decideSlowOrFast(p, allFast)
+}
+
+func (co *coordinator) decideSlowOrFast(p *pending, fast bool) {
+	p.slow = !fast
+	co.decide(p, true)
+}
+
+// decide broadcasts the decision; the slow path waits for f+1 acks per shard
+// before reporting commit (one extra round trip).
+func (co *coordinator) decide(p *pending, commit bool) {
+	p.decided = true
+	rets := make(map[int][]byte)
+	if commit {
+		for _, sh := range p.t.Shards() {
+			// Use the execution result from any PREPARE-OK vote.
+			for _, v := range p.votes[sh] {
+				if v.OK {
+					rets[sh] = v.Ret
+					break
+				}
+			}
+		}
+	}
+	m := decideMsg{ID: p.t.ID, T: p.t, Commit: commit, Slow: p.slow, Coord: co.node.ID(), Try: p.retries}
+	for _, sh := range p.t.Shards() {
+		for r := 0; r < 2*co.sys.spec.F+1; r++ {
+			co.node.Send(co.sys.replicas[sh][r].node.ID(), m)
+		}
+	}
+	if !commit {
+		delete(co.pending, p.t.ID)
+		if p.retries >= co.sys.spec.MaxRetries {
+			co.sys.Aborts++
+			p.done(txn.Result{Aborted: true, Retries: p.retries})
+			return
+		}
+		backoff := co.sys.spec.RetryBackoff * time.Duration(p.retries+1)
+		co.node.After(backoff, func() { co.submit(p.t, p.done, p.retries+1) })
+		return
+	}
+	if !p.slow {
+		delete(co.pending, p.t.ID)
+		p.done(txn.Result{OK: true, FastPath: true, Retries: p.retries, PerShard: rets})
+		return
+	}
+	// Slow path: wait for f+1 acks per shard.
+	p.rets = rets
+}
+
+func (co *coordinator) onAck(m decideAck) {
+	p := co.pending[m.ID]
+	if p == nil || m.Try != p.retries {
+		return
+	}
+	byRep := p.acks[m.Shard]
+	if byRep == nil {
+		byRep = make(map[int]bool)
+		p.acks[m.Shard] = byRep
+	}
+	byRep[m.Replica] = true
+	for _, sh := range p.t.Shards() {
+		if len(p.acks[sh]) < co.sys.spec.F+1 {
+			return
+		}
+	}
+	delete(co.pending, m.ID)
+	p.done(txn.Result{OK: true, FastPath: false, Retries: p.retries, PerShard: p.rets})
+}

@@ -1,0 +1,125 @@
+package tapir
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tiga/internal/simnet"
+	"tiga/internal/store"
+	"tiga/internal/txn"
+)
+
+func build(t *testing.T, seed int64) (*simnet.Sim, *System) {
+	t.Helper()
+	sim := simnet.NewSim(seed)
+	net := simnet.NewNetwork(sim, simnet.GeoConfig(500*time.Microsecond, 0))
+	sys := New(Spec{
+		Shards: 2, F: 1, Net: net,
+		ServerRegion: func(_, r int) simnet.Region { return simnet.Region(r) },
+		CoordRegions: []simnet.Region{0},
+		Seed: func(shard int, st *store.Store) {
+			for i := 0; i < 8; i++ {
+				st.Seed(fmt.Sprintf("t%d-%d", shard, i), txn.EncodeInt(0))
+			}
+		},
+		ExecCost: time.Microsecond,
+	})
+	sys.Start()
+	return sim, sys
+}
+
+func tx(i int) *txn.Txn {
+	return &txn.Txn{Pieces: map[int]*txn.Piece{
+		0: txn.IncrementPiece(fmt.Sprintf("t0-%d", i)),
+		1: txn.IncrementPiece(fmt.Sprintf("t1-%d", i)),
+	}}
+}
+
+// TestFastPathOneWRTT: an uncontended transaction commits on the fast path
+// in one wide-area round trip to the farthest replica.
+func TestFastPathOneWRTT(t *testing.T) {
+	sim, sys := build(t, 1)
+	var res *txn.Result
+	var lat time.Duration
+	sim.At(50*time.Millisecond, func() {
+		s := sim.Now()
+		sys.Submit(0, tx(0), func(r txn.Result) { res, lat = &r, sim.Now()-s })
+	})
+	sim.Run(3 * time.Second)
+	if res == nil || !res.OK {
+		t.Fatal("no commit")
+	}
+	if !res.FastPath {
+		t.Fatal("uncontended prepare should take the fast path")
+	}
+	// Farthest replica from SC is Brazil (62 ms OWD): ~124 ms RTT.
+	if lat < 120*time.Millisecond || lat > 180*time.Millisecond {
+		t.Fatalf("fast-path latency %v, want ~1 WRTT (124ms)", lat)
+	}
+}
+
+// TestConflictAborts: simultaneous conflicting prepares make replicas vote
+// against the later arrival; it aborts and retries.
+func TestConflictAborts(t *testing.T) {
+	sim, sys := build(t, 2)
+	hot := func() *txn.Txn {
+		return &txn.Txn{Pieces: map[int]*txn.Piece{
+			0: txn.IncrementPiece("t0-0"),
+			1: txn.IncrementPiece("t1-0"),
+		}}
+	}
+	committed, retried := 0, 0
+	for i := 0; i < 10; i++ {
+		i := i
+		sim.At(time.Duration(50+i)*time.Millisecond, func() {
+			sys.Submit(0, hot(), func(r txn.Result) {
+				if r.OK {
+					committed++
+					retried += r.Retries
+				}
+			})
+		})
+	}
+	sim.Run(10 * time.Second)
+	if committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if retried == 0 {
+		t.Fatal("conflicting prepares should force aborts and retries")
+	}
+	// Exactly-once on commits.
+	if got := txn.DecodeInt(sys.Store(0, 0).Get("t0-0")); got != int64(committed) {
+		t.Fatalf("t0-0 = %d, want %d", got, committed)
+	}
+}
+
+func TestReplicasConverge(t *testing.T) {
+	sim, sys := build(t, 3)
+	n := 6
+	done := 0
+	for i := 0; i < n; i++ {
+		i := i
+		sim.At(time.Duration(50+i*40)*time.Millisecond, func() {
+			sys.Submit(0, tx(i), func(r txn.Result) {
+				if r.OK {
+					done++
+				}
+			})
+		})
+	}
+	sim.Run(5 * time.Second)
+	if done != n {
+		t.Fatalf("committed %d of %d", done, n)
+	}
+	for sh := 0; sh < 2; sh++ {
+		for rep := 1; rep < 3; rep++ {
+			for i := 0; i < n; i++ {
+				k := fmt.Sprintf("t%d-%d", sh, i)
+				if string(sys.Store(sh, 0).Get(k)) != string(sys.Store(sh, rep).Get(k)) {
+					t.Fatalf("shard %d replica %d diverges on %s", sh, rep, k)
+				}
+			}
+		}
+	}
+}

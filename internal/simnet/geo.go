@@ -1,0 +1,58 @@
+package simnet
+
+import "time"
+
+// The paper's deployment: servers replicated across South Carolina (us-east1),
+// Finland (europe-north1), and Brazil (southamerica-east1), plus remote
+// coordinators in Hong Kong (asia-east2). The one-way delays below are
+// calibrated to public GCP inter-region RTT measurements and match the
+// paper's statement that cross-region delays range from 60 ms to 150 ms.
+const (
+	RegionSouthCarolina Region = iota
+	RegionFinland
+	RegionBrazil
+	RegionHongKong
+	NumGeoRegions
+)
+
+// RegionName returns a human-readable region name.
+func RegionName(r Region) string {
+	switch r {
+	case RegionSouthCarolina:
+		return "South Carolina"
+	case RegionFinland:
+		return "Finland"
+	case RegionBrazil:
+		return "Brazil"
+	case RegionHongKong:
+		return "Hong Kong"
+	}
+	return "Unknown"
+}
+
+// LANDelay is the intra-region one-way delay.
+const LANDelay = 250 * time.Microsecond
+
+// GeoOWD returns the 4-region one-way delay matrix used by every experiment.
+func GeoOWD(jitter time.Duration) [][]Latency {
+	ms := func(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+	sc, fi, br, hk := RegionSouthCarolina, RegionFinland, RegionBrazil, RegionHongKong
+	owd := make([][]time.Duration, NumGeoRegions)
+	for i := range owd {
+		owd[i] = make([]time.Duration, NumGeoRegions)
+		owd[i][i] = LANDelay
+	}
+	set := func(a, b Region, d time.Duration) { owd[a][b], owd[b][a] = d, d }
+	set(sc, fi, ms(55))  // ~110 ms RTT
+	set(sc, br, ms(62))  // ~124 ms RTT
+	set(fi, br, ms(105)) // ~210 ms RTT
+	set(hk, sc, ms(100)) // ~200 ms RTT
+	set(hk, fi, ms(92))  // ~184 ms RTT
+	set(hk, br, ms(150)) // ~300 ms RTT
+	return SymmetricOWD(owd, jitter)
+}
+
+// GeoConfig is the standard 4-region WAN used throughout the evaluation.
+func GeoConfig(jitter time.Duration, loss float64) Config {
+	return Config{OWD: GeoOWD(jitter), LossRate: loss, DefaultCost: time.Microsecond}
+}

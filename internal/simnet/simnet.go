@@ -1,0 +1,360 @@
+// Package simnet provides a deterministic discrete-event network simulator.
+//
+// It substitutes for the paper's Google Cloud geo-distributed testbed: nodes
+// are placed in regions, messages between regions experience configurable
+// one-way delays (OWDs) with jitter and loss, and each node is modeled as a
+// single-server queue so that per-message CPU cost translates into throughput
+// limits. All randomness flows from one seeded source, so every run is
+// reproducible.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// NodeID identifies a node in the simulated network.
+type NodeID int
+
+// Region identifies a geographic region (datacenter).
+type Region int
+
+// Message is an opaque payload delivered between nodes. Protocols define
+// their own message structs; the simulator never inspects them.
+type Message any
+
+// Handler processes a message delivered to a node.
+type Handler func(from NodeID, msg Message)
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)    { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any      { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() event    { return h[0] }
+func (h eventHeap) String() string { return fmt.Sprintf("eventHeap(len=%d)", len(h)) }
+
+// Sim is the discrete-event simulation core: a virtual clock plus an ordered
+// event queue. Events scheduled for the same instant run in scheduling order,
+// which keeps runs deterministic.
+type Sim struct {
+	now  time.Duration
+	heap eventHeap
+	seq  uint64
+	rng  *rand.Rand
+}
+
+// NewSim returns a simulator whose randomness is derived from seed.
+func NewSim(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand exposes the simulator's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at virtual time t. Times in the past run "now".
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.heap, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// Step runs the next pending event. It reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.heap).(event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until virtual time passes `until` or the queue drains.
+func (s *Sim) Run(until time.Duration) {
+	for len(s.heap) > 0 && s.heap.Peek().at <= until {
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunAll drains every pending event (useful in tests). The limit guards
+// against livelock from self-rescheduling timers.
+func (s *Sim) RunAll(limit int) {
+	for i := 0; i < limit && s.Step(); i++ {
+	}
+}
+
+// Latency describes the one-way delay distribution of a link.
+type Latency struct {
+	Base   time.Duration // median one-way delay
+	Jitter time.Duration // uniform jitter in [0, Jitter)
+}
+
+func (l Latency) sample(rng *rand.Rand) time.Duration {
+	if l.Jitter <= 0 {
+		return l.Base
+	}
+	return l.Base + time.Duration(rng.Int63n(int64(l.Jitter)))
+}
+
+// Config describes the simulated WAN topology.
+type Config struct {
+	// OWD[a][b] is the one-way delay from region a to region b.
+	OWD [][]Latency
+	// LossRate is the probability a message is silently dropped.
+	LossRate float64
+	// DefaultCost is the CPU service time charged per delivered message in
+	// addition to any explicit Work calls by the handler.
+	DefaultCost time.Duration
+}
+
+// Network delivers messages between nodes placed in regions.
+type Network struct {
+	sim     *Sim
+	cfg     Config
+	nodes   []*Node
+	blocked map[[2]NodeID]bool
+	// Stats
+	Sent    int64
+	Dropped int64
+}
+
+// NewNetwork creates a network on top of sim.
+func NewNetwork(sim *Sim, cfg Config) *Network {
+	if cfg.DefaultCost <= 0 {
+		cfg.DefaultCost = time.Microsecond
+	}
+	return &Network{sim: sim, cfg: cfg, blocked: make(map[[2]NodeID]bool)}
+}
+
+// Sim returns the underlying simulator.
+func (n *Network) Sim() *Sim { return n.sim }
+
+// AddNode registers a node in a region with a message handler and returns it.
+// The handler may be nil and installed later with SetHandler.
+func (n *Network) AddNode(region Region, h Handler) *Node {
+	nd := &Node{id: NodeID(len(n.nodes)), region: region, net: n, handler: h, cost: n.cfg.DefaultCost}
+	n.nodes = append(n.nodes, nd)
+	return nd
+}
+
+// Node returns the node with the given id.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+
+// NumNodes returns how many nodes are registered.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// BlockPair drops all traffic between a and b (both directions) until
+// UnblockPair is called; it models a network partition between two nodes.
+func (n *Network) BlockPair(a, b NodeID) {
+	n.blocked[[2]NodeID{a, b}] = true
+	n.blocked[[2]NodeID{b, a}] = true
+}
+
+// UnblockPair restores traffic between a and b.
+func (n *Network) UnblockPair(a, b NodeID) {
+	delete(n.blocked, [2]NodeID{a, b})
+	delete(n.blocked, [2]NodeID{b, a})
+}
+
+// Isolate blocks traffic between node a and every other node.
+func (n *Network) Isolate(a NodeID) {
+	for _, nd := range n.nodes {
+		if nd.id != a {
+			n.BlockPair(a, nd.id)
+		}
+	}
+}
+
+// Heal removes all pairwise blocks involving node a.
+func (n *Network) Heal(a NodeID) {
+	for _, nd := range n.nodes {
+		if nd.id != a {
+			n.UnblockPair(a, nd.id)
+		}
+	}
+}
+
+// Delay samples the one-way delay from node a to node b.
+func (n *Network) Delay(a, b NodeID) time.Duration {
+	ra, rb := n.nodes[a].region, n.nodes[b].region
+	return n.cfg.OWD[ra][rb].sample(n.sim.rng)
+}
+
+// BaseOWD returns the configured median one-way delay between two regions.
+func (n *Network) BaseOWD(a, b Region) time.Duration { return n.cfg.OWD[a][b].Base }
+
+// Send delivers msg from -> to after the link's sampled one-way delay.
+// Messages depart no earlier than the sender finishes its current CPU work.
+func (n *Network) Send(from, to NodeID, msg Message) {
+	src, dst := n.nodes[from], n.nodes[to]
+	if src.down || dst.down || n.blocked[[2]NodeID{from, to}] {
+		n.Dropped++
+		return
+	}
+	if n.cfg.LossRate > 0 && n.sim.rng.Float64() < n.cfg.LossRate {
+		n.Dropped++
+		return
+	}
+	n.Sent++
+	depart := n.sim.now
+	if src.busyUntil > depart {
+		depart = src.busyUntil
+	}
+	arrive := depart + n.cfg.OWD[src.region][dst.region].sample(n.sim.rng)
+	n.sim.At(arrive, func() { dst.receive(from, msg) })
+}
+
+// Node is a simulated machine: it has a region, a message handler, and a
+// single-server CPU queue. Delivered messages and timers are serviced in
+// order; each charges at least the node's per-message cost, and handlers can
+// charge extra via Work.
+type Node struct {
+	id        NodeID
+	region    Region
+	net       *Network
+	handler   Handler
+	cost      time.Duration
+	busyUntil time.Duration
+	down      bool
+	epoch     int // incremented on crash to cancel in-flight timers
+}
+
+// ID returns the node's network identifier.
+func (nd *Node) ID() NodeID { return nd.id }
+
+// Region returns the node's region.
+func (nd *Node) Region() Region { return nd.region }
+
+// SetHandler installs the message handler (for construction cycles).
+func (nd *Node) SetHandler(h Handler) { nd.handler = h }
+
+// SetCost overrides the per-message CPU cost for this node.
+func (nd *Node) SetCost(d time.Duration) { nd.cost = d }
+
+// Down reports whether the node is crashed.
+func (nd *Node) Down() bool { return nd.down }
+
+// Crash stops the node: all queued and future deliveries and timers are
+// dropped until Restart.
+func (nd *Node) Crash() {
+	nd.down = true
+	nd.epoch++
+}
+
+// Restart brings a crashed node back (protocol-level recovery is up to the
+// protocol; the simulator only resumes delivery).
+func (nd *Node) Restart() {
+	nd.down = false
+	nd.epoch++
+	nd.busyUntil = nd.net.sim.now
+}
+
+// Work charges d of CPU time to the node, delaying subsequent message
+// processing and the departure of messages sent later in this handler.
+func (nd *Node) Work(d time.Duration) { nd.busyUntil += d }
+
+// Busy returns the time until which the node's CPU is occupied.
+func (nd *Node) Busy() time.Duration { return nd.busyUntil }
+
+// Send sends a message from this node.
+func (nd *Node) Send(to NodeID, msg Message) { nd.net.Send(nd.id, to, msg) }
+
+// After schedules fn to run on this node's CPU after d. The timer dies if the
+// node crashes before it fires.
+func (nd *Node) After(d time.Duration, fn func()) {
+	epoch := nd.epoch
+	nd.net.sim.After(d, func() {
+		if nd.down || nd.epoch != epoch {
+			return
+		}
+		nd.runOnCPU(fn)
+	})
+}
+
+// Every schedules fn to run every interval until the node crashes or fn
+// returns false.
+func (nd *Node) Every(interval time.Duration, fn func() bool) {
+	epoch := nd.epoch
+	var tick func()
+	tick = func() {
+		if nd.down || nd.epoch != epoch {
+			return
+		}
+		cont := true
+		nd.runOnCPU(func() { cont = fn() })
+		if cont {
+			nd.net.sim.After(interval, tick)
+		}
+	}
+	nd.net.sim.After(interval, tick)
+}
+
+func (nd *Node) receive(from NodeID, msg Message) {
+	if nd.down || nd.handler == nil {
+		return
+	}
+	nd.runOnCPU(func() { nd.handler(from, msg) })
+}
+
+// runOnCPU serializes execution through the node's single-server queue:
+// fn starts when the CPU frees up and reserves the base per-message cost.
+func (nd *Node) runOnCPU(fn func()) {
+	sim := nd.net.sim
+	start := sim.now
+	if nd.busyUntil > start {
+		start = nd.busyUntil
+	}
+	nd.busyUntil = start + nd.cost
+	epoch := nd.epoch
+	if start == sim.now {
+		fn()
+		return
+	}
+	sim.At(start, func() {
+		if nd.down || nd.epoch != epoch {
+			return
+		}
+		fn()
+	})
+}
+
+// SymmetricOWD builds an OWD matrix from a symmetric distance table expressed
+// as one-way delays, applying the same jitter to every link.
+func SymmetricOWD(owd [][]time.Duration, jitter time.Duration) [][]Latency {
+	n := len(owd)
+	m := make([][]Latency, n)
+	for i := range m {
+		m[i] = make([]Latency, n)
+		for j := range m[i] {
+			m[i][j] = Latency{Base: owd[i][j], Jitter: jitter}
+		}
+	}
+	return m
+}

@@ -1,0 +1,248 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimEventOrdering(t *testing.T) {
+	s := NewSim(1)
+	var got []int
+	s.At(3*time.Millisecond, func() { got = append(got, 3) })
+	s.At(1*time.Millisecond, func() { got = append(got, 1) })
+	s.At(2*time.Millisecond, func() { got = append(got, 2) })
+	s.At(1*time.Millisecond, func() { got = append(got, 10) }) // same time: FIFO
+	s.Run(time.Second)
+	want := []int{1, 10, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSimAfterAndNow(t *testing.T) {
+	s := NewSim(1)
+	var at time.Duration
+	s.After(5*time.Millisecond, func() {
+		at = s.Now()
+		s.After(7*time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run(time.Second)
+	if at != 12*time.Millisecond {
+		t.Fatalf("nested After fired at %v, want 12ms", at)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("Run should advance to the limit; now=%v", s.Now())
+	}
+}
+
+func TestSimPastEventRunsNow(t *testing.T) {
+	s := NewSim(1)
+	s.After(time.Millisecond, func() {
+		fired := false
+		s.At(0, func() { fired = true })
+		s.Step()
+		if !fired {
+			t.Error("past-scheduled event did not run immediately")
+		}
+	})
+	s.Run(time.Second)
+}
+
+func twoNodeNet(t *testing.T, cfg Config) (*Sim, *Network, *Node, *Node, *[]time.Duration) {
+	t.Helper()
+	s := NewSim(42)
+	n := NewNetwork(s, cfg)
+	var arrivals []time.Duration
+	a := n.AddNode(0, nil)
+	b := n.AddNode(1, func(from NodeID, msg Message) { arrivals = append(arrivals, s.Now()) })
+	return s, n, a, b, &arrivals
+}
+
+func TestNetworkDelay(t *testing.T) {
+	cfg := Config{OWD: SymmetricOWD([][]time.Duration{
+		{time.Millisecond, 10 * time.Millisecond},
+		{10 * time.Millisecond, time.Millisecond},
+	}, 0)}
+	s, _, a, b, arrivals := twoNodeNet(t, cfg)
+	a.Send(b.ID(), "hello")
+	s.Run(time.Second)
+	if len(*arrivals) != 1 || (*arrivals)[0] != 10*time.Millisecond {
+		t.Fatalf("arrivals = %v, want [10ms]", *arrivals)
+	}
+}
+
+func TestNetworkJitterBounds(t *testing.T) {
+	jit := 2 * time.Millisecond
+	cfg := Config{OWD: SymmetricOWD([][]time.Duration{
+		{0, 10 * time.Millisecond},
+		{10 * time.Millisecond, 0},
+	}, jit)}
+	s, _, a, b, arrivals := twoNodeNet(t, cfg)
+	for i := 0; i < 100; i++ {
+		a.Send(b.ID(), i)
+	}
+	s.Run(time.Second)
+	if len(*arrivals) != 100 {
+		t.Fatalf("got %d arrivals", len(*arrivals))
+	}
+	for _, at := range *arrivals {
+		if at < 10*time.Millisecond || at >= 10*time.Millisecond+jit {
+			t.Fatalf("arrival %v outside [10ms, 12ms)", at)
+		}
+	}
+}
+
+func TestNetworkLoss(t *testing.T) {
+	cfg := Config{LossRate: 0.5, OWD: SymmetricOWD([][]time.Duration{
+		{time.Millisecond, time.Millisecond},
+		{time.Millisecond, time.Millisecond},
+	}, 0)}
+	s, n, a, b, arrivals := twoNodeNet(t, cfg)
+	for i := 0; i < 1000; i++ {
+		a.Send(b.ID(), i)
+	}
+	s.Run(time.Second)
+	got := len(*arrivals)
+	if got < 350 || got > 650 {
+		t.Fatalf("with 50%% loss, got %d of 1000", got)
+	}
+	if n.Dropped != int64(1000-got) {
+		t.Fatalf("dropped counter %d, want %d", n.Dropped, 1000-got)
+	}
+}
+
+func TestNodeCrashDropsTraffic(t *testing.T) {
+	cfg := Config{OWD: SymmetricOWD([][]time.Duration{
+		{time.Millisecond, time.Millisecond},
+		{time.Millisecond, time.Millisecond},
+	}, 0)}
+	s, _, a, b, arrivals := twoNodeNet(t, cfg)
+	a.Send(b.ID(), 1)
+	s.Run(10 * time.Millisecond)
+	b.Crash()
+	a.Send(b.ID(), 2)
+	s.Run(20 * time.Millisecond)
+	b.Restart()
+	a.Send(b.ID(), 3)
+	s.Run(40 * time.Millisecond)
+	if len(*arrivals) != 2 {
+		t.Fatalf("crashed node received %d messages, want 2", len(*arrivals))
+	}
+}
+
+func TestCrashCancelsTimers(t *testing.T) {
+	s := NewSim(1)
+	n := NewNetwork(s, Config{OWD: SymmetricOWD([][]time.Duration{{0}}, 0)})
+	nd := n.AddNode(0, nil)
+	fired := 0
+	nd.After(5*time.Millisecond, func() { fired++ })
+	nd.Every(3*time.Millisecond, func() bool { fired++; return true })
+	s.Run(4 * time.Millisecond) // one Every tick fires
+	nd.Crash()
+	s.Run(100 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("timers fired %d times after crash, want 1", fired)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	cfg := Config{OWD: SymmetricOWD([][]time.Duration{
+		{time.Millisecond, time.Millisecond},
+		{time.Millisecond, time.Millisecond},
+	}, 0)}
+	s, n, a, b, arrivals := twoNodeNet(t, cfg)
+	n.BlockPair(a.ID(), b.ID())
+	a.Send(b.ID(), 1)
+	s.Run(10 * time.Millisecond)
+	n.UnblockPair(a.ID(), b.ID())
+	a.Send(b.ID(), 2)
+	s.Run(20 * time.Millisecond)
+	if len(*arrivals) != 1 {
+		t.Fatalf("partition leaked: %d arrivals, want 1", len(*arrivals))
+	}
+}
+
+// TestCPUSerialization: a node is a single-server queue; two messages
+// arriving together are serviced back to back, and Work extends occupancy.
+func TestCPUSerialization(t *testing.T) {
+	s := NewSim(1)
+	cfg := Config{DefaultCost: time.Millisecond, OWD: SymmetricOWD([][]time.Duration{
+		{time.Millisecond, time.Millisecond},
+		{time.Millisecond, time.Millisecond},
+	}, 0)}
+	n := NewNetwork(s, cfg)
+	var served []time.Duration
+	a := n.AddNode(0, nil)
+	b := n.AddNode(0, func(from NodeID, msg Message) {
+		served = append(served, s.Now())
+		if msg == 0 {
+			b := n.Node(1)
+			b.Work(5 * time.Millisecond)
+		}
+	})
+	_ = b
+	a.Send(1, 0)
+	a.Send(1, 1)
+	a.Send(1, 2)
+	s.Run(time.Second)
+	if len(served) != 3 {
+		t.Fatalf("served %d", len(served))
+	}
+	// msg0 at 1ms; msg1 must wait base cost (1ms) + Work (5ms) => 7ms;
+	// msg2 at 8ms.
+	if served[1] != 7*time.Millisecond || served[2] != 8*time.Millisecond {
+		t.Fatalf("service times %v; want [1ms 7ms 8ms]", served)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		s := NewSim(77)
+		n := NewNetwork(s, GeoConfig(time.Millisecond, 0.1))
+		var arrivals []time.Duration
+		a := n.AddNode(RegionSouthCarolina, nil)
+		n.AddNode(RegionHongKong, func(from NodeID, msg Message) { arrivals = append(arrivals, s.Now()) })
+		for i := 0; i < 50; i++ {
+			a.Send(1, i)
+		}
+		s.Run(time.Second)
+		return arrivals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic arrival count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic arrival %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeoConfigSymmetry(t *testing.T) {
+	n := NewNetwork(NewSim(1), GeoConfig(0, 0))
+	for a := Region(0); a < NumGeoRegions; a++ {
+		for b := Region(0); b < NumGeoRegions; b++ {
+			if n.BaseOWD(a, b) != n.BaseOWD(b, a) {
+				t.Errorf("asymmetric OWD %v<->%v", RegionName(a), RegionName(b))
+			}
+		}
+		if n.BaseOWD(a, a) != LANDelay {
+			t.Errorf("intra-region OWD for %v = %v, want %v", RegionName(a), n.BaseOWD(a, a), LANDelay)
+		}
+	}
+	// The paper: cross-region delays range from tens to ~150 ms.
+	for a := Region(0); a < NumGeoRegions; a++ {
+		for b := Region(0); b < NumGeoRegions; b++ {
+			if a == b {
+				continue
+			}
+			d := n.BaseOWD(a, b)
+			if d < 50*time.Millisecond || d > 160*time.Millisecond {
+				t.Errorf("OWD %v->%v = %v outside the paper's range", RegionName(a), RegionName(b), d)
+			}
+		}
+	}
+}

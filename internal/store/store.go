@@ -1,0 +1,171 @@
+// Package store implements the per-shard multi-version key-value store.
+//
+// Tiga's optimistic execution creates new versions of data items; when
+// timestamp agreement invalidates an execution (Case-3, §3.5), the versions
+// written by that transaction are revoked. Because conflicting transactions
+// are blocked while a transaction is at the head of the queue, a revoked
+// transaction's versions are always the newest version of each key it wrote,
+// so revocation never cascades.
+package store
+
+import (
+	"sort"
+
+	"tiga/internal/txn"
+)
+
+type version struct {
+	writer txn.ID
+	ts     txn.Timestamp
+	val    []byte
+}
+
+// Store is a multi-version key-value store for one shard.
+type Store struct {
+	data    map[string][]version
+	pending map[txn.ID][]string // uncommitted writer -> keys written
+	// Executed tracks at-most-once execution (paper Appendix B).
+	executed map[txn.ID]bool
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		data:     make(map[string][]version),
+		pending:  make(map[txn.ID][]string),
+		executed: make(map[txn.ID]bool),
+	}
+}
+
+// Get returns the newest version of key, or nil when absent.
+func (s *Store) Get(key string) []byte {
+	vs := s.data[key]
+	if len(vs) == 0 {
+		return nil
+	}
+	return vs[len(vs)-1].val
+}
+
+// Seed installs an initial committed value (workload pre-population).
+func (s *Store) Seed(key string, val []byte) {
+	s.data[key] = []version{{val: val}}
+}
+
+// Len returns the number of keys present.
+func (s *Store) Len() int { return len(s.data) }
+
+// Executed reports whether the transaction already executed here.
+func (s *Store) Executed(id txn.ID) bool { return s.executed[id] }
+
+type txnView struct {
+	s      *Store
+	writer txn.ID
+	ts     txn.Timestamp
+	keys   []string
+}
+
+func (v *txnView) Get(key string) []byte { return v.s.Get(key) }
+
+func (v *txnView) Put(key string, val []byte) {
+	v.s.data[key] = append(v.s.data[key], version{writer: v.writer, ts: v.ts, val: val})
+	v.keys = append(v.keys, key)
+}
+
+// Execute runs a piece as transaction id at timestamp ts, creating pending
+// versions for its writes. It enforces at-most-once execution: re-executing
+// an id that already ran is a no-op returning nil, unless it was revoked.
+func (s *Store) Execute(id txn.ID, ts txn.Timestamp, p *txn.Piece) []byte {
+	if s.executed[id] {
+		return nil
+	}
+	view := &txnView{s: s, writer: id, ts: ts}
+	out := p.Exec(view)
+	if len(view.keys) > 0 {
+		s.pending[id] = view.keys
+	}
+	s.executed[id] = true
+	return out
+}
+
+// Revoke erases all pending versions written by id so the transaction can be
+// re-executed later with a corrected timestamp.
+func (s *Store) Revoke(id txn.ID) {
+	keys := s.pending[id]
+	for _, k := range keys {
+		vs := s.data[k]
+		// The revoked version is at (or near) the top: conflicting writers
+		// were blocked while this transaction was outstanding.
+		for i := len(vs) - 1; i >= 0; i-- {
+			if vs[i].writer == id {
+				vs = append(vs[:i], vs[i+1:]...)
+				break
+			}
+		}
+		if len(vs) == 0 {
+			delete(s.data, k)
+		} else {
+			s.data[k] = vs
+		}
+	}
+	delete(s.pending, id)
+	delete(s.executed, id)
+}
+
+// Commit finalizes id's writes: its versions become durable and older
+// versions of those keys are garbage-collected.
+func (s *Store) Commit(id txn.ID) {
+	keys := s.pending[id]
+	for _, k := range keys {
+		vs := s.data[k]
+		if len(vs) > 1 {
+			top := vs[len(vs)-1]
+			if top.writer == id {
+				s.data[k] = []version{top}
+			}
+		}
+	}
+	delete(s.pending, id)
+}
+
+// Snapshot deep-copies the store — the checkpoint mechanism used to
+// accelerate failure recovery (§4).
+func (s *Store) Snapshot() *Store {
+	cp := New()
+	for k, vs := range s.data {
+		nvs := make([]version, len(vs))
+		copy(nvs, vs)
+		cp.data[k] = nvs
+	}
+	for id, keys := range s.pending {
+		cp.pending[id] = append([]string(nil), keys...)
+	}
+	for id := range s.executed {
+		cp.executed[id] = true
+	}
+	return cp
+}
+
+// Keys returns all keys in sorted order (test/debug helper).
+func (s *Store) Keys() []string {
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports whether two stores hold identical newest values — used by
+// replica-consistency checks in tests.
+func (s *Store) Equal(o *Store) bool {
+	if len(s.data) != len(o.data) {
+		return false
+	}
+	for k := range s.data {
+		a, b := s.Get(k), o.Get(k)
+		if string(a) != string(b) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tiga/internal/txn"
+)
+
+func ts(n int64) txn.Timestamp { return txn.Timestamp{Time: time.Duration(n)} }
+func id(n uint64) txn.ID       { return txn.ID{Coord: 1, Seq: n} }
+
+func TestSeedAndGet(t *testing.T) {
+	s := New()
+	if s.Get("x") != nil {
+		t.Fatal("missing key should be nil")
+	}
+	s.Seed("x", txn.EncodeInt(7))
+	if txn.DecodeInt(s.Get("x")) != 7 {
+		t.Fatal("Seed/Get")
+	}
+}
+
+func TestExecuteAtMostOnce(t *testing.T) {
+	s := New()
+	s.Seed("x", txn.EncodeInt(0))
+	p := txn.IncrementPiece("x")
+	s.Execute(id(1), ts(1), p)
+	s.Execute(id(1), ts(1), p) // duplicate: must be a no-op
+	if got := txn.DecodeInt(s.Get("x")); got != 1 {
+		t.Fatalf("x = %d after duplicate execute, want 1", got)
+	}
+	if !s.Executed(id(1)) {
+		t.Fatal("Executed should report true")
+	}
+}
+
+func TestRevokeRestoresState(t *testing.T) {
+	s := New()
+	s.Seed("x", txn.EncodeInt(10))
+	s.Execute(id(1), ts(1), txn.IncrementPiece("x"))
+	if txn.DecodeInt(s.Get("x")) != 11 {
+		t.Fatal("execute failed")
+	}
+	s.Revoke(id(1))
+	if txn.DecodeInt(s.Get("x")) != 10 {
+		t.Fatal("revoke did not restore the previous version")
+	}
+	if s.Executed(id(1)) {
+		t.Fatal("revoked txn must be re-executable")
+	}
+	// Re-execution after revoke works (Case-3 §3.5).
+	s.Execute(id(1), ts(5), txn.IncrementPiece("x"))
+	if txn.DecodeInt(s.Get("x")) != 11 {
+		t.Fatal("re-execution failed")
+	}
+}
+
+func TestRevokeBlindWriteRemovesKey(t *testing.T) {
+	s := New()
+	s.Execute(id(2), ts(1), txn.WritePiece("fresh", txn.EncodeInt(5)))
+	if s.Get("fresh") == nil {
+		t.Fatal("write missing")
+	}
+	s.Revoke(id(2))
+	if s.Get("fresh") != nil {
+		t.Fatal("revoking the only version should delete the key")
+	}
+}
+
+func TestCommitGCsVersions(t *testing.T) {
+	s := New()
+	s.Seed("x", txn.EncodeInt(0))
+	for i := uint64(1); i <= 10; i++ {
+		s.Execute(id(i), ts(int64(i)), txn.IncrementPiece("x"))
+		s.Commit(id(i))
+	}
+	if got := len(s.data["x"]); got != 1 {
+		t.Fatalf("committed key holds %d versions, want 1", got)
+	}
+	if txn.DecodeInt(s.Get("x")) != 10 {
+		t.Fatal("value wrong after GC")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	s := New()
+	s.Seed("x", txn.EncodeInt(1))
+	cp := s.Snapshot()
+	s.Execute(id(1), ts(1), txn.IncrementPiece("x"))
+	if txn.DecodeInt(cp.Get("x")) != 1 {
+		t.Fatal("snapshot saw later write")
+	}
+	cp.Execute(id(9), ts(9), txn.IncrementPiece("x"))
+	if txn.DecodeInt(s.Get("x")) != 2 {
+		t.Fatal("snapshot write leaked into original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(), New()
+	a.Seed("x", txn.EncodeInt(1))
+	b.Seed("x", txn.EncodeInt(1))
+	if !a.Equal(b) {
+		t.Fatal("identical stores not equal")
+	}
+	b.Seed("y", txn.EncodeInt(2))
+	if a.Equal(b) {
+		t.Fatal("different stores equal")
+	}
+}
+
+// Property: any sequence of execute/revoke operations on disjoint-key
+// transactions leaves exactly the committed increments applied.
+func TestExecuteRevokeProperty(t *testing.T) {
+	check := func(ops []bool) bool {
+		s := New()
+		s.Seed("k", txn.EncodeInt(0))
+		var want int64
+		for i, commit := range ops {
+			tid := id(uint64(i + 1))
+			s.Execute(tid, ts(int64(i+1)), txn.IncrementPiece("k"))
+			if commit {
+				s.Commit(tid)
+				want++
+			} else {
+				s.Revoke(tid)
+			}
+		}
+		return txn.DecodeInt(s.Get("k")) == want
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Snapshot + replay of the same transactions reproduces the store.
+func TestSnapshotReplayProperty(t *testing.T) {
+	check := func(keys []uint8, split uint8) bool {
+		s := New()
+		for i := 0; i < 16; i++ {
+			s.Seed(fmt.Sprintf("k%d", i), txn.EncodeInt(0))
+		}
+		var pieces []*txn.Piece
+		for _, k := range keys {
+			pieces = append(pieces, txn.IncrementPiece(fmt.Sprintf("k%d", k%16)))
+		}
+		cut := 0
+		if len(pieces) > 0 {
+			cut = int(split) % (len(pieces) + 1)
+		}
+		for i := 0; i < cut; i++ {
+			s.Execute(id(uint64(i+1)), ts(int64(i+1)), pieces[i])
+			s.Commit(id(uint64(i + 1)))
+		}
+		cp := s.Snapshot()
+		for i := cut; i < len(pieces); i++ {
+			s.Execute(id(uint64(i+1)), ts(int64(i+1)), pieces[i])
+			s.Commit(id(uint64(i + 1)))
+			cp.Execute(id(uint64(i+1)), ts(int64(i+1)), pieces[i])
+			cp.Commit(id(uint64(i + 1)))
+		}
+		return s.Equal(cp)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

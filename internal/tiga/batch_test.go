@@ -1,0 +1,35 @@
+package tiga
+
+import (
+	"testing"
+	"time"
+
+	"tiga/internal/clocks"
+	"tiga/internal/simnet"
+	"tiga/internal/txn"
+)
+
+// TestBatchedSlowReplies exercises the Appendix E optimization end to end:
+// followers answer periodic coordinator inquiries instead of pushing
+// per-entry slow replies, and transactions still commit.
+func TestBatchedSlowReplies(t *testing.T) {
+	cfg := DefaultConfig(3, 1)
+	cfg.BatchSlowReplies = true
+	sim, c := testCluster(t, 71, cfg, ColocatedPlacement([]simnet.Region{0, 1, 2}), clocks.ModelChrony)
+	committed := 0
+	const n = 30
+	for i := 0; i < n; i++ {
+		i := i
+		sim.At(time.Duration(100+i*20)*time.Millisecond, func() {
+			c.Coords[i%3].Submit(incTxn(0, 1, 2), func(r txn.Result) {
+				if r.OK {
+					committed++
+				}
+			})
+		})
+	}
+	sim.Run(6 * time.Second)
+	if committed != n {
+		t.Fatalf("committed %d of %d with batched slow replies", committed, n)
+	}
+}

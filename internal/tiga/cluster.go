@@ -1,0 +1,210 @@
+package tiga
+
+import (
+	"tiga/internal/clocks"
+	"tiga/internal/simnet"
+	"tiga/internal/store"
+	"tiga/internal/txn"
+)
+
+// Placement decides where servers, coordinators, and view-manager replicas
+// live. The paper's default places replica r of every shard in region r
+// (leaders co-located); the "rotation" experiment (§5.5, Table 2) offsets the
+// replica column per shard so leaders land in different regions.
+type Placement struct {
+	// ServerRegion maps (shard, replica) to a region.
+	ServerRegion func(shard, replica int) simnet.Region
+	// CoordRegions lists one region per coordinator.
+	CoordRegions []simnet.Region
+	// VMRegions lists the view-manager replica regions (3 by default).
+	VMRegions []simnet.Region
+}
+
+// ColocatedPlacement is the paper's common full-replication deployment:
+// replica r of every shard lives in region r.
+func ColocatedPlacement(coordRegions []simnet.Region) Placement {
+	return Placement{
+		ServerRegion: func(_, replica int) simnet.Region { return simnet.Region(replica) },
+		CoordRegions: coordRegions,
+		VMRegions:    []simnet.Region{0, 1, 2},
+	}
+}
+
+// RotatedPlacement rotates shard/replica ids so servers with the same
+// replica-id land in different regions — the §5.5 "leaders separated" setup.
+func RotatedPlacement(coordRegions []simnet.Region, regions int) Placement {
+	return Placement{
+		ServerRegion: func(shard, replica int) simnet.Region {
+			return simnet.Region((replica + shard) % regions)
+		},
+		CoordRegions: coordRegions,
+		VMRegions:    []simnet.Region{0, 1, 2},
+	}
+}
+
+// Cluster is a complete Tiga deployment inside one simulated network.
+type Cluster struct {
+	Cfg Config
+	Net *simnet.Network
+	// Seed pre-populates a shard's store; it is also used to rebuild stores
+	// during recovery replay.
+	Seed func(shard int, st *store.Store)
+
+	Servers [][]*Server // [shard][replica]
+	Coords  []*Coordinator
+	VMs     []*vmReplica
+
+	serverNodes [][]simnet.NodeID
+	coordNodes  []simnet.NodeID
+	vmNodes     []simnet.NodeID
+
+	initialGVec []int
+	initialMode Mode
+}
+
+// NewCluster builds the full deployment: m×(2f+1) servers, the given
+// coordinators, and 3 view-manager replicas, each with its own clock.
+func NewCluster(net *simnet.Network, cfg Config, pl Placement, cf *clocks.Factory,
+	seed func(int, *store.Store)) *Cluster {
+
+	c := &Cluster{Cfg: cfg, Net: net, Seed: seed, initialGVec: make([]int, cfg.Shards)}
+
+	// Mode selection (§3.8): preventive iff the initial leaders (replica 0
+	// of each shard) are mutually within the co-location threshold.
+	leaders := make([]int, cfg.Shards)
+	c.initialModeFromPlacement(pl, leaders)
+
+	c.serverNodes = make([][]simnet.NodeID, cfg.Shards)
+	c.Servers = make([][]*Server, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		c.serverNodes[s] = make([]simnet.NodeID, cfg.Replicas())
+		c.Servers[s] = make([]*Server, cfg.Replicas())
+		for r := 0; r < cfg.Replicas(); r++ {
+			node := net.AddNode(pl.ServerRegion(s, r), nil)
+			c.serverNodes[s][r] = node.ID()
+			c.Servers[s][r] = newServer(c, s, r, node, cf.New())
+			if seed != nil {
+				seed(s, c.Servers[s][r].st)
+			}
+		}
+	}
+	for i, reg := range pl.CoordRegions {
+		node := net.AddNode(reg, nil)
+		c.coordNodes = append(c.coordNodes, node.ID())
+		c.Coords = append(c.Coords, newCoordinator(c, int32(i+1), node, cf.New()))
+	}
+	vmRegions := pl.VMRegions
+	if len(vmRegions) == 0 {
+		vmRegions = []simnet.Region{0, 1, 2}
+	}
+	for i, reg := range vmRegions {
+		node := net.AddNode(reg, nil)
+		c.vmNodes = append(c.vmNodes, node.ID())
+		c.VMs = append(c.VMs, newVMReplica(c, i, node))
+	}
+	return c
+}
+
+func (c *Cluster) initialModeFromPlacement(pl Placement, leaders []int) {
+	switch c.Cfg.Mode {
+	case ModePreventive, ModeDetective:
+		c.initialMode = c.Cfg.Mode
+		return
+	}
+	c.initialMode = ModePreventive
+	for a := 0; a < c.Cfg.Shards; a++ {
+		for b := a + 1; b < c.Cfg.Shards; b++ {
+			ra, rb := pl.ServerRegion(a, leaders[a]), pl.ServerRegion(b, leaders[b])
+			if c.Net.BaseOWD(ra, rb) > c.Cfg.ColocationThreshold {
+				c.initialMode = ModeDetective
+				return
+			}
+		}
+	}
+}
+
+// chooseMode recomputes the agreement mode for a candidate leader set (§3.8,
+// view manager step 1).
+func (c *Cluster) chooseMode(newLeaders []int) Mode {
+	switch c.Cfg.Mode {
+	case ModePreventive, ModeDetective:
+		return c.Cfg.Mode
+	}
+	for a := 0; a < c.Cfg.Shards; a++ {
+		for b := a + 1; b < c.Cfg.Shards; b++ {
+			ra := c.Net.Node(c.serverNodes[a][newLeaders[a]]).Region()
+			rb := c.Net.Node(c.serverNodes[b][newLeaders[b]]).Region()
+			if c.Net.BaseOWD(ra, rb) > c.Cfg.ColocationThreshold {
+				return ModeDetective
+			}
+		}
+	}
+	return ModePreventive
+}
+
+// Start launches all periodic tasks. Call once before running the simulator.
+func (c *Cluster) Start() {
+	for _, shard := range c.Servers {
+		for _, s := range shard {
+			s.start()
+		}
+	}
+	for _, co := range c.Coords {
+		co.start()
+	}
+	for _, v := range c.VMs {
+		v.start()
+	}
+}
+
+func (c *Cluster) serverNode(shard, replica int) simnet.NodeID { return c.serverNodes[shard][replica] }
+
+// coordNode maps a txn.ID.Coord (1-based) to its network node.
+func (c *Cluster) coordNode(idx int32) simnet.NodeID { return c.coordNodes[idx-1] }
+
+func (c *Cluster) vmLeaderNode() simnet.NodeID { return c.vmNodes[0] }
+
+// Leader returns the current leader server of a shard according to the VM.
+func (c *Cluster) Leader(shard int) *Server {
+	gvec := c.VMs[0].gvec
+	return c.Servers[shard][gvec[shard]%c.Cfg.Replicas()]
+}
+
+// KillServer crashes a server (it drops all messages and timers).
+func (c *Cluster) KillServer(shard, replica int) {
+	c.Servers[shard][replica].node.Crash()
+}
+
+// RestartServer reboots a crashed server with empty state; it rejoins via
+// Algorithm 6 (view inquiry + state transfer).
+func (c *Cluster) RestartServer(shard, replica int) {
+	s := c.Servers[shard][replica]
+	s.node.Restart()
+	fresh := newServer(c, shard, replica, s.node, s.clock)
+	c.Servers[shard][replica] = fresh
+	fresh.start()
+	fresh.Rejoin()
+}
+
+// TotalRollbacks sums Case-3 revocations across all servers (Fig 13).
+func (c *Cluster) TotalRollbacks() int64 {
+	var n int64
+	for _, shard := range c.Servers {
+		for _, s := range shard {
+			n += s.Rollbacks
+		}
+	}
+	return n
+}
+
+// Mode returns the currently active agreement mode.
+func (c *Cluster) Mode() Mode { return c.initialMode }
+
+// Submit routes a transaction through the given coordinator (harness
+// interface shared with the baseline protocols).
+func (c *Cluster) Submit(coord int, t *txn.Txn, done func(txn.Result)) {
+	c.Coords[coord].Submit(t, done)
+}
+
+// NumCoords returns the coordinator count.
+func (c *Cluster) NumCoords() int { return len(c.Coords) }

@@ -1,0 +1,316 @@
+// Package tiga implements the Tiga protocol (SOSP 2025): a consolidated
+// concurrency-control + consensus protocol that commits strictly-serializable
+// geo-distributed transactions in one wide-area round trip by proactively
+// ordering them with synchronized clocks.
+//
+// The package follows the paper's structure:
+//
+//   - Coordinator (§3.1, §3.4, Alg. 3): measures one-way delays, assigns each
+//     transaction a future timestamp, multicasts it, and runs the fast/slow
+//     quorum checks.
+//   - Server (§3.2–§3.7, Alg. 1/2): buffers transactions in a timestamp-
+//     ordered priority queue, releases them when the local clock passes their
+//     timestamps, executes optimistically at leaders, runs inter-leader
+//     timestamp agreement, and synchronizes logs to followers.
+//   - View manager (§4, Alg. 4/5/6): detects failures, elects co-located
+//     leaders, and drives log reconstruction and cross-shard timestamp
+//     verification during view changes.
+package tiga
+
+import (
+	"time"
+
+	"tiga/internal/hashlog"
+	"tiga/internal/simnet"
+	"tiga/internal/txn"
+)
+
+// Mode selects when leaders run timestamp agreement relative to execution
+// (§3.8).
+type Mode int
+
+// Agreement scheduling modes.
+const (
+	// ModeAuto lets the view manager pick: preventive when leaders can be
+	// co-located (inter-leader OWD under the threshold), detective otherwise.
+	ModeAuto Mode = iota
+	// ModeDetective executes optimistically before agreement and revokes on
+	// mismatch (Fig 3) — used when leaders are separated across regions.
+	ModeDetective
+	// ModePreventive agrees on the timestamp before executing (Fig 6) — the
+	// default when all leaders share a region, eliminating rollback.
+	ModePreventive
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDetective:
+		return "detective"
+	case ModePreventive:
+		return "preventive"
+	}
+	return "auto"
+}
+
+// Config parameterizes a Tiga deployment.
+type Config struct {
+	Shards int // m
+	F      int // tolerated failures per shard; 2f+1 replicas
+	Mode   Mode
+	// Delta is the headroom safety margin added on top of the measured
+	// super-quorum OWD (Δ = 10 ms in the paper, §3.1).
+	Delta time.Duration
+	// HeadroomDelta is the experiment knob from §5.6 (Fig 13): an offset
+	// added to the estimated headroom, possibly negative.
+	HeadroomDelta time.Duration
+	// ZeroHeadroom reproduces the 0-Hdrm baseline of Fig 13: the sending
+	// time is used directly as the timestamp.
+	ZeroHeadroom bool
+	// EpsilonBound, when positive, enables the coordination-free mode
+	// sketched in §6: leaders skip inter-leader timestamp agreement and
+	// instead hold each transaction until their clock passes T.t + ε.
+	EpsilonBound time.Duration
+	// ColocationThreshold is the maximum inter-leader OWD for which the view
+	// manager still chooses the preventive mode (10 ms in the paper, §3.8).
+	ColocationThreshold time.Duration
+	// ExecCost is the CPU time charged per piece execution.
+	ExecCost time.Duration
+	// PQCost is the CPU time charged per priority-queue operation.
+	PQCost time.Duration
+	// RetryTimeout is how long a coordinator waits before re-submitting.
+	RetryTimeout time.Duration
+	// SyncPointEvery is how often followers report sync-points to leaders.
+	SyncPointEvery time.Duration
+	// HeartbeatEvery / HeartbeatTimeout drive failure detection (§4).
+	HeartbeatEvery   time.Duration
+	HeartbeatTimeout time.Duration
+	// BatchSlowReplies enables the Appendix E optimization: followers answer
+	// periodic coordinator inquiries instead of pushing per-entry replies.
+	BatchSlowReplies bool
+	// CheckpointEvery triggers a store snapshot every N committed entries.
+	CheckpointEvery int
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig(shards, f int) Config {
+	return Config{
+		Shards:              shards,
+		F:                   f,
+		Mode:                ModeAuto,
+		Delta:               10 * time.Millisecond,
+		ColocationThreshold: 10 * time.Millisecond,
+		ExecCost:            1200 * time.Nanosecond,
+		PQCost:              300 * time.Nanosecond,
+		RetryTimeout:        1200 * time.Millisecond,
+		SyncPointEvery:      5 * time.Millisecond,
+		HeartbeatEvery:      300 * time.Millisecond,
+		HeartbeatTimeout:    1200 * time.Millisecond,
+		CheckpointEvery:     2000,
+	}
+}
+
+// Replicas returns the replication degree 2f+1.
+func (c Config) Replicas() int { return 2*c.F + 1 }
+
+// SuperQuorum returns the fast-path quorum size 1+f+⌈f/2⌉ (§3.4).
+func (c Config) SuperQuorum() int { return 1 + c.F + (c.F+1)/2 }
+
+// ---- Wire messages ----
+// All messages carry view identifiers; receivers reject mismatching views
+// (Appendix A).
+
+type viewInfo struct {
+	GView int
+	LView int
+}
+
+// txnMsg is the coordinator's multicast (step 1, Fig 3).
+type txnMsg struct {
+	T         *txn.Txn
+	TS        txn.Timestamp
+	SendClock time.Duration // coordinator clock at send, for OWD sampling
+	Coord     simnet.NodeID
+	GView     int
+	Retry     int
+}
+
+// fastReply is a server's fast-path reply (§3.4).
+type fastReply struct {
+	viewInfo
+	Shard    int
+	Replica  int
+	ID       txn.ID
+	TS       txn.Timestamp
+	Hash     hashlog.Hash
+	Ret      []byte // execution result; nil from followers
+	IsLeader bool
+	LogPos   int           // leader only: assigned log position (Appendix E)
+	OWD      time.Duration // measured arrival delay sample for the estimator
+}
+
+// slowReply notifies the coordinator a follower synced the entry (§3.7).
+type slowReply struct {
+	viewInfo
+	Shard   int
+	Replica int
+	ID      txn.ID
+	TS      txn.Timestamp
+}
+
+// tsNotification is the inter-leader timestamp agreement message (§3.5).
+type tsNotification struct {
+	viewInfo
+	Shard int // sender's shard
+	ID    txn.ID
+	TS    txn.Timestamp
+	Round int // 1 or 2
+	T     *txn.Txn
+}
+
+// logSyncMsg replicates a log entry from leader to followers (§3.7).
+type logSyncMsg struct {
+	viewInfo
+	Shard       int
+	Pos         int
+	ID          txn.ID
+	TS          txn.Timestamp
+	T           *txn.Txn
+	CommitPoint int
+}
+
+// syncPointMsg is a follower's periodic sync-point report.
+type syncPointMsg struct {
+	viewInfo
+	Shard     int
+	Replica   int
+	SyncPoint int
+}
+
+// slowInquiry / slowInquiryRep implement the Appendix E batched slow path:
+// the coordinator periodically asks followers for their views + sync-points.
+type slowInquiry struct {
+	Coord simnet.NodeID
+}
+
+type slowInquiryRep struct {
+	viewInfo
+	Shard     int
+	Replica   int
+	SyncPoint int
+}
+
+// probeMsg / probeRep bootstrap the coordinator's OWD estimates (§3.1).
+type probeMsg struct {
+	SendClock time.Duration
+	Coord     simnet.NodeID
+}
+
+type probeRep struct {
+	Shard   int
+	Replica int
+	OWD     time.Duration
+}
+
+// ---- View change messages (§4, Appendix B) ----
+
+type heartbeatMsg struct {
+	Shard   int
+	Replica int
+}
+
+type viewChangeReq struct {
+	GView int
+	GVec  []int
+	GMode Mode
+}
+
+type viewChangeMsg struct {
+	GView     int
+	GVec      []int
+	GMode     Mode
+	LView     int
+	Shard     int
+	Replica   int
+	LNV       int // last normal local view
+	SyncPoint int
+	Log       []logEntry
+}
+
+type tsVerification struct {
+	GView int
+	Shard int
+	Info  []verifyEntry
+}
+
+type verifyEntry struct {
+	ID     txn.ID
+	TS     txn.Timestamp
+	T      *txn.Txn
+	Shards []int
+}
+
+type startViewMsg struct {
+	GView int
+	GVec  []int
+	GMode Mode
+	LView int
+	Shard int
+	Log   []logEntry
+}
+
+type stateTransferReq struct {
+	GView   int
+	LView   int
+	Shard   int
+	Replica int
+}
+
+type stateTransferRep struct {
+	GView     int
+	LView     int
+	Log       []logEntry
+	SyncPoint int
+}
+
+// vmInquire / vmInfo let coordinators and rejoining servers fetch the view.
+type vmInquire struct{ From simnet.NodeID }
+
+type vmInfo struct {
+	GView int
+	GVec  []int
+	GMode Mode
+}
+
+// VM-internal replication (Algorithm 4).
+type cmPrepare struct {
+	VView  int
+	PGView int
+	PGVec  []int
+	PGMode Mode
+}
+
+type cmPrepareReply struct {
+	VView  int
+	VRid   int
+	PGView int
+}
+
+type cmCommit struct {
+	VView int
+	GView int
+	GVec  []int
+	GMode Mode
+}
+
+// fetchTxnReq asks another leader for a transaction body the coordinator
+// failed to deliver here (Appendix B, coordinator failure).
+type fetchTxnReq struct {
+	Shard int
+	ID    txn.ID
+}
+
+type fetchTxnRep struct {
+	ID txn.ID
+	T  *txn.Txn
+	TS txn.Timestamp
+}

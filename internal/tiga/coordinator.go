@@ -1,0 +1,376 @@
+package tiga
+
+import (
+	"time"
+
+	"tiga/internal/clocks"
+	"tiga/internal/simnet"
+	"tiga/internal/txn"
+)
+
+// pendingTxn tracks one outstanding transaction at the coordinator.
+type pendingTxn struct {
+	t       *txn.Txn
+	ts      txn.Timestamp
+	start   time.Duration
+	done    func(txn.Result)
+	fast    map[int]map[int]fastReply // shard -> replica -> newest reply
+	slow    map[int]map[int]slowReply
+	retries int
+}
+
+// Coordinator submits transactions per §3.1 (future-timestamp initialization)
+// and §3.4/§3.7 (fast/slow quorum checks, Algorithm 3). Coordinators are
+// stateless with respect to the servers: any coordinator can recover another's
+// transaction, and a rebooted coordinator just refetches the view.
+type Coordinator struct {
+	cfg     Config
+	cluster *Cluster
+	node    *simnet.Node
+	clock   clocks.Clock
+
+	idx int32 // coordinator id; txn.ID.Coord
+	seq uint64
+
+	gview int
+	gvec  []int
+	gmode Mode
+
+	// owd holds the EWMA one-way-delay estimate per server node, measured
+	// with the synchronized clocks (§3.1). Clock error feeds directly into
+	// these estimates, which is how bad clocks hurt Tiga's latency (§5.7).
+	owd map[simnet.NodeID]time.Duration
+
+	pending map[txn.ID]*pendingTxn
+
+	// Retries counts protocol-level re-submissions (stats for the harness).
+	Retries int64
+	Aborts  int64
+}
+
+func newCoordinator(c *Cluster, idx int32, node *simnet.Node, clk clocks.Clock) *Coordinator {
+	co := &Coordinator{
+		cfg: c.Cfg, cluster: c, node: node, clock: clk, idx: idx,
+		gvec:    make([]int, c.Cfg.Shards),
+		gmode:   c.initialMode,
+		owd:     make(map[simnet.NodeID]time.Duration),
+		pending: make(map[txn.ID]*pendingTxn),
+	}
+	copy(co.gvec, c.initialGVec)
+	node.SetHandler(co.handle)
+	return co
+}
+
+// Node returns the coordinator's simnet node.
+func (co *Coordinator) Node() *simnet.Node { return co.node }
+
+func (co *Coordinator) now() time.Duration { return co.clock.Read(co.cluster.Net.Sim().Now()) }
+
+// start probes every server to seed the OWD estimates.
+func (co *Coordinator) start() {
+	for sh := 0; sh < co.cfg.Shards; sh++ {
+		for rep := 0; rep < co.cfg.Replicas(); rep++ {
+			n := co.cluster.serverNode(sh, rep)
+			// Seed with the true base OWD so early transactions are sane;
+			// probes and reply samples keep refining it.
+			co.owd[n] = co.cluster.Net.BaseOWD(co.node.Region(), co.cluster.Net.Node(n).Region())
+			co.node.Send(n, probeMsg{SendClock: co.now(), Coord: co.node.ID()})
+		}
+	}
+	if co.cfg.BatchSlowReplies {
+		co.node.Every(10*time.Millisecond, func() bool {
+			co.inquireSlow()
+			return true
+		})
+	}
+}
+
+func (co *Coordinator) handle(from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case fastReply:
+		co.onFastReply(from, m)
+	case slowReply:
+		co.onSlowReply(m)
+	case slowInquiryRep:
+		co.onSlowInquiryRep(from, m)
+	case probeRep:
+		co.updateOWD(from, m.OWD)
+	case vmInfo:
+		co.onVMInfo(m)
+	case viewChangeReq:
+		co.adoptView(m.GView, m.GVec, m.GMode)
+	}
+}
+
+func (co *Coordinator) updateOWD(n simnet.NodeID, sample time.Duration) {
+	if sample < 0 {
+		sample = 0
+	}
+	cur, ok := co.owd[n]
+	if !ok {
+		co.owd[n] = sample
+		return
+	}
+	co.owd[n] = cur + (sample-cur)/4 // EWMA, α = 0.25
+}
+
+// headroom computes the future-timestamp headroom (§3.1): the maximum over
+// involved shards of the super-quorum-th smallest OWD, plus Δ.
+func (co *Coordinator) headroom(t *txn.Txn) time.Duration {
+	if co.cfg.ZeroHeadroom {
+		return 0
+	}
+	var h time.Duration
+	for _, sh := range t.Shards() {
+		owds := make([]time.Duration, 0, co.cfg.Replicas())
+		for rep := 0; rep < co.cfg.Replicas(); rep++ {
+			owds = append(owds, co.owd[co.cluster.serverNode(sh, rep)])
+		}
+		// Super quorum of the closest replicas.
+		for i := 1; i < len(owds); i++ {
+			for j := i; j > 0 && owds[j] < owds[j-1]; j-- {
+				owds[j], owds[j-1] = owds[j-1], owds[j]
+			}
+		}
+		sq := co.cfg.SuperQuorum()
+		if sq > len(owds) {
+			sq = len(owds)
+		}
+		if d := owds[sq-1]; d > h {
+			h = d
+		}
+	}
+	h += co.cfg.Delta + co.cfg.HeadroomDelta
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
+// Submit multicasts t to every replica of its involved shards with a future
+// timestamp and invokes done when the transaction commits.
+func (co *Coordinator) Submit(t *txn.Txn, done func(txn.Result)) {
+	co.seq++
+	t.ID = txn.ID{Coord: co.idx, Seq: co.seq}
+	p := &pendingTxn{
+		t:     t,
+		start: co.cluster.Net.Sim().Now(),
+		done:  done,
+		fast:  make(map[int]map[int]fastReply),
+		slow:  make(map[int]map[int]slowReply),
+	}
+	co.pending[t.ID] = p
+	co.multicast(p)
+	co.armRetry(p)
+}
+
+func (co *Coordinator) multicast(p *pendingTxn) {
+	sendClock := co.now()
+	// Retries carry a fresh, larger timestamp (Appendix B): servers
+	// re-position the pending transaction to it, which re-converges the
+	// leaders' queue orders when local timestamp bumps made them diverge.
+	p.ts = txn.Timestamp{Time: sendClock + co.headroom(p.t), Coord: co.idx, Seq: p.t.ID.Seq}
+	m := txnMsg{T: p.t, TS: p.ts, SendClock: sendClock, Coord: co.node.ID(), GView: co.gview, Retry: p.retries}
+	for _, sh := range p.t.Shards() {
+		for rep := 0; rep < co.cfg.Replicas(); rep++ {
+			co.node.Send(co.cluster.serverNode(sh, rep), m)
+		}
+	}
+}
+
+func (co *Coordinator) armRetry(p *pendingTxn) {
+	id := p.t.ID
+	co.node.After(co.cfg.RetryTimeout, func() {
+		cur, ok := co.pending[id]
+		if !ok || cur != p {
+			return
+		}
+		p.retries++
+		co.Retries++
+		// The view may have changed under us — refresh, then resubmit.
+		co.node.Send(co.cluster.vmLeaderNode(), vmInquire{From: co.node.ID()})
+		co.multicast(p)
+		co.armRetry(p)
+	})
+}
+
+func (co *Coordinator) onFastReply(from simnet.NodeID, m fastReply) {
+	if m.GView > co.gview {
+		co.node.Send(co.cluster.vmLeaderNode(), vmInquire{From: co.node.ID()})
+		return
+	}
+	if m.GView != co.gview || m.LView != co.gvec[m.Shard] {
+		return
+	}
+	p, ok := co.pending[m.ID]
+	if !ok {
+		return
+	}
+	if m.OWD > 0 {
+		co.updateOWD(from, m.OWD)
+	}
+	byRep := p.fast[m.Shard]
+	if byRep == nil {
+		byRep = make(map[int]fastReply)
+		p.fast[m.Shard] = byRep
+	}
+	if prev, ok := byRep[m.Replica]; ok && m.TS.Less(prev.TS) {
+		return // stale (a newer reply with a larger timestamp already arrived)
+	}
+	byRep[m.Replica] = m
+	co.evaluate(p)
+}
+
+func (co *Coordinator) onSlowReply(m slowReply) {
+	if m.GView != co.gview || m.LView != co.gvec[m.Shard] {
+		return
+	}
+	p, ok := co.pending[m.ID]
+	if !ok {
+		return
+	}
+	byRep := p.slow[m.Shard]
+	if byRep == nil {
+		byRep = make(map[int]slowReply)
+		p.slow[m.Shard] = byRep
+	}
+	if prev, ok := byRep[m.Replica]; ok && m.TS.Less(prev.TS) {
+		return
+	}
+	byRep[m.Replica] = m
+	co.evaluate(p)
+}
+
+// inquireSlow implements the Appendix E optimization: instead of per-entry
+// slow replies, periodically ask followers for their sync-points.
+func (co *Coordinator) inquireSlow() {
+	if len(co.pending) == 0 {
+		return
+	}
+	shards := make(map[int]bool)
+	for _, p := range co.pending {
+		for _, sh := range p.t.Shards() {
+			shards[sh] = true
+		}
+	}
+	for sh := range shards {
+		for rep := 0; rep < co.cfg.Replicas(); rep++ {
+			if rep == co.gvec[sh]%co.cfg.Replicas() {
+				continue
+			}
+			co.node.Send(co.cluster.serverNode(sh, rep), slowInquiry{Coord: co.node.ID()})
+		}
+	}
+}
+
+func (co *Coordinator) onSlowInquiryRep(from simnet.NodeID, m slowInquiryRep) {
+	if m.GView != co.gview || m.LView != co.gvec[m.Shard] {
+		return
+	}
+	// A follower whose sync-point passed the leader-assigned log position of
+	// a pending transaction counts as a slow reply for it.
+	for _, p := range co.pending {
+		lf, ok := p.fast[m.Shard][co.gvec[m.Shard]%co.cfg.Replicas()]
+		if !ok || m.SyncPoint <= lf.LogPos {
+			continue
+		}
+		byRep := p.slow[m.Shard]
+		if byRep == nil {
+			byRep = make(map[int]slowReply)
+			p.slow[m.Shard] = byRep
+		}
+		byRep[m.Replica] = slowReply{viewInfo: m.viewInfo, Shard: m.Shard, Replica: m.Replica, ID: p.t.ID, TS: lf.TS}
+	}
+	for id := range co.pending {
+		co.evaluate(co.pending[id])
+		if _, still := co.pending[id]; !still {
+			continue
+		}
+	}
+}
+
+// evaluate runs Algorithm 3's quorum checks and completes the transaction
+// when every involved shard fast- or slow-committed with a consistent
+// leader timestamp.
+func (co *Coordinator) evaluate(p *pendingTxn) {
+	shards := p.t.Shards()
+	var agreedTS txn.Timestamp
+	results := make(map[int][]byte, len(shards))
+	fastPath := true
+	leaderReplies := make([]fastReply, 0, len(shards))
+	for _, sh := range shards {
+		leaderRep := co.gvec[sh] % co.cfg.Replicas()
+		lf, ok := p.fast[sh][leaderRep]
+		if !ok {
+			return // no leader reply yet (line 15–16)
+		}
+		leaderReplies = append(leaderReplies, lf)
+		fastQ := 1 // the leader
+		for rep, fr := range p.fast[sh] {
+			if rep != leaderRep && fr.Hash == lf.Hash && fr.TS.Equal(lf.TS) {
+				fastQ++
+			}
+		}
+		slowQ := 0
+		for rep, sr := range p.slow[sh] {
+			if rep != leaderRep && sr.TS.Equal(lf.TS) {
+				slowQ++
+			}
+		}
+		if fastQ >= co.cfg.SuperQuorum() {
+			// fast-committed on this shard
+		} else if slowQ >= co.cfg.F {
+			fastPath = false // slow-committed
+		} else {
+			return // not committed yet (line 26–27)
+		}
+		results[sh] = lf.Ret
+		if agreedTS.IsZero() {
+			agreedTS = lf.TS
+		}
+	}
+	// Leaders must all have used the same timestamp (line 28–32).
+	for _, lf := range leaderReplies {
+		if !lf.TS.Equal(agreedTS) {
+			if co.cfg.EpsilonBound > 0 {
+				// Coordination-free mode has no agreement to converge the
+				// timestamps; abort and let the application retry (§6).
+				co.finish(p, txn.Result{Aborted: true, Retries: p.retries})
+				co.Aborts++
+			}
+			return
+		}
+	}
+	co.finish(p, txn.Result{OK: true, PerShard: results, FastPath: fastPath, Retries: p.retries, TS: agreedTS})
+}
+
+func (co *Coordinator) finish(p *pendingTxn, res txn.Result) {
+	delete(co.pending, p.t.ID)
+	if p.done != nil {
+		p.done(res)
+	}
+}
+
+// Latency returns the submission time of a pending transaction (harness).
+func (p *pendingTxn) Latency(now time.Duration) time.Duration { return now - p.start }
+
+// Outstanding returns the number of in-flight transactions.
+func (co *Coordinator) Outstanding() int { return len(co.pending) }
+
+func (co *Coordinator) onVMInfo(m vmInfo) { co.adoptView(m.GView, m.GVec, m.GMode) }
+
+func (co *Coordinator) adoptView(gv int, gvec []int, mode Mode) {
+	if gv <= co.gview {
+		return
+	}
+	co.gview = gv
+	copy(co.gvec, gvec)
+	co.gmode = mode
+	// Replies gathered under the old view are useless; resubmit in the new
+	// view (§4: "In case of a view change, the coordinator retries").
+	for _, p := range co.pending {
+		p.fast = make(map[int]map[int]fastReply)
+		p.slow = make(map[int]map[int]slowReply)
+		co.multicast(p)
+	}
+}

@@ -1,0 +1,163 @@
+package tiga
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tiga/internal/txn"
+)
+
+func mkRec(tsv int64, coord int32, seq uint64) *rec {
+	return &rec{
+		id: txn.ID{Coord: coord, Seq: seq},
+		ts: txn.Timestamp{Time: time.Duration(tsv), Coord: coord, Seq: seq},
+	}
+}
+
+func sorted(q *prioQueue) bool {
+	for i := 1; i < len(q.items); i++ {
+		if q.items[i].ts.Less(q.items[i-1].ts) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPQInsertOrder(t *testing.T) {
+	var q prioQueue
+	for _, v := range []int64{5, 1, 9, 3, 7} {
+		q.insert(mkRec(v, 1, uint64(v)))
+	}
+	if !sorted(&q) {
+		t.Fatal("queue not sorted after inserts")
+	}
+	if q.items[0].ts.Time != 1 || q.items[4].ts.Time != 9 {
+		t.Fatal("head/tail wrong")
+	}
+}
+
+func TestPQEraseMiddleAndDuplicateTimes(t *testing.T) {
+	var q prioQueue
+	// Several records with the SAME ts.Time but different tie-breaks.
+	a, b, c := mkRec(5, 1, 1), mkRec(5, 1, 2), mkRec(5, 2, 1)
+	q.insert(a)
+	q.insert(c)
+	q.insert(b)
+	q.erase(b)
+	if q.len() != 2 || !a.inPQ == false && false {
+		t.Fatal("erase")
+	}
+	for _, it := range q.items {
+		if it == b {
+			t.Fatal("erased record still present")
+		}
+	}
+	if b.inPQ {
+		t.Fatal("inPQ flag not cleared")
+	}
+	q.erase(b) // double erase is a no-op
+	if q.len() != 2 {
+		t.Fatal("double erase corrupted the queue")
+	}
+}
+
+func TestPQReposition(t *testing.T) {
+	var q prioQueue
+	a, b := mkRec(1, 1, 1), mkRec(5, 1, 2)
+	q.insert(a)
+	q.insert(b)
+	q.reposition(a, txn.Timestamp{Time: 9, Coord: 1, Seq: 1})
+	if q.items[0] != b || q.items[1] != a {
+		t.Fatal("reposition did not move the record")
+	}
+	if !sorted(&q) {
+		t.Fatal("unsorted after reposition")
+	}
+}
+
+// Property: any interleaving of insert/erase/reposition keeps the queue
+// sorted, keeps inPQ flags accurate, and never loses or duplicates records.
+func TestPQOperationsProperty(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		TS    uint16
+		Which uint8
+	}
+	check := func(ops []op) bool {
+		var q prioQueue
+		var live []*rec
+		seq := uint64(0)
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0: // insert
+				seq++
+				r := mkRec(int64(o.TS), 1, seq)
+				q.insert(r)
+				live = append(live, r)
+			case 1: // erase
+				if len(live) == 0 {
+					continue
+				}
+				i := int(o.Which) % len(live)
+				q.erase(live[i])
+				live = append(live[:i], live[i+1:]...)
+			case 2: // reposition
+				if len(live) == 0 {
+					continue
+				}
+				i := int(o.Which) % len(live)
+				r := live[i]
+				q.reposition(r, txn.Timestamp{Time: time.Duration(o.TS), Coord: r.ts.Coord, Seq: r.ts.Seq})
+			}
+			if !sorted(&q) || q.len() != len(live) {
+				return false
+			}
+		}
+		// Every live record present exactly once with inPQ set.
+		seen := make(map[*rec]int)
+		for _, it := range q.items {
+			seen[it]++
+			if !it.inPQ {
+				return false
+			}
+		}
+		for _, r := range live {
+			if seen[r] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(42))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the expired prefix invariant pump relies on — every record with
+// ts <= cutoff precedes every record with ts > cutoff.
+func TestPQExpiredPrefixProperty(t *testing.T) {
+	check := func(tss []uint16, cutoff uint16) bool {
+		var q prioQueue
+		for i, v := range tss {
+			q.insert(mkRec(int64(v), 1, uint64(i+1)))
+		}
+		passed := false
+		for _, it := range q.items {
+			expired := it.ts.Time <= time.Duration(cutoff)
+			if passed && expired {
+				return false // expired record after an unexpired one
+			}
+			if !expired {
+				passed = true
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,1017 @@
+package tiga
+
+import (
+	"sort"
+	"time"
+
+	"tiga/internal/clocks"
+	"tiga/internal/hashlog"
+	"tiga/internal/simnet"
+	"tiga/internal/store"
+	"tiga/internal/txn"
+)
+
+// Server status values (Figure 4).
+type status int
+
+const (
+	statusNormal status = iota
+	statusViewChange
+	statusRecovering
+)
+
+// logEntry is one entry of the replicated log: a transaction with its agreed
+// timestamp.
+type logEntry struct {
+	ID txn.ID
+	TS txn.Timestamp
+	T  *txn.Txn
+}
+
+// rec is the server's bookkeeping for one transaction.
+type rec struct {
+	id    txn.ID
+	t     *txn.Txn
+	piece *txn.Piece
+	ts    txn.Timestamp // this server's current view of T.t
+	coord simnet.NodeID
+
+	inPQ     bool
+	held     bool // follower: arrived too late, waiting for log-sync
+	executed bool
+	released bool
+	result   []byte
+	owd      time.Duration
+
+	// Timestamp agreement state (§3.5). round1/round2 map shard id -> the
+	// timestamp that shard's leader announced in that round.
+	proposed  bool // preventive mode: round-1 notification sent
+	round     int
+	round1    map[int]txn.Timestamp
+	round2    map[int]txn.Timestamp
+	agreed    bool // agreement finished; safe to release once (re-)executed
+	replyHash hashlog.Hash
+	fetching  bool
+}
+
+func (r *rec) multiShard() bool { return r.t != nil && len(r.t.Pieces) > 1 }
+
+// prioQueue holds pending transactions ordered by timestamp (pq, Figure 4).
+type prioQueue struct{ items []*rec }
+
+func (q *prioQueue) len() int { return len(q.items) }
+
+func (q *prioQueue) insert(r *rec) {
+	i := sort.Search(len(q.items), func(i int) bool { return r.ts.Less(q.items[i].ts) })
+	q.items = append(q.items, nil)
+	copy(q.items[i+1:], q.items[i:])
+	q.items[i] = r
+	r.inPQ = true
+}
+
+func (q *prioQueue) erase(r *rec) {
+	if !r.inPQ {
+		return
+	}
+	i := sort.Search(len(q.items), func(i int) bool { return !q.items[i].ts.Less(r.ts) })
+	for ; i < len(q.items); i++ {
+		if q.items[i] == r {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			r.inPQ = false
+			return
+		}
+		if r.ts.Less(q.items[i].ts) {
+			break
+		}
+	}
+	// Fallback linear scan (should not happen; keeps the queue consistent).
+	for i, it := range q.items {
+		if it == r {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			break
+		}
+	}
+	r.inPQ = false
+}
+
+func (q *prioQueue) reposition(r *rec, ts txn.Timestamp) {
+	q.erase(r)
+	r.ts = ts
+	q.insert(r)
+}
+
+// Server is one Tiga replica of one shard (Algorithm 1/2).
+type Server struct {
+	cfg     Config
+	cluster *Cluster
+	node    *simnet.Node
+	clock   clocks.Clock
+
+	shard   int
+	replica int
+
+	gview  int
+	lview  int
+	gvec   []int
+	gmode  Mode
+	status status
+	lnv    int // last-normal-view
+
+	st   *store.Store
+	pq   prioQueue
+	recs map[txn.ID]*rec
+	rMap map[string]txn.Timestamp
+	wMap map[string]txn.Timestamp
+
+	log     []logEntry // leader: the log; follower: synced prefix
+	tail    map[txn.ID]logEntry
+	relHash hashlog.Incremental
+
+	syncPoint   int
+	commitPoint int
+	applied     int // follower: entries applied to the store
+	pendingSync map[int]logSyncMsg
+
+	followerSP map[int]int // leader: replica -> reported sync-point
+
+	checkpoint    *store.Store
+	checkpointPos int
+	checkpointIDs []txn.ID
+
+	pumpAt  time.Duration // earliest scheduled pump deadline (0 = none)
+	pumpSeq uint64
+	pumping bool
+	repump  bool
+
+	// View change state (Algorithm 5).
+	vQuorum map[int]*viewChangeMsg
+	tQuorum map[int]*tsVerification
+	rebuilt bool
+
+	// Stats exposed to the harness.
+	Rollbacks  int64
+	Executions int64
+	PumpCalls  int64
+	PumpScan   int64
+}
+
+// newServer wires a server into the cluster (called by NewCluster).
+func newServer(c *Cluster, shard, replica int, node *simnet.Node, clk clocks.Clock) *Server {
+	s := &Server{
+		cfg: c.Cfg, cluster: c, node: node, clock: clk,
+		shard: shard, replica: replica,
+		gvec:  make([]int, c.Cfg.Shards),
+		gmode: c.initialMode,
+		st:    store.New(),
+		recs:  make(map[txn.ID]*rec),
+		rMap:  make(map[string]txn.Timestamp),
+		wMap:  make(map[string]txn.Timestamp),
+		tail:  make(map[txn.ID]logEntry),
+
+		pendingSync: make(map[int]logSyncMsg),
+		followerSP:  make(map[int]int),
+		checkpoint:  store.New(),
+	}
+	copy(s.gvec, c.initialGVec)
+	s.lview = s.gvec[shard]
+	node.SetHandler(s.handle)
+	return s
+}
+
+// Store exposes the shard store (tests, workload seeding).
+func (s *Server) Store() *store.Store { return s.st }
+
+// Log returns a copy of the server's log entries (tests).
+func (s *Server) Log() []logEntry { return append([]logEntry(nil), s.log...) }
+
+// LogIDs returns the ids of synced log entries in order (tests).
+func (s *Server) LogIDs() []txn.ID {
+	out := make([]txn.ID, len(s.log))
+	for i, e := range s.log {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// SyncPoint returns the current sync-point (tests).
+func (s *Server) SyncPoint() int { return s.syncPoint }
+
+// CommitPoint returns the current commit-point (tests).
+func (s *Server) CommitPoint() int { return s.commitPoint }
+
+// IsLeader reports whether this server leads its shard in its current view.
+func (s *Server) IsLeader() bool { return s.lview%(s.cfg.Replicas()) == s.replica }
+
+// Node returns the underlying simnet node.
+func (s *Server) Node() *simnet.Node { return s.node }
+
+func (s *Server) now() time.Duration { return s.clock.Read(s.cluster.Net.Sim().Now()) }
+
+// start launches the server's periodic tasks.
+func (s *Server) start() {
+	// Periodic sweep: drain any expired queue prefix. The timer chain in
+	// schedulePump is the low-latency path; this bounds staleness even if a
+	// deadline is missed. Followers also report sync-points; everyone
+	// heartbeats the view manager.
+	s.node.Every(s.cfg.SyncPointEvery, func() bool {
+		s.pump()
+		if s.status == statusNormal && !s.IsLeader() {
+			s.node.Send(s.leaderNode(), syncPointMsg{
+				viewInfo:  s.views(),
+				Shard:     s.shard,
+				Replica:   s.replica,
+				SyncPoint: s.syncPoint,
+			})
+		}
+		return true
+	})
+	s.node.Every(s.cfg.HeartbeatEvery, func() bool {
+		s.node.Send(s.cluster.vmLeaderNode(), heartbeatMsg{Shard: s.shard, Replica: s.replica})
+		return true
+	})
+	// Re-broadcast stalled agreements (lost notifications) and re-send
+	// view-change messages if a view change stalls (lost start-view).
+	s.node.Every(s.cfg.RetryTimeout/2, func() bool {
+		s.resendAgreements()
+		if s.status == statusViewChange && !s.IsLeader() {
+			s.node.Send(s.leaderNode(), viewChangeMsg{
+				GView: s.gview, GVec: append([]int(nil), s.gvec...), GMode: s.gmode,
+				LView: s.lview, Shard: s.shard, Replica: s.replica,
+				LNV: s.lnv, SyncPoint: s.syncPoint, Log: s.flushLog(),
+			})
+		}
+		return true
+	})
+}
+
+func (s *Server) views() viewInfo { return viewInfo{GView: s.gview, LView: s.lview} }
+
+func (s *Server) leaderNode() simnet.NodeID {
+	return s.cluster.serverNode(s.shard, s.lview%s.cfg.Replicas())
+}
+
+// handle dispatches incoming messages.
+func (s *Server) handle(from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case txnMsg:
+		s.onTxn(from, m)
+	case tsNotification:
+		s.onTsNotification(from, m)
+	case logSyncMsg:
+		s.onLogSync(m)
+	case syncPointMsg:
+		s.onSyncPoint(m)
+	case probeMsg:
+		s.node.Send(m.Coord, probeRep{Shard: s.shard, Replica: s.replica, OWD: s.now() - m.SendClock})
+	case slowInquiry:
+		s.node.Send(m.Coord, slowInquiryRep{viewInfo: s.views(), Shard: s.shard, Replica: s.replica, SyncPoint: s.syncPoint})
+	case fetchTxnReq:
+		s.onFetchTxn(from, m)
+	case fetchTxnRep:
+		s.onFetchTxnRep(m)
+	case viewChangeReq:
+		s.onViewChangeReq(m)
+	case viewChangeMsg:
+		s.onViewChange(&m)
+	case tsVerification:
+		s.onTsVerification(&m)
+	case startViewMsg:
+		s.onStartView(m)
+	case stateTransferReq:
+		s.onStateTransferReq(from, m)
+	case stateTransferRep:
+		s.onStateTransferRep(m)
+	case vmInfo:
+		s.onVMInfo(m)
+	}
+}
+
+// ---- §3.2 Conflict detection and timestamp update ----
+
+// conflictOK reports whether ts is larger than every released conflicting
+// transaction's timestamp on the given read/write sets (Alg. 1 line 2).
+func (s *Server) conflictOK(p *txn.Piece, ts txn.Timestamp) bool {
+	for _, k := range p.ReadSet {
+		if w, ok := s.wMap[k]; ok && !w.Less(ts) {
+			return false
+		}
+	}
+	for _, k := range p.WriteSet {
+		if w, ok := s.wMap[k]; ok && !w.Less(ts) {
+			return false
+		}
+		if r, ok := s.rMap[k]; ok && !r.Less(ts) {
+			return false
+		}
+	}
+	return true
+}
+
+// minAcceptable returns the smallest timestamp time that passes conflict
+// detection for piece p (used for leader timestamp updates).
+func (s *Server) minAcceptable(p *txn.Piece) time.Duration {
+	var max txn.Timestamp
+	for _, k := range p.ReadSet {
+		if w, ok := s.wMap[k]; ok && max.Less(w) {
+			max = w
+		}
+	}
+	for _, k := range p.WriteSet {
+		if w, ok := s.wMap[k]; ok && max.Less(w) {
+			max = w
+		}
+		if r, ok := s.rMap[k]; ok && max.Less(r) {
+			max = r
+		}
+	}
+	return max.Time + 1
+}
+
+func (s *Server) onTxn(from simnet.NodeID, m txnMsg) {
+	if s.status != statusNormal || m.GView != s.gview {
+		return
+	}
+	if r, ok := s.recs[m.ID()]; ok {
+		// Duplicate (coordinator retry / retransmission): at-most-once —
+		// re-send the reply instead of re-processing. The record may have
+		// been created by log-sync or a leader fetch, so (re)learn the
+		// coordinator address from the message.
+		r.coord = m.Coord
+		if r.t == nil {
+			// The record is a placeholder from a timestamp notification
+			// (the original multicast was lost): adopt the body now.
+			r.t = m.T
+			r.piece = m.T.Pieces[s.shard]
+			r.ts = m.TS
+			r.owd = s.now() - m.SendClock
+			s.admit(r)
+			s.checkAgreement(r)
+			return
+		}
+		if !r.released && !r.agreed && r.ts.Less(m.TS) && m.Retry >= 2 {
+			// Retry with a larger timestamp (Appendix B): re-position the
+			// pending transaction so every leader's queue re-converges on
+			// the retry timestamp, breaking cross-leader blocking cycles
+			// caused by divergent local timestamp bumps. An optimistic
+			// execution at the stale timestamp is revoked (as in Case-3).
+			if r.executed {
+				s.st.Revoke(r.id)
+				s.relHash.Remove(r.id, r.ts)
+				r.executed = false
+				r.result = nil
+				s.Rollbacks++
+			}
+			if r.inPQ {
+				s.pq.reposition(r, m.TS)
+				s.node.Work(s.cfg.PQCost)
+			} else {
+				r.ts = m.TS
+				if r.held && s.conflictOK(r.piece, r.ts) {
+					r.held = false
+					s.pq.insert(r)
+				}
+			}
+			s.schedulePump(r.ts.Time)
+			s.pump()
+			return
+		}
+		s.resendReply(r)
+		return
+	}
+	r := &rec{
+		id:     m.ID(),
+		t:      m.T,
+		piece:  m.T.Pieces[s.shard],
+		ts:     m.TS,
+		coord:  m.Coord,
+		owd:    s.now() - m.SendClock,
+		round1: make(map[int]txn.Timestamp),
+		round2: make(map[int]txn.Timestamp),
+	}
+	s.recs[r.id] = r
+	s.admit(r)
+}
+
+// admit runs conflict detection and queue insertion for a new transaction
+// (Alg. 1 lines 1–5).
+func (s *Server) admit(r *rec) {
+	s.node.Work(s.cfg.PQCost)
+	if s.conflictOK(r.piece, r.ts) {
+		s.pq.insert(r)
+	} else if s.IsLeader() {
+		// Leader updates the timestamp to its local clock (line 4), pushed
+		// past any released conflicting transaction.
+		t := s.now()
+		if min := s.minAcceptable(r.piece); min > t {
+			t = min
+		}
+		r.ts = txn.Timestamp{Time: t, Coord: r.ts.Coord, Seq: r.ts.Seq}
+		s.pq.insert(r)
+	} else {
+		// Follower: hold and wait for the slow path (§3.2).
+		r.held = true
+		return
+	}
+	s.schedulePump(r.ts.Time)
+}
+
+func (m txnMsg) ID() txn.ID { return m.T.ID }
+
+func (s *Server) resendReply(r *rec) {
+	if !r.released && !r.executed {
+		return
+	}
+	if s.IsLeader() {
+		// Resend the reply as originally issued (hash at release time).
+		s.node.Send(r.coord, fastReply{
+			viewInfo: s.views(), Shard: s.shard, Replica: s.replica,
+			ID: r.id, TS: r.ts, Hash: r.replyHash, Ret: r.result,
+			IsLeader: true, LogPos: len(s.log),
+		})
+	} else if r.released {
+		// Synced already? Then the slow reply is what the coordinator needs.
+		if _, inTail := s.tail[r.id]; !inTail {
+			s.node.Send(r.coord, slowReply{viewInfo: s.views(), Shard: s.shard, Replica: s.replica, ID: r.id, TS: r.ts})
+		} else {
+			s.node.Send(r.coord, fastReply{
+				viewInfo: s.views(), Shard: s.shard, Replica: s.replica,
+				ID: r.id, TS: r.ts, Hash: r.replyHash,
+			})
+		}
+	}
+}
+
+// ---- §3.3 release & optimistic execution ----
+
+// schedulePump arranges for pump to run once the local clock passes tsTime.
+// At most one timer is pending at a time: scheduling an earlier deadline
+// supersedes the pending one (the stale timer no-ops via the sequence check).
+func (s *Server) schedulePump(tsTime time.Duration) {
+	if s.cfg.EpsilonBound > 0 {
+		tsTime += s.cfg.EpsilonBound
+	}
+	simNow := s.cluster.Net.Sim().Now()
+	at := s.clock.WhenReads(tsTime, simNow)
+	if s.pumpAt != 0 && s.pumpAt <= at {
+		return // an earlier-or-equal pump is already pending
+	}
+	s.pumpAt = at
+	s.pumpSeq++
+	seq := s.pumpSeq
+	d := at - simNow
+	if d < 0 {
+		d = 0
+	}
+	s.node.After(d, func() {
+		if s.pumpSeq != seq {
+			return // superseded by an earlier deadline
+		}
+		s.pumpAt = 0
+		s.pump()
+	})
+}
+
+// pump scans the expired prefix of the priority queue in timestamp order and
+// processes every transaction not blocked by an earlier conflicting one
+// (Alg. 1 lines 6–31). Because the queue is timestamp-ordered and expiry is a
+// timestamp threshold, expired transactions always form a prefix.
+func (s *Server) pump() {
+	if s.status != statusNormal {
+		return
+	}
+	if s.pumping {
+		s.repump = true
+		return
+	}
+	s.pumping = true
+	defer func() { s.pumping = false }()
+	for {
+		s.repump = false
+		s.pumpOnce()
+		if !s.repump {
+			return
+		}
+	}
+}
+
+func (s *Server) pumpOnce() {
+	s.PumpCalls++
+	now := s.now()
+	hold := time.Duration(0)
+	if s.cfg.EpsilonBound > 0 {
+		hold = s.cfg.EpsilonBound
+	}
+	var blockedR, blockedW map[string]bool
+	i := 0
+	for i < len(s.pq.items) {
+		r := s.pq.items[i]
+		if r.ts.Time+hold > now {
+			break
+		}
+		s.PumpScan++
+		if blockedBy(r.piece, blockedR, blockedW) {
+			// Blocked behind an earlier conflicting transaction: it stays,
+			// and its own keys block later conflicting transactions too.
+			blockedR, blockedW = addKeys(r.piece, blockedR, blockedW)
+			i++
+			continue
+		}
+		before := len(s.pq.items)
+		s.process(r)
+		if len(s.pq.items) == before && s.pq.items[i] == r {
+			// Still pending (e.g. awaiting agreement): it blocks conflicts.
+			blockedR, blockedW = addKeys(r.piece, blockedR, blockedW)
+			i++
+		}
+		// If process released or repositioned r, re-examine index i.
+	}
+	if i < len(s.pq.items) {
+		s.schedulePump(s.pq.items[i].ts.Time)
+	}
+}
+
+func blockedBy(p *txn.Piece, br, bw map[string]bool) bool {
+	if bw != nil {
+		for _, k := range p.ReadSet {
+			if bw[k] {
+				return true
+			}
+		}
+	}
+	for _, k := range p.WriteSet {
+		if bw != nil && bw[k] {
+			return true
+		}
+		if br != nil && br[k] {
+			return true
+		}
+	}
+	return false
+}
+
+func addKeys(p *txn.Piece, br, bw map[string]bool) (map[string]bool, map[string]bool) {
+	if br == nil {
+		br = make(map[string]bool)
+		bw = make(map[string]bool)
+	}
+	for _, k := range p.ReadSet {
+		br[k] = true
+	}
+	for _, k := range p.WriteSet {
+		bw[k] = true
+	}
+	return br, bw
+}
+
+// process handles one expired, unblocked transaction.
+func (s *Server) process(r *rec) {
+	if !s.IsLeader() {
+		// Follower: release without executing (§3.3) and fast-reply.
+		s.recordMaps(r)
+		s.releaseFollower(r)
+		return
+	}
+	preventive := s.gmode == ModePreventive && r.multiShard() && s.cfg.EpsilonBound == 0
+	if preventive {
+		if !r.proposed {
+			s.recordMaps(r)
+			r.proposed = true
+			r.round = 1
+			r.round1[s.shard] = r.ts
+			s.broadcastNotification(r, 1, r.ts)
+			s.checkAgreement(r)
+		} else if r.agreed && !r.executed {
+			s.executeLeader(r)
+			s.releaseLeader(r)
+		}
+		return
+	}
+	// Detective mode (or single shard / epsilon mode).
+	if !r.executed {
+		s.recordMaps(r)
+		s.executeLeader(r)
+		if !r.multiShard() || s.cfg.EpsilonBound > 0 {
+			// Single-shard transactions need no inter-leader agreement; the
+			// ε-bound mode replaces agreement with the extended hold (§6).
+			s.releaseLeader(r)
+			return
+		}
+		if r.round == 0 {
+			r.round = 1
+			r.round1[s.shard] = r.ts
+			s.broadcastNotification(r, 1, r.ts)
+		}
+		if r.agreed {
+			// Case-3 re-execution with agreement already complete.
+			s.releaseLeader(r)
+			return
+		}
+		s.checkAgreement(r)
+		return
+	}
+	if r.agreed {
+		s.releaseLeader(r)
+	}
+}
+
+// recordMaps updates rMap/wMap with r's access sets (Alg. 1 lines 14–15).
+func (s *Server) recordMaps(r *rec) {
+	for _, k := range r.piece.ReadSet {
+		if cur, ok := s.rMap[k]; !ok || cur.Less(r.ts) {
+			s.rMap[k] = r.ts
+		}
+	}
+	for _, k := range r.piece.WriteSet {
+		if cur, ok := s.wMap[k]; !ok || cur.Less(r.ts) {
+			s.wMap[k] = r.ts
+		}
+	}
+}
+
+func (s *Server) executeLeader(r *rec) {
+	s.node.Work(s.cfg.ExecCost)
+	r.result = s.st.Execute(r.id, r.ts, r.piece)
+	r.executed = true
+	s.Executions++
+	s.relHash.Add(r.id, r.ts)
+	s.sendFastReply(r)
+}
+
+func (s *Server) sendFastReply(r *rec) {
+	r.replyHash = s.relHash.Sum()
+	s.node.Send(r.coord, fastReply{
+		viewInfo: s.views(), Shard: s.shard, Replica: s.replica,
+		ID: r.id, TS: r.ts, Hash: r.replyHash, Ret: r.result,
+		IsLeader: true, LogPos: len(s.log), OWD: r.owd,
+	})
+}
+
+// releaseLeader appends r to the log, synchronizes followers, and removes it
+// from the queue (Alg. 1 lines 24–25).
+func (s *Server) releaseLeader(r *rec) {
+	s.recordMaps(r) // timestamps may have grown during agreement
+	s.pq.erase(r)
+	s.node.Work(s.cfg.PQCost)
+	r.released = true
+	e := logEntry{ID: r.id, TS: r.ts, T: r.t}
+	s.log = append(s.log, e)
+	s.syncPoint = len(s.log)
+	pos := len(s.log) - 1
+	for rep := 0; rep < s.cfg.Replicas(); rep++ {
+		if rep == s.replica {
+			continue
+		}
+		s.node.Send(s.cluster.serverNode(s.shard, rep), logSyncMsg{
+			viewInfo: s.views(), Shard: s.shard,
+			Pos: pos, ID: e.ID, TS: e.TS, T: e.T, CommitPoint: s.commitPoint,
+		})
+	}
+}
+
+// releaseFollower appends to the optimistic tail and fast-replies (§3.3).
+func (s *Server) releaseFollower(r *rec) {
+	s.pq.erase(r)
+	s.node.Work(s.cfg.PQCost)
+	r.released = true
+	s.tail[r.id] = logEntry{ID: r.id, TS: r.ts, T: r.t}
+	s.relHash.Add(r.id, r.ts)
+	r.replyHash = s.relHash.Sum()
+	s.node.Send(r.coord, fastReply{
+		viewInfo: s.views(), Shard: s.shard, Replica: s.replica,
+		ID: r.id, TS: r.ts, Hash: r.replyHash, OWD: r.owd,
+	})
+}
+
+// ---- §3.5 timestamp agreement ----
+
+func (s *Server) broadcastNotification(r *rec, round int, ts txn.Timestamp) {
+	for _, sh := range r.t.Shards() {
+		if sh == s.shard {
+			continue
+		}
+		lead := s.gvec[sh] % s.cfg.Replicas()
+		s.node.Send(s.cluster.serverNode(sh, lead), tsNotification{
+			viewInfo: s.views(), Shard: s.shard, ID: r.id, TS: ts, Round: round,
+		})
+	}
+}
+
+func (s *Server) onTsNotification(from simnet.NodeID, m tsNotification) {
+	if s.status != statusNormal || m.GView != s.gview || !s.IsLeader() {
+		return
+	}
+	if m.LView != s.gvec[m.Shard] {
+		return // not from the current leader of that shard
+	}
+	r := s.recs[m.ID]
+	if r == nil {
+		// Notification before the coordinator's multicast arrived (or the
+		// coordinator failed mid-multicast, Appendix B): remember the
+		// timestamps and fetch the body if it never shows up.
+		r = &rec{id: m.ID, round1: make(map[int]txn.Timestamp), round2: make(map[int]txn.Timestamp)}
+		s.recs[m.ID] = r
+		s.scheduleFetch(r, from)
+	}
+	switch m.Round {
+	case 1:
+		r.round1[m.Shard] = m.TS
+	case 2:
+		r.round2[m.Shard] = m.TS
+	}
+	s.checkAgreement(r)
+}
+
+// checkAgreement evaluates Cases 1–3 of §3.5 once all round-1 timestamps are
+// known.
+func (s *Server) checkAgreement(r *rec) {
+	if r.t == nil || r.agreed {
+		return
+	}
+	if s.gmode == ModePreventive {
+		if !r.proposed {
+			return
+		}
+	} else if !r.executed {
+		return
+	}
+	nShards := len(r.t.Pieces)
+	if len(r.round1) < nShards {
+		return
+	}
+	agreed := r.round1[s.shard]
+	mismatch := false
+	for _, ts := range r.round1 {
+		if agreed.Less(ts) {
+			agreed = ts
+		}
+	}
+	for _, ts := range r.round1 {
+		if !ts.Equal(agreed) {
+			mismatch = true
+			break
+		}
+	}
+	if !mismatch {
+		// Case-1: all timestamps match — agreement completes in 0.5 WRTT.
+		r.agreed = true
+		s.finishAgreement(r)
+		return
+	}
+	if r.round < 2 {
+		r.round = 2
+		r.round2[s.shard] = agreed
+		s.broadcastNotification(r, 2, agreed)
+		if r.ts.Less(agreed) {
+			// Case-3: our optimistic execution (if any) used a stale
+			// timestamp — revoke and reposition (§3.5).
+			if r.executed {
+				s.st.Revoke(r.id)
+				s.relHash.Remove(r.id, r.ts)
+				r.executed = false
+				r.result = nil
+				s.Rollbacks++
+			}
+			s.pq.reposition(r, agreed)
+			s.node.Work(s.cfg.PQCost)
+			s.schedulePump(agreed.Time)
+		}
+		// Case-2 (r.ts == agreed): execution stays valid but we must not
+		// release until round 2 confirms every leader adopted the timestamp
+		// — otherwise timestamp inversion (§3.6, Fig 5).
+	}
+	if len(r.round2) >= nShards {
+		r.agreed = true
+		s.finishAgreement(r)
+	}
+}
+
+// finishAgreement releases the transaction if it is already (re-)executed;
+// otherwise pump will execute and release it when it reaches the head again.
+func (s *Server) finishAgreement(r *rec) {
+	if r.executed && !r.released {
+		s.releaseLeader(r)
+	}
+	// Unblock conflicting successors (and, in the preventive mode or
+	// Case-3, execute r itself once it is expired and unblocked).
+	s.pump()
+	if !r.executed {
+		s.schedulePump(r.ts.Time)
+	}
+}
+
+// resendAgreements re-broadcasts notifications for stalled agreements
+// (message loss tolerance).
+func (s *Server) resendAgreements() {
+	if s.status != statusNormal || !s.IsLeader() {
+		return
+	}
+	for _, r := range s.recs {
+		if r.t == nil || r.agreed || r.released || !r.multiShard() {
+			continue
+		}
+		switch r.round {
+		case 1:
+			s.broadcastNotification(r, 1, r.round1[s.shard])
+		case 2:
+			s.broadcastNotification(r, 2, r.round2[s.shard])
+		}
+	}
+}
+
+// ---- Appendix B: coordinator failure / missing transaction bodies ----
+
+func (s *Server) scheduleFetch(r *rec, from simnet.NodeID) {
+	if r.fetching {
+		return
+	}
+	r.fetching = true
+	var again func()
+	again = func() {
+		if r.t != nil || s.status != statusNormal {
+			return
+		}
+		s.node.Send(from, fetchTxnReq{Shard: s.shard, ID: r.id})
+		// Keep retrying: the fetch or its reply may be lost.
+		s.node.After(s.cfg.RetryTimeout/2, again)
+	}
+	s.node.After(s.cfg.RetryTimeout/4, again)
+}
+
+func (s *Server) onFetchTxn(from simnet.NodeID, m fetchTxnReq) {
+	r := s.recs[m.ID]
+	if r == nil || r.t == nil {
+		return
+	}
+	s.node.Send(from, fetchTxnRep{ID: m.ID, T: r.t, TS: r.ts})
+}
+
+func (s *Server) onFetchTxnRep(m fetchTxnRep) {
+	r := s.recs[m.ID]
+	if r == nil || r.t != nil || s.status != statusNormal {
+		return
+	}
+	r.t = m.T
+	r.piece = m.T.Pieces[s.shard]
+	r.ts = m.TS
+	r.coord = s.cluster.coordNode(m.ID.Coord)
+	s.admit(r)
+	s.checkAgreement(r)
+}
+
+// ---- §3.7 log synchronization and slow path ----
+
+func (s *Server) onLogSync(m logSyncMsg) {
+	if s.status != statusNormal || m.GView != s.gview || m.LView != s.lview || s.IsLeader() {
+		return
+	}
+	if m.Pos < s.syncPoint {
+		s.advanceCommitPoint(m.CommitPoint)
+		return // duplicate
+	}
+	s.pendingSync[m.Pos] = m
+	for {
+		next, ok := s.pendingSync[s.syncPoint]
+		if !ok {
+			break
+		}
+		delete(s.pendingSync, s.syncPoint)
+		s.applySync(next)
+	}
+	s.advanceCommitPoint(m.CommitPoint)
+}
+
+// applySync reconciles one leader log entry into the follower's log (§3.7):
+// update timestamps of entries both hold, adopt entries the follower lacks,
+// and move optimistically released entries into the synced prefix.
+func (s *Server) applySync(m logSyncMsg) {
+	e := logEntry{ID: m.ID, TS: m.TS, T: m.T}
+	if old, ok := s.tail[m.ID]; ok {
+		delete(s.tail, m.ID)
+		if !old.TS.Equal(m.TS) {
+			s.relHash.Remove(old.ID, old.TS)
+			s.relHash.Add(m.ID, m.TS)
+		}
+	} else {
+		r := s.recs[m.ID]
+		switch {
+		case r != nil && r.inPQ:
+			s.pq.erase(r)
+			s.relHash.Add(m.ID, m.TS)
+		case r != nil && r.held:
+			r.held = false
+			s.relHash.Add(m.ID, m.TS)
+		case r == nil || !r.released:
+			s.relHash.Add(m.ID, m.TS)
+		}
+	}
+	if r := s.recs[m.ID]; r != nil {
+		r.released = true
+		r.ts = m.TS
+	} else {
+		s.recs[m.ID] = &rec{id: m.ID, t: m.T, ts: m.TS, released: true}
+	}
+	s.log = append(s.log, e)
+	s.syncPoint = len(s.log)
+	// Conflict maps must also reflect synced entries.
+	if p := m.T.Pieces[s.shard]; p != nil {
+		for _, k := range p.ReadSet {
+			if cur, ok := s.rMap[k]; !ok || cur.Less(m.TS) {
+				s.rMap[k] = m.TS
+			}
+		}
+		for _, k := range p.WriteSet {
+			if cur, ok := s.wMap[k]; !ok || cur.Less(m.TS) {
+				s.wMap[k] = m.TS
+			}
+		}
+	}
+	if !s.cfg.BatchSlowReplies {
+		coord := s.cluster.coordNode(m.ID.Coord)
+		s.node.Send(coord, slowReply{viewInfo: s.views(), Shard: s.shard, Replica: s.replica, ID: m.ID, TS: m.TS})
+	}
+}
+
+// advanceCommitPoint lets the follower execute committed entries and
+// checkpoint (§3.7, §4).
+func (s *Server) advanceCommitPoint(cp int) {
+	if cp > s.syncPoint {
+		cp = s.syncPoint
+	}
+	if cp <= s.commitPoint {
+		return
+	}
+	s.commitPoint = cp
+	for s.applied < s.commitPoint {
+		e := s.log[s.applied]
+		if p := e.T.Pieces[s.shard]; p != nil && !s.st.Executed(e.ID) {
+			s.node.Work(s.cfg.ExecCost)
+			s.st.Execute(e.ID, e.TS, p)
+		}
+		s.st.Commit(e.ID)
+		s.applied++
+	}
+	s.maybeCheckpoint(s.applied)
+}
+
+func (s *Server) maybeCheckpoint(pos int) {
+	if s.cfg.CheckpointEvery <= 0 || pos-s.checkpointPos < s.cfg.CheckpointEvery {
+		return
+	}
+	s.checkpoint = s.st.Snapshot()
+	s.checkpointPos = pos
+	s.checkpointIDs = make([]txn.ID, pos)
+	for i := 0; i < pos && i < len(s.log); i++ {
+		s.checkpointIDs[i] = s.log[i].ID
+	}
+}
+
+// onSyncPoint is the leader's handler for follower sync-point reports: it
+// advances the commit-point once f+1 servers (leader included) hold an entry,
+// and retransmits log entries to followers that fell behind (lost log-sync
+// messages would otherwise stall their contiguous prefixes forever).
+func (s *Server) onSyncPoint(m syncPointMsg) {
+	if !s.IsLeader() || m.GView != s.gview || m.LView != s.lview {
+		return
+	}
+	if m.SyncPoint < len(s.log) {
+		end := m.SyncPoint + 32
+		if end > len(s.log) {
+			end = len(s.log)
+		}
+		dst := s.cluster.serverNode(s.shard, m.Replica)
+		for pos := m.SyncPoint; pos < end; pos++ {
+			e := s.log[pos]
+			s.node.Send(dst, logSyncMsg{
+				viewInfo: s.views(), Shard: s.shard,
+				Pos: pos, ID: e.ID, TS: e.TS, T: e.T, CommitPoint: s.commitPoint,
+			})
+		}
+	}
+	if m.SyncPoint > s.followerSP[m.Replica] {
+		s.followerSP[m.Replica] = m.SyncPoint
+	}
+	sps := make([]int, 0, len(s.followerSP))
+	for _, sp := range s.followerSP {
+		sps = append(sps, sp)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sps)))
+	if len(sps) < s.cfg.F {
+		return
+	}
+	cp := sps[s.cfg.F-1] // f followers + the leader = f+1 servers
+	if cp <= s.commitPoint {
+		return
+	}
+	s.commitPoint = cp
+	for i := s.applied; i < s.commitPoint; i++ {
+		s.st.Commit(s.log[i].ID)
+	}
+	s.applied = s.commitPoint
+	s.maybeCheckpoint(s.applied)
+}
+
+// PQLen returns the priority queue length (diagnostics).
+func (s *Server) PQLen() int { return s.pq.len() }
+
+// RecCount returns the number of tracked transaction records (diagnostics).
+func (s *Server) RecCount() int { return len(s.recs) }

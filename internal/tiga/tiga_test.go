@@ -1,0 +1,191 @@
+package tiga
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tiga/internal/clocks"
+	"tiga/internal/simnet"
+	"tiga/internal/store"
+	"tiga/internal/txn"
+)
+
+func testCluster(t *testing.T, seed int64, cfg Config, pl Placement, model clocks.Model) (*simnet.Sim, *Cluster) {
+	t.Helper()
+	sim := simnet.NewSim(seed)
+	net := simnet.NewNetwork(sim, simnet.GeoConfig(500*time.Microsecond, 0))
+	cf := clocks.NewFactory(model, time.Minute, seed+1)
+	c := NewCluster(net, cfg, pl, cf, func(shard int, st *store.Store) {
+		for i := 0; i < 100; i++ {
+			st.Seed(fmt.Sprintf("k%d-%d", shard, i), txn.EncodeInt(0))
+		}
+	})
+	c.Start()
+	return sim, c
+}
+
+func incTxn(shards ...int) *txn.Txn {
+	t := &txn.Txn{Pieces: make(map[int]*txn.Piece)}
+	for _, s := range shards {
+		t.Pieces[s] = txn.IncrementPiece(fmt.Sprintf("k%d-0", s))
+	}
+	return t
+}
+
+func TestSingleTxnFastPathColocated(t *testing.T) {
+	cfg := DefaultConfig(3, 1)
+	sim, c := testCluster(t, 1, cfg, ColocatedPlacement([]simnet.Region{0}), clocks.ModelPerfect)
+	if c.Mode() != ModePreventive {
+		t.Fatalf("expected preventive mode for co-located leaders, got %v", c.Mode())
+	}
+	var res *txn.Result
+	sim.At(100*time.Millisecond, func() {
+		c.Coords[0].Submit(incTxn(0, 1, 2), func(r txn.Result) { res = &r })
+	})
+	sim.Run(2 * time.Second)
+	if res == nil {
+		t.Fatal("transaction never committed")
+	}
+	if !res.OK || !res.FastPath {
+		t.Fatalf("want fast-path commit, got %+v", *res)
+	}
+	for _, sh := range []int{0, 1, 2} {
+		if got := txn.DecodeInt(res.PerShard[sh]); got != 1 {
+			t.Errorf("shard %d result = %d, want 1", sh, got)
+		}
+	}
+	// Commit latency should be ~1 WRTT + headroom: the coordinator is in
+	// region 0 with leaders; the super quorum spans regions (OWD <= 62ms),
+	// so expect roughly headroom (72ms) + return OWD.
+}
+
+func TestConflictingTxnsAllCommitAndReplicasConverge(t *testing.T) {
+	for _, mode := range []Mode{ModePreventive, ModeDetective} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := DefaultConfig(3, 1)
+			cfg.Mode = mode
+			sim, c := testCluster(t, 7, cfg, ColocatedPlacement([]simnet.Region{0, 1, 2}), clocks.ModelChrony)
+			committed := 0
+			const n = 60
+			for i := 0; i < n; i++ {
+				i := i
+				co := c.Coords[i%3]
+				sim.At(time.Duration(100+i)*time.Millisecond, func() {
+					co.Submit(incTxn(0, 1, 2), func(r txn.Result) {
+						if r.OK {
+							committed++
+						}
+					})
+				})
+			}
+			sim.Run(5 * time.Second)
+			if committed != n {
+				t.Fatalf("committed %d of %d", committed, n)
+			}
+			// Every replica of every shard must converge on the same store
+			// and the same log prefix (wait: logs may trail by commitPoint;
+			// compare leader log with synced prefixes).
+			for sh := 0; sh < 3; sh++ {
+				leader := c.Servers[sh][0]
+				if got := txn.DecodeInt(leader.Store().Get(fmt.Sprintf("k%d-0", sh))); got != n {
+					t.Errorf("shard %d counter = %d, want %d", sh, got, n)
+				}
+				llog := leader.LogIDs()
+				for rep := 1; rep < 3; rep++ {
+					f := c.Servers[sh][rep]
+					flog := f.LogIDs()
+					if len(flog) > len(llog) {
+						t.Fatalf("follower log longer than leader's")
+					}
+					for i := range flog {
+						if flog[i] != llog[i] {
+							t.Fatalf("shard %d replica %d log diverges at %d", sh, rep, i)
+						}
+					}
+					if f.SyncPoint() != len(llog) {
+						t.Errorf("shard %d replica %d sync-point %d, want %d", sh, rep, f.SyncPoint(), len(llog))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDetectiveModeRotatedLeaders(t *testing.T) {
+	cfg := DefaultConfig(3, 1)
+	sim, c := testCluster(t, 11, cfg, RotatedPlacement([]simnet.Region{0, 1, 2}, 3), clocks.ModelChrony)
+	if c.Mode() != ModeDetective {
+		t.Fatalf("expected detective mode for rotated leaders, got %v", c.Mode())
+	}
+	committed := 0
+	const n = 40
+	for i := 0; i < n; i++ {
+		i := i
+		sim.At(time.Duration(100+i*3)*time.Millisecond, func() {
+			c.Coords[i%3].Submit(incTxn(0, 1, 2), func(r txn.Result) {
+				if r.OK {
+					committed++
+				}
+			})
+		})
+	}
+	sim.Run(8 * time.Second)
+	// Highly contended chains can exceed the retry window near the tail;
+	// require near-complete commitment.
+	if committed < n*9/10 {
+		t.Fatalf("committed %d of %d", committed, n)
+	}
+	for sh := 0; sh < 3; sh++ {
+		got := txn.DecodeInt(c.Servers[sh][0].Store().Get(fmt.Sprintf("k%d-0", sh)))
+		if int(got) < committed {
+			t.Errorf("shard %d counter = %d < %d commits", sh, got, committed)
+		}
+	}
+}
+
+func TestLeaderFailureRecovery(t *testing.T) {
+	cfg := DefaultConfig(3, 1)
+	sim, c := testCluster(t, 13, cfg, ColocatedPlacement([]simnet.Region{0, 1, 2}), clocks.ModelPerfect)
+	committed := 0
+	var after int
+	const n = 80
+	for i := 0; i < n; i++ {
+		i := i
+		at := time.Duration(100+i*20) * time.Millisecond
+		sim.At(at, func() {
+			c.Coords[i%3].Submit(incTxn(0, 1, 2), func(r txn.Result) {
+				if r.OK {
+					committed++
+					if sim.Now() > 800*time.Millisecond {
+						after++
+					}
+				}
+			})
+		})
+	}
+	// Kill shard 1's leader mid-run.
+	sim.At(700*time.Millisecond, func() { c.KillServer(1, 0) })
+	sim.Run(20 * time.Second)
+	if committed != n {
+		t.Fatalf("committed %d of %d after leader failure", committed, n)
+	}
+	if after == 0 {
+		t.Fatal("no commits after failure — recovery did not happen")
+	}
+	// The new view must have elected a different leader for shard 1.
+	if c.VMs[0].gview == 0 {
+		t.Fatal("view manager never changed views")
+	}
+	newLeader := c.Leader(1)
+	if newLeader.replica == 0 {
+		t.Fatal("failed leader still leading")
+	}
+	// All shards' counters must equal n on the current leaders.
+	for sh := 0; sh < 3; sh++ {
+		if got := txn.DecodeInt(c.Leader(sh).Store().Get(fmt.Sprintf("k%d-0", sh))); got != n {
+			t.Errorf("shard %d counter = %d, want %d", sh, got, n)
+		}
+	}
+}

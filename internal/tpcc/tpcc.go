@@ -1,0 +1,482 @@
+// Package tpcc implements the TPC-C benchmark (§5.1, §5.3) over the shared
+// transaction model: all five transaction types per the specification, with
+// warehouse-based sharding and a column-keyed data layout (as in the Janus
+// codebase the paper builds on, where transactions conflict whenever they
+// write the same column). Following NCC's methodology, Payment and
+// Order-Status run as multi-shot (interactive) transactions via the
+// decomposition technique of Appendix F; Delivery also decomposes because its
+// read set is data-dependent.
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tiga/internal/store"
+	"tiga/internal/txn"
+	"tiga/internal/workload"
+)
+
+// Config scales the benchmark. Production TPC-C uses 10 districts, 3000
+// customers/district, and 100k items; tests shrink these.
+type Config struct {
+	Shards     int
+	Warehouses int // default: one per shard
+	Districts  int
+	Customers  int // per district
+	Items      int
+}
+
+// DefaultConfig returns the paper-scale configuration for the given shards.
+func DefaultConfig(shards int) Config {
+	return Config{Shards: shards, Warehouses: shards, Districts: 10, Customers: 3000, Items: 100000}
+}
+
+// TestConfig returns a down-scaled configuration for unit tests.
+func TestConfig(shards int) Config {
+	return Config{Shards: shards, Warehouses: shards, Districts: 4, Customers: 50, Items: 200}
+}
+
+// Gen generates TPC-C jobs.
+type Gen struct {
+	cfg Config
+	uid uint64
+}
+
+// New builds a TPC-C generator.
+func New(cfg Config) *Gen {
+	if cfg.Warehouses == 0 {
+		cfg.Warehouses = cfg.Shards
+	}
+	return &Gen{cfg: cfg}
+}
+
+// ShardOf maps a warehouse (1-based) to its shard.
+func (g *Gen) ShardOf(w int) int { return (w - 1) % g.cfg.Shards }
+
+// ---- column keys ----
+
+func kWTax(w int) string                   { return fmt.Sprintf("w_tax:%d", w) }
+func kWYtd(w int) string                   { return fmt.Sprintf("w_ytd:%d", w) }
+func kDTax(w, d int) string                { return fmt.Sprintf("d_tax:%d:%d", w, d) }
+func kDYtd(w, d int) string                { return fmt.Sprintf("d_ytd:%d:%d", w, d) }
+func kDNextOID(w, d int) string            { return fmt.Sprintf("d_next_o_id:%d:%d", w, d) }
+func kNoHead(w, d int) string              { return fmt.Sprintf("no_head:%d:%d", w, d) }
+func kCBal(w, d, c int) string             { return fmt.Sprintf("c_bal:%d:%d:%d", w, d, c) }
+func kCYtd(w, d, c int) string             { return fmt.Sprintf("c_ytd:%d:%d:%d", w, d, c) }
+func kCCnt(w, d, c int) string             { return fmt.Sprintf("c_cnt:%d:%d:%d", w, d, c) }
+func kCDisc(w, d, c int) string            { return fmt.Sprintf("c_disc:%d:%d:%d", w, d, c) }
+func kCLastO(w, d, c int) string           { return fmt.Sprintf("c_last_o:%d:%d:%d", w, d, c) }
+func kIPrice(w, i int) string              { return fmt.Sprintf("i_price:%d:%d", w, i) }
+func kSQty(w, i int) string                { return fmt.Sprintf("s_qty:%d:%d", w, i) }
+func kSYtd(w, i int) string                { return fmt.Sprintf("s_ytd:%d:%d", w, i) }
+func kSCnt(w, i int) string                { return fmt.Sprintf("s_cnt:%d:%d", w, i) }
+func kOrder(w, d int, uid uint64) string   { return fmt.Sprintf("o:%d:%d:%d", w, d, uid) }
+func kOTotal(w, d int, uid uint64) string  { return fmt.Sprintf("o_total:%d:%d:%d", w, d, uid) }
+func kOCarrier(w, d int, idx int64) string { return fmt.Sprintf("o_carrier:%d:%d:%d", w, d, idx) }
+func kHistory(w, d int, uid uint64) string { return fmt.Sprintf("h:%d:%d:%d", w, d, uid) }
+
+// Seed pre-populates one shard's store with its warehouses.
+func (g *Gen) Seed(shard int, st *store.Store) {
+	for w := 1; w <= g.cfg.Warehouses; w++ {
+		if g.ShardOf(w) != shard {
+			continue
+		}
+		st.Seed(kWTax(w), txn.EncodeInt(7))
+		st.Seed(kWYtd(w), txn.EncodeInt(0))
+		for d := 1; d <= g.cfg.Districts; d++ {
+			st.Seed(kDTax(w, d), txn.EncodeInt(8))
+			st.Seed(kDYtd(w, d), txn.EncodeInt(0))
+			st.Seed(kDNextOID(w, d), txn.EncodeInt(1))
+			st.Seed(kNoHead(w, d), txn.EncodeInt(0))
+			for c := 1; c <= g.cfg.Customers; c++ {
+				st.Seed(kCBal(w, d, c), txn.EncodeInt(-1000))
+				st.Seed(kCYtd(w, d, c), txn.EncodeInt(1000))
+				st.Seed(kCCnt(w, d, c), txn.EncodeInt(1))
+				st.Seed(kCDisc(w, d, c), txn.EncodeInt(5))
+				st.Seed(kCLastO(w, d, c), txn.EncodeInt(0))
+			}
+		}
+		for i := 1; i <= g.cfg.Items; i++ {
+			st.Seed(kIPrice(w, i), txn.EncodeInt(int64(100+i%900)))
+			st.Seed(kSQty(w, i), txn.EncodeInt(100))
+			st.Seed(kSYtd(w, i), txn.EncodeInt(0))
+			st.Seed(kSCnt(w, i), txn.EncodeInt(0))
+		}
+	}
+}
+
+// Next draws a transaction per the TPC-C mix: New-Order 45%, Payment 43%,
+// Order-Status 4%, Delivery 4%, Stock-Level 4%.
+func (g *Gen) Next(rng *rand.Rand) workload.Job {
+	g.uid++
+	x := rng.Float64()
+	switch {
+	case x < 0.45:
+		return workload.Job{T: g.NewOrder(rng), Label: "neworder"}
+	case x < 0.88:
+		return workload.Job{I: g.Payment(rng), Label: "payment"}
+	case x < 0.92:
+		return workload.Job{I: g.OrderStatus(rng), Label: "orderstatus"}
+	case x < 0.96:
+		return workload.Job{I: g.Delivery(rng), Label: "delivery"}
+	default:
+		return workload.Job{T: g.StockLevel(rng), Label: "stocklevel"}
+	}
+}
+
+func (g *Gen) randWarehouse(rng *rand.Rand) int { return 1 + rng.Intn(g.cfg.Warehouses) }
+
+// NewOrder builds the one-shot New-Order transaction: it increments the
+// district's next-order id (the hot column), reads tax/discount columns,
+// decrements stock for 5–15 items (1% from a remote warehouse), and inserts
+// the order and order-line rows under a unique id.
+func (g *Gen) NewOrder(rng *rand.Rand) *txn.Txn {
+	w := g.randWarehouse(rng)
+	d := 1 + rng.Intn(g.cfg.Districts)
+	c := 1 + rng.Intn(g.cfg.Customers)
+	uid := g.nextUID(rng)
+	nItems := 5 + rng.Intn(11)
+	type line struct{ w, i, qty int }
+	lines := make([]line, nItems)
+	for i := range lines {
+		sw := w
+		if g.cfg.Warehouses > 1 && rng.Float64() < 0.01 {
+			for sw == w {
+				sw = g.randWarehouse(rng)
+			}
+		}
+		lines[i] = line{w: sw, i: 1 + rng.Intn(g.cfg.Items), qty: 1 + rng.Intn(10)}
+	}
+
+	t := &txn.Txn{Pieces: make(map[int]*txn.Piece), Label: "neworder"}
+	home := g.ShardOf(w)
+
+	// Group stock lines per shard.
+	perShard := make(map[int][]line)
+	for _, ln := range lines {
+		perShard[g.ShardOf(ln.w)] = append(perShard[g.ShardOf(ln.w)], ln)
+	}
+	for sh, lns := range perShard {
+		lns := lns
+		reads := []string{}
+		writes := []string{}
+		for _, ln := range lns {
+			reads = append(reads, kIPrice(ln.w, ln.i))
+			writes = append(writes, kSQty(ln.w, ln.i), kSYtd(ln.w, ln.i), kSCnt(ln.w, ln.i))
+		}
+		piece := &txn.Piece{
+			ReadSet:  append(reads, writes...),
+			WriteSet: writes,
+			Exec: func(kv txn.KV) []byte {
+				var total int64
+				for _, ln := range lns {
+					price := txn.DecodeInt(kv.Get(kIPrice(ln.w, ln.i)))
+					qty := txn.DecodeInt(kv.Get(kSQty(ln.w, ln.i)))
+					qty -= int64(ln.qty)
+					if qty < 10 {
+						qty += 91
+					}
+					kv.Put(kSQty(ln.w, ln.i), txn.EncodeInt(qty))
+					kv.Put(kSYtd(ln.w, ln.i), txn.EncodeInt(txn.DecodeInt(kv.Get(kSYtd(ln.w, ln.i)))+int64(ln.qty)))
+					kv.Put(kSCnt(ln.w, ln.i), txn.EncodeInt(txn.DecodeInt(kv.Get(kSCnt(ln.w, ln.i)))+1))
+					total += price * int64(ln.qty)
+				}
+				return txn.EncodeInt(total)
+			},
+		}
+		t.Pieces[sh] = piece
+	}
+
+	// Home-district piece: order insertion + next-order-id bump.
+	homeReads := []string{kWTax(w), kDTax(w, d), kCDisc(w, d, c), kDNextOID(w, d)}
+	homeWrites := []string{kDNextOID(w, d), kOrder(w, d, uid), kOTotal(w, d, uid), kCLastO(w, d, c)}
+	homePiece := &txn.Piece{
+		ReadSet:  homeReads,
+		WriteSet: homeWrites,
+		Exec: func(kv txn.KV) []byte {
+			oid := txn.DecodeInt(kv.Get(kDNextOID(w, d)))
+			kv.Put(kDNextOID(w, d), txn.EncodeInt(oid+1))
+			kv.Put(kOrder(w, d, uid), txn.EncodeInt(oid))
+			kv.Put(kOTotal(w, d, uid), txn.EncodeInt(int64(nItems)))
+			kv.Put(kCLastO(w, d, c), txn.EncodeInt(int64(uid)))
+			wt := txn.DecodeInt(kv.Get(kWTax(w)))
+			dt := txn.DecodeInt(kv.Get(kDTax(w, d)))
+			disc := txn.DecodeInt(kv.Get(kCDisc(w, d, c)))
+			return txn.EncodeInt(oid*1000 + wt + dt + disc)
+		},
+	}
+	if existing, ok := t.Pieces[home]; ok {
+		t.Pieces[home] = mergePieces(existing, homePiece)
+	} else {
+		t.Pieces[home] = homePiece
+	}
+	return t
+}
+
+func (g *Gen) nextUID(rng *rand.Rand) uint64 {
+	g.uid++
+	return g.uid<<20 | uint64(rng.Intn(1<<20))
+}
+
+// mergePieces combines two pieces on the same shard.
+func mergePieces(a, b *txn.Piece) *txn.Piece {
+	return &txn.Piece{
+		ReadSet:  append(append([]string(nil), a.ReadSet...), b.ReadSet...),
+		WriteSet: append(append([]string(nil), a.WriteSet...), b.WriteSet...),
+		Exec: func(kv txn.KV) []byte {
+			ra := a.Exec(kv)
+			rb := b.Exec(kv)
+			return append(ra, rb...)
+		},
+	}
+}
+
+// Payment is a multi-shot transaction (decomposed per Appendix F): stage 0
+// reads the customer balance; stage 1 updates warehouse/district YTD and the
+// customer, validating the balance read in stage 0 (abort and restart on a
+// conflicting intervening write). 15% of customers belong to a remote
+// warehouse.
+func (g *Gen) Payment(rng *rand.Rand) *txn.Interactive {
+	w := g.randWarehouse(rng)
+	d := 1 + rng.Intn(g.cfg.Districts)
+	cw := w
+	if g.cfg.Warehouses > 1 && rng.Float64() < 0.15 {
+		for cw == w {
+			cw = g.randWarehouse(rng)
+		}
+	}
+	c := 1 + rng.Intn(g.cfg.Customers)
+	amount := int64(1 + rng.Intn(5000))
+	home, cust := g.ShardOf(w), g.ShardOf(cw)
+	uid := g.nextUID(rng)
+
+	return &txn.Interactive{
+		Label: "payment",
+		Next: func(stage int, prev *txn.Result) (*txn.Txn, bool, bool) {
+			switch stage {
+			case 0:
+				t := &txn.Txn{Label: "payment-read", ReadOnly: true, Pieces: map[int]*txn.Piece{
+					cust: txn.ReadPiece(kCBal(cw, d, c)),
+				}}
+				return t, false, false
+			case 1:
+				seen := txn.DecodeInt(prev.PerShard[cust])
+				t := &txn.Txn{Label: "payment-write", Pieces: make(map[int]*txn.Piece)}
+				custPiece := &txn.Piece{
+					ReadSet:  []string{kCBal(cw, d, c), kCYtd(cw, d, c), kCCnt(cw, d, c)},
+					WriteSet: []string{kCBal(cw, d, c), kCYtd(cw, d, c), kCCnt(cw, d, c)},
+					Exec: func(kv txn.KV) []byte {
+						cur := txn.DecodeInt(kv.Get(kCBal(cw, d, c)))
+						if cur != seen {
+							return txn.EncodeInt(-1) // validation failed
+						}
+						kv.Put(kCBal(cw, d, c), txn.EncodeInt(cur-amount))
+						kv.Put(kCYtd(cw, d, c), txn.EncodeInt(txn.DecodeInt(kv.Get(kCYtd(cw, d, c)))+amount))
+						kv.Put(kCCnt(cw, d, c), txn.EncodeInt(txn.DecodeInt(kv.Get(kCCnt(cw, d, c)))+1))
+						return txn.EncodeInt(cur - amount)
+					},
+				}
+				homePiece := &txn.Piece{
+					ReadSet:  []string{kWYtd(w), kDYtd(w, d)},
+					WriteSet: []string{kWYtd(w), kDYtd(w, d), kHistory(w, d, uid)},
+					Exec: func(kv txn.KV) []byte {
+						kv.Put(kWYtd(w), txn.EncodeInt(txn.DecodeInt(kv.Get(kWYtd(w)))+amount))
+						kv.Put(kDYtd(w, d), txn.EncodeInt(txn.DecodeInt(kv.Get(kDYtd(w, d)))+amount))
+						kv.Put(kHistory(w, d, uid), txn.EncodeInt(amount))
+						return txn.EncodeInt(0)
+					},
+				}
+				if home == cust {
+					t.Pieces[home] = mergePieces(homePiece, custPiece)
+				} else {
+					t.Pieces[home] = homePiece
+					t.Pieces[cust] = custPiece
+				}
+				return t, false, false
+			default:
+				// Validate stage 1: the customer piece returns -1 on a failed
+				// balance check.
+				if prev != nil {
+					ret := prev.PerShard[cust]
+					if home == cust && len(ret) >= 8 {
+						// merged piece: home result (8B) then customer result
+						ret = ret[len(ret)-8:]
+					}
+					if txn.DecodeInt(ret) == -1 {
+						return nil, true, true // abort: restart the chain
+					}
+				}
+				return nil, true, false
+			}
+		},
+	}
+}
+
+// OrderStatus is a read-only multi-shot transaction: stage 0 reads the
+// customer's balance and last order id; stage 1 reads that order.
+func (g *Gen) OrderStatus(rng *rand.Rand) *txn.Interactive {
+	w := g.randWarehouse(rng)
+	d := 1 + rng.Intn(g.cfg.Districts)
+	c := 1 + rng.Intn(g.cfg.Customers)
+	sh := g.ShardOf(w)
+	return &txn.Interactive{
+		Label: "orderstatus",
+		Next: func(stage int, prev *txn.Result) (*txn.Txn, bool, bool) {
+			switch stage {
+			case 0:
+				t := &txn.Txn{Label: "orderstatus-c", ReadOnly: true, Pieces: map[int]*txn.Piece{
+					sh: {
+						ReadSet: []string{kCBal(w, d, c), kCLastO(w, d, c)},
+						Exec: func(kv txn.KV) []byte {
+							return append(kv.Get(kCBal(w, d, c)), kv.Get(kCLastO(w, d, c))...)
+						},
+					},
+				}}
+				return t, false, false
+			case 1:
+				var last uint64
+				if prev != nil && len(prev.PerShard[sh]) >= 16 {
+					last = uint64(txn.DecodeInt(prev.PerShard[sh][8:16]))
+				}
+				if last == 0 {
+					return nil, true, false // customer has no orders yet
+				}
+				t := &txn.Txn{Label: "orderstatus-o", ReadOnly: true, Pieces: map[int]*txn.Piece{
+					sh: {
+						ReadSet: []string{kOrder(w, d, last), kOTotal(w, d, last)},
+						Exec: func(kv txn.KV) []byte {
+							return append(kv.Get(kOrder(w, d, last)), kv.Get(kOTotal(w, d, last))...)
+						},
+					},
+				}}
+				return t, false, false
+			default:
+				return nil, true, false
+			}
+		},
+	}
+}
+
+// Delivery decomposes because its read set is data-dependent: stage 0 reads
+// each district's delivered-count and next-order-id; stage 1 advances the
+// delivery head of every district with undelivered orders, assigns carriers,
+// and credits customer balances (the full 10-district sweep of the spec).
+func (g *Gen) Delivery(rng *rand.Rand) *txn.Interactive {
+	w := g.randWarehouse(rng)
+	sh := g.ShardOf(w)
+	carrier := int64(1 + rng.Intn(10))
+	custs := make([]int, g.cfg.Districts+1)
+	for d := 1; d <= g.cfg.Districts; d++ {
+		custs[d] = 1 + rng.Intn(g.cfg.Customers)
+	}
+	nd := g.cfg.Districts
+	return &txn.Interactive{
+		Label: "delivery",
+		Next: func(stage int, prev *txn.Result) (*txn.Txn, bool, bool) {
+			switch stage {
+			case 0:
+				reads := make([]string, 0, 2*nd)
+				for d := 1; d <= nd; d++ {
+					reads = append(reads, kNoHead(w, d), kDNextOID(w, d))
+				}
+				t := &txn.Txn{Label: "delivery-scan", ReadOnly: true, Pieces: map[int]*txn.Piece{
+					sh: {
+						ReadSet: reads,
+						Exec: func(kv txn.KV) []byte {
+							out := make([]byte, 0, 16*nd)
+							for d := 1; d <= nd; d++ {
+								out = append(out, kv.Get(kNoHead(w, d))...)
+								out = append(out, kv.Get(kDNextOID(w, d))...)
+							}
+							return out
+						},
+					},
+				}}
+				return t, false, false
+			case 1:
+				buf := prev.PerShard[sh]
+				type dd struct {
+					d    int
+					head int64
+				}
+				var todo []dd
+				for d := 1; d <= nd; d++ {
+					off := (d - 1) * 16
+					if len(buf) < off+16 {
+						break
+					}
+					head := txn.DecodeInt(buf[off : off+8])
+					next := txn.DecodeInt(buf[off+8 : off+16])
+					if head+1 < next {
+						todo = append(todo, dd{d: d, head: head})
+					}
+				}
+				if len(todo) == 0 {
+					return nil, true, false
+				}
+				var reads, writes []string
+				for _, x := range todo {
+					reads = append(reads, kNoHead(w, x.d), kCBal(w, x.d, custs[x.d]))
+					writes = append(writes, kNoHead(w, x.d), kOCarrier(w, x.d, x.head+1), kCBal(w, x.d, custs[x.d]))
+				}
+				t := &txn.Txn{Label: "delivery-run", Pieces: map[int]*txn.Piece{
+					sh: {
+						ReadSet:  reads,
+						WriteSet: writes,
+						Exec: func(kv txn.KV) []byte {
+							var n int64
+							for _, x := range todo {
+								head := txn.DecodeInt(kv.Get(kNoHead(w, x.d)))
+								if head != x.head {
+									continue // another delivery got here first
+								}
+								kv.Put(kNoHead(w, x.d), txn.EncodeInt(head+1))
+								kv.Put(kOCarrier(w, x.d, head+1), txn.EncodeInt(carrier))
+								bal := txn.DecodeInt(kv.Get(kCBal(w, x.d, custs[x.d])))
+								kv.Put(kCBal(w, x.d, custs[x.d]), txn.EncodeInt(bal+100))
+								n++
+							}
+							return txn.EncodeInt(n)
+						},
+					},
+				}}
+				return t, false, false
+			default:
+				return nil, true, false
+			}
+		},
+	}
+}
+
+// StockLevel is the one-shot read-only analysis transaction: it reads the
+// district cursor and the stock quantities of 20 recently-sold items,
+// counting those below a threshold.
+func (g *Gen) StockLevel(rng *rand.Rand) *txn.Txn {
+	w := g.randWarehouse(rng)
+	d := 1 + rng.Intn(g.cfg.Districts)
+	sh := g.ShardOf(w)
+	threshold := int64(10 + rng.Intn(11))
+	items := make([]int, 20)
+	for i := range items {
+		items[i] = 1 + rng.Intn(g.cfg.Items)
+	}
+	reads := []string{kDNextOID(w, d)}
+	for _, i := range items {
+		reads = append(reads, kSQty(w, i))
+	}
+	return &txn.Txn{Label: "stocklevel", ReadOnly: true, Pieces: map[int]*txn.Piece{
+		sh: {
+			ReadSet: reads,
+			Exec: func(kv txn.KV) []byte {
+				var low int64
+				for _, i := range items {
+					if txn.DecodeInt(kv.Get(kSQty(w, i))) < threshold {
+						low++
+					}
+				}
+				return txn.EncodeInt(low)
+			},
+		},
+	}}
+}

@@ -1,0 +1,265 @@
+package tpcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"tiga/internal/store"
+	"tiga/internal/txn"
+)
+
+func seededStores(g *Gen, shards int) []*store.Store {
+	sts := make([]*store.Store, shards)
+	for s := range sts {
+		sts[s] = store.New()
+		g.Seed(s, sts[s])
+	}
+	return sts
+}
+
+func execAll(t *testing.T, sts []*store.Store, tx *txn.Txn, seq *uint64) *txn.Result {
+	t.Helper()
+	*seq++
+	res := &txn.Result{OK: true, PerShard: make(map[int][]byte)}
+	for sh, p := range tx.Pieces {
+		res.PerShard[sh] = sts[sh].Execute(txn.ID{Coord: 9, Seq: *seq}, txn.Timestamp{}, p)
+		sts[sh].Commit(txn.ID{Coord: 9, Seq: *seq})
+	}
+	return res
+}
+
+func TestMixDistribution(t *testing.T) {
+	g := New(TestConfig(3))
+	rng := rand.New(rand.NewSource(1))
+	counts := make(map[string]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next(rng).Label]++
+	}
+	check := func(label string, want float64) {
+		got := float64(counts[label]) / n
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("%s fraction %.3f, want ~%.2f", label, got, want)
+		}
+	}
+	check("neworder", 0.45)
+	check("payment", 0.43)
+	check("orderstatus", 0.04)
+	check("delivery", 0.04)
+	check("stocklevel", 0.04)
+}
+
+func TestNewOrderSemantics(t *testing.T) {
+	g := New(TestConfig(3))
+	sts := seededStores(g, 3)
+	rng := rand.New(rand.NewSource(2))
+	var seq uint64
+	for i := 0; i < 50; i++ {
+		tx := g.NewOrder(rng)
+		if len(tx.Pieces) < 1 {
+			t.Fatal("neworder must have pieces")
+		}
+		for _, p := range tx.Pieces {
+			if len(p.WriteSet) == 0 {
+				t.Fatal("neworder pieces write")
+			}
+		}
+		execAll(t, sts, tx, &seq)
+	}
+	// d_next_o_id advanced: sum across districts == initial + #orders.
+	var totalNext int64
+	districts := 0
+	for w := 1; w <= 3; w++ {
+		sh := g.ShardOf(w)
+		for d := 1; d <= g.cfg.Districts; d++ {
+			totalNext += txn.DecodeInt(sts[sh].Get(kDNextOID(w, d)))
+			districts++
+		}
+	}
+	if totalNext != int64(districts)+50 {
+		t.Fatalf("next_o_id sum %d, want %d", totalNext, districts+50)
+	}
+}
+
+func TestNewOrderDeclaredSetsCoverAccesses(t *testing.T) {
+	g := New(TestConfig(3))
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		tx := g.NewOrder(rng)
+		for sh, p := range tx.Pieces {
+			declared := make(map[string]bool)
+			for _, k := range p.ReadSet {
+				declared[k] = true
+			}
+			for _, k := range p.WriteSet {
+				declared[k] = true
+			}
+			tr := &trackingKV{declared: declared, t: t, shard: sh}
+			p.Exec(tr)
+		}
+	}
+}
+
+type trackingKV struct {
+	declared map[string]bool
+	t        *testing.T
+	shard    int
+	vals     map[string][]byte
+}
+
+func (k *trackingKV) Get(key string) []byte {
+	if !k.declared[key] {
+		k.t.Fatalf("undeclared read of %q on shard %d", key, k.shard)
+	}
+	if k.vals == nil {
+		return txn.EncodeInt(100)
+	}
+	return k.vals[key]
+}
+
+func (k *trackingKV) Put(key string, v []byte) {
+	if !k.declared[key] {
+		k.t.Fatalf("undeclared write of %q on shard %d", key, k.shard)
+	}
+	if k.vals == nil {
+		k.vals = make(map[string][]byte)
+	}
+	k.vals[key] = v
+}
+
+func TestPaymentChainMovesMoney(t *testing.T) {
+	g := New(TestConfig(3))
+	sts := seededStores(g, 3)
+	rng := rand.New(rand.NewSource(4))
+	var seq uint64
+	ic := g.Payment(rng)
+	// Drive the chain by hand.
+	var prev *txn.Result
+	stage := 0
+	for {
+		tx, done, abort := ic.Next(stage, prev)
+		if abort {
+			t.Fatal("unexpected abort on quiescent store")
+		}
+		if done {
+			break
+		}
+		prev = execAll(t, sts, tx, &seq)
+		stage++
+	}
+	// Some w_ytd must have increased.
+	var ytd int64
+	for w := 1; w <= 3; w++ {
+		ytd += txn.DecodeInt(sts[g.ShardOf(w)].Get(kWYtd(w)))
+	}
+	if ytd <= 0 {
+		t.Fatalf("w_ytd sum %d after payment", ytd)
+	}
+}
+
+func TestPaymentValidationAbortsOnIntervening(t *testing.T) {
+	g := New(TestConfig(1))
+	sts := seededStores(g, 1)
+	rng := rand.New(rand.NewSource(5))
+	var seq uint64
+	ic := g.Payment(rng)
+	tx0, _, _ := ic.Next(0, nil)
+	prev := execAll(t, sts, tx0, &seq)
+	// Intervene: another payment writes the same customer's balance.
+	// Find the read key of stage 0 and bump it.
+	for _, p := range tx0.Pieces {
+		for _, k := range p.ReadSet {
+			cur := txn.DecodeInt(sts[0].Get(k))
+			sts[0].Seed(k, txn.EncodeInt(cur-777))
+		}
+	}
+	tx1, _, _ := ic.Next(1, prev)
+	prev1 := execAll(t, sts, tx1, &seq)
+	_, done, abort := ic.Next(2, prev1)
+	if !abort {
+		t.Fatalf("stale balance must abort the chain (done=%v)", done)
+	}
+}
+
+func TestDeliveryAdvancesHeads(t *testing.T) {
+	g := New(TestConfig(1))
+	sts := seededStores(g, 1)
+	rng := rand.New(rand.NewSource(6))
+	var seq uint64
+	// Create some orders first.
+	for i := 0; i < 30; i++ {
+		execAll(t, sts, g.NewOrder(rng), &seq)
+	}
+	ic := g.Delivery(rng)
+	var prev *txn.Result
+	stage := 0
+	for {
+		tx, done, abort := ic.Next(stage, prev)
+		if abort {
+			t.Fatal("delivery abort")
+		}
+		if done {
+			break
+		}
+		prev = execAll(t, sts, tx, &seq)
+		stage++
+	}
+	var heads int64
+	for d := 1; d <= g.cfg.Districts; d++ {
+		heads += txn.DecodeInt(sts[0].Get(kNoHead(1, d)))
+	}
+	if heads == 0 {
+		t.Fatal("delivery advanced no district heads despite pending orders")
+	}
+}
+
+func TestStockLevelReadOnly(t *testing.T) {
+	g := New(TestConfig(2))
+	rng := rand.New(rand.NewSource(7))
+	tx := g.StockLevel(rng)
+	if !tx.ReadOnly {
+		t.Fatal("stocklevel must be read-only")
+	}
+	for _, p := range tx.Pieces {
+		if len(p.WriteSet) != 0 {
+			t.Fatal("stocklevel writes")
+		}
+		if len(p.ReadSet) != 21 { // district cursor + 20 stock keys
+			t.Fatalf("read set size %d", len(p.ReadSet))
+		}
+	}
+}
+
+func TestOrderStatusFollowsLastOrder(t *testing.T) {
+	g := New(TestConfig(1))
+	sts := seededStores(g, 1)
+	rng := rand.New(rand.NewSource(8))
+	var seq uint64
+	for i := 0; i < 40; i++ {
+		execAll(t, sts, g.NewOrder(rng), &seq)
+	}
+	// Run many order-status chains; all must terminate without abort.
+	for i := 0; i < 20; i++ {
+		ic := g.OrderStatus(rng)
+		var prev *txn.Result
+		stage := 0
+		for {
+			tx, done, abort := ic.Next(stage, prev)
+			if abort {
+				t.Fatal("orderstatus abort")
+			}
+			if done {
+				break
+			}
+			prev = execAll(t, sts, tx, &seq)
+			stage++
+		}
+	}
+}
+
+func TestShardOf(t *testing.T) {
+	g := New(TestConfig(3))
+	if g.ShardOf(1) != 0 || g.ShardOf(2) != 1 || g.ShardOf(4) != 0 {
+		t.Fatal("warehouse sharding")
+	}
+}

@@ -1,0 +1,209 @@
+// Package txn defines the transaction model shared by Tiga and all baseline
+// protocols: one-shot stored procedures split into per-shard pieces with
+// declared read/write sets, plus the decomposition machinery (paper
+// Appendix F) that turns interactive transactions into chains of one-shot
+// transactions.
+package txn
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+)
+
+// ID uniquely identifies a transaction: the coordinator attaches a sequence
+// number at submission (paper §3.7 footnote).
+type ID struct {
+	Coord int32
+	Seq   uint64
+}
+
+// IsZero reports whether the ID is unset.
+func (id ID) IsZero() bool { return id.Coord == 0 && id.Seq == 0 }
+
+// Timestamp is Tiga's transaction timestamp. Time is the future timestamp in
+// simulated nanoseconds; (Coord, Seq) break ties deterministically so the
+// timestamp order is total.
+type Timestamp struct {
+	Time  time.Duration
+	Coord int32
+	Seq   uint64
+}
+
+// Less reports whether a orders strictly before b.
+func (a Timestamp) Less(b Timestamp) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Coord != b.Coord {
+		return a.Coord < b.Coord
+	}
+	return a.Seq < b.Seq
+}
+
+// Equal reports whether the two timestamps are identical.
+func (a Timestamp) Equal(b Timestamp) bool { return a == b }
+
+// IsZero reports whether the timestamp is unset.
+func (a Timestamp) IsZero() bool { return a == Timestamp{} }
+
+// Max returns the larger of a and b.
+func (a Timestamp) Max(b Timestamp) Timestamp {
+	if a.Less(b) {
+		return b
+	}
+	return a
+}
+
+// KV is the store view a piece executes against.
+type KV interface {
+	Get(key string) []byte
+	Put(key string, val []byte)
+}
+
+// PieceFunc executes one shard's piece of a transaction against the shard's
+// store and returns an opaque per-shard result.
+type PieceFunc func(kv KV) []byte
+
+// Piece is the fragment of a one-shot transaction executed by a single shard.
+// ReadSet and WriteSet are declared up front (one-shot stored procedure), so
+// servers can do conflict detection without executing.
+type Piece struct {
+	ReadSet  []string
+	WriteSet []string
+	Exec     PieceFunc
+}
+
+// Conflicts reports whether two pieces have a read-write or write-write
+// conflict on any key.
+func Conflicts(a, b *Piece) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	for _, k := range a.WriteSet {
+		if containsKey(b.WriteSet, k) || containsKey(b.ReadSet, k) {
+			return true
+		}
+	}
+	for _, k := range a.ReadSet {
+		if containsKey(b.WriteSet, k) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsKey(set []string, k string) bool {
+	for _, s := range set {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Txn is a one-shot transaction spanning one or more shards.
+type Txn struct {
+	ID       ID
+	Pieces   map[int]*Piece // shard id -> piece
+	ReadOnly bool
+	// Label tags the transaction type for metrics (e.g. "neworder").
+	Label string
+}
+
+// Shards returns the involved shard ids in ascending order.
+func (t *Txn) Shards() []int {
+	out := make([]int, 0, len(t.Pieces))
+	for s := range t.Pieces {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ConflictsWith reports whether t and o conflict on any common shard.
+func (t *Txn) ConflictsWith(o *Txn) bool {
+	for s, p := range t.Pieces {
+		if op, ok := o.Pieces[s]; ok && Conflicts(p, op) {
+			return true
+		}
+	}
+	return false
+}
+
+// Result carries the per-shard execution results back to the client.
+type Result struct {
+	OK      bool
+	Aborted bool
+	// PerShard maps shard id to the piece's return value.
+	PerShard map[int][]byte
+	// FastPath reports whether the commit used the protocol's fast path.
+	FastPath bool
+	// Retries counts protocol-level retries before the final outcome.
+	Retries int
+	// TS is the agreed commit timestamp (Tiga only): the serialization
+	// point used by the strict-serializability checker.
+	TS Timestamp
+}
+
+// Interactive is a multi-shot (dependent) transaction decomposed into a chain
+// of one-shot transactions per Appendix F. Next produces stage i given the
+// results of stage i-1; done=true ends the chain; abort=true means the
+// validation stage failed and the whole chain must restart from stage 0.
+type Interactive struct {
+	Label string
+	Next  func(stage int, prev *Result) (t *Txn, done bool, abort bool)
+}
+
+// EncodeInt encodes an int64 as an 8-byte little-endian value — the value
+// format used by MicroBench counters and TPC-C numeric columns.
+func EncodeInt(v int64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+// DecodeInt decodes a value written by EncodeInt; nil decodes to 0.
+func DecodeInt(b []byte) int64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+// IncrementPiece returns a piece that atomically increments the given keys —
+// the MicroBench read-modify-write operation.
+func IncrementPiece(keys ...string) *Piece {
+	ks := append([]string(nil), keys...)
+	return &Piece{
+		ReadSet:  ks,
+		WriteSet: ks,
+		Exec: func(kv KV) []byte {
+			var last int64
+			for _, k := range ks {
+				last = DecodeInt(kv.Get(k)) + 1
+				kv.Put(k, EncodeInt(last))
+			}
+			return EncodeInt(last)
+		},
+	}
+}
+
+// ReadPiece returns a read-only piece fetching one key.
+func ReadPiece(key string) *Piece {
+	return &Piece{
+		ReadSet: []string{key},
+		Exec:    func(kv KV) []byte { return kv.Get(key) },
+	}
+}
+
+// WritePiece returns a blind-write piece setting one key.
+func WritePiece(key string, val []byte) *Piece {
+	return &Piece{
+		WriteSet: []string{key},
+		Exec: func(kv KV) []byte {
+			kv.Put(key, val)
+			return nil
+		},
+	}
+}

@@ -1,0 +1,141 @@
+// Package workload implements the paper's benchmark workloads (§5.1): a
+// MicroBench of 3-key read-modify-write transactions with Zipfian-skewed key
+// selection, and a generic job model that also carries TPC-C's interactive
+// transactions.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tiga/internal/store"
+	"tiga/internal/txn"
+)
+
+// Job is one unit of load: either a one-shot transaction or an interactive
+// (multi-shot) transaction chain.
+type Job struct {
+	T     *txn.Txn
+	I     *txn.Interactive
+	Label string
+}
+
+// Generator produces jobs.
+type Generator interface {
+	Next(rng *rand.Rand) Job
+	// Seed pre-populates one shard's store.
+	Seed(shard int, st *store.Store)
+}
+
+// Zipfian is the YCSB-style Zipfian generator over [0, n) supporting
+// skew (theta) in [0, 1), matching the paper's skew factors 0.5–0.99.
+type Zipfian struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipfian precomputes the distribution constants.
+func NewZipfian(n int, theta float64) *Zipfian {
+	z := &Zipfian{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next samples a key index; lower indices are hotter.
+func (z *Zipfian) Next(rng *rand.Rand) int {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// MicroBench is the paper's micro-benchmark: each shard is pre-populated with
+// Keys key-value pairs; each transaction increments 3 keys on 3 different
+// shards, selected with a Zipfian distribution (§5.1).
+type MicroBench struct {
+	Shards int
+	Keys   int
+	Skew   float64
+	zipf   *Zipfian
+}
+
+// NewMicroBench builds the generator. Keys defaults to 1M per the paper; use
+// fewer in unit tests.
+func NewMicroBench(shards, keys int, skew float64) *MicroBench {
+	return &MicroBench{Shards: shards, Keys: keys, Skew: skew, zipf: NewZipfian(keys, skew)}
+}
+
+// Key names a MicroBench key.
+func Key(shard, idx int) string { return fmt.Sprintf("k%d-%d", shard, idx) }
+
+// Seed pre-populates a shard (values start at zero).
+func (m *MicroBench) Seed(shard int, st *store.Store) {
+	for i := 0; i < m.Keys; i++ {
+		st.Seed(Key(shard, i), txn.EncodeInt(0))
+	}
+}
+
+// Next generates one 3-shard increment transaction.
+func (m *MicroBench) Next(rng *rand.Rand) Job {
+	nShards := 3
+	if m.Shards < 3 {
+		nShards = m.Shards
+	}
+	t := &txn.Txn{Pieces: make(map[int]*txn.Piece, nShards), Label: "micro"}
+	start := rng.Intn(m.Shards)
+	for i := 0; i < nShards; i++ {
+		sh := (start + i) % m.Shards
+		t.Pieces[sh] = txn.IncrementPiece(Key(sh, m.zipf.Next(rng)))
+	}
+	return Job{T: t, Label: "micro"}
+}
+
+// Uniform is a uniformly-distributed single-key read/write mix used by a few
+// unit tests and the quickstart example.
+type Uniform struct {
+	Shards    int
+	Keys      int
+	ReadRatio float64
+}
+
+// Seed pre-populates a shard.
+func (u *Uniform) Seed(shard int, st *store.Store) {
+	for i := 0; i < u.Keys; i++ {
+		st.Seed(Key(shard, i), txn.EncodeInt(0))
+	}
+}
+
+// Next generates a single-shard read or increment.
+func (u *Uniform) Next(rng *rand.Rand) Job {
+	sh := rng.Intn(u.Shards)
+	k := Key(sh, rng.Intn(u.Keys))
+	t := &txn.Txn{Pieces: make(map[int]*txn.Piece, 1), Label: "uniform"}
+	if rng.Float64() < u.ReadRatio {
+		t.Pieces[sh] = txn.ReadPiece(k)
+		t.ReadOnly = true
+	} else {
+		t.Pieces[sh] = txn.IncrementPiece(k)
+	}
+	return Job{T: t, Label: "uniform"}
+}
