@@ -19,6 +19,7 @@ import (
 
 	"tiga/internal/clocks"
 	"tiga/internal/harness"
+	"tiga/internal/protocol"
 	"tiga/internal/workload"
 )
 
@@ -51,11 +52,53 @@ func benchRun(b *testing.B, protocol string, skew float64, rate float64, rotated
 // ---- Table 1: maximum throughput, MicroBench (one sub-bench per protocol) ----
 
 func BenchmarkTable1MicroBench(b *testing.B) {
-	for _, p := range harness.Protocols {
+	for _, p := range protocol.Names() {
 		if p == "NCC+" {
 			continue
 		}
 		b.Run(p, func(b *testing.B) { benchRun(b, p, 0.5, 2500, false, clocks.ModelChrony) })
+	}
+}
+
+// ---- Parallel sweep driver: same points, serial vs all cores ----
+
+// sweepRuns is one Table1-style MicroBench point per registered protocol.
+func sweepRuns() []harness.SpecRun {
+	names := protocol.Names()
+	runs := make([]harness.SpecRun, 0, len(names))
+	for _, p := range names {
+		gen := workload.NewMicroBench(3, 10000, 0.5)
+		runs = append(runs, harness.SpecRun{
+			Spec: harness.ClusterSpec{
+				Protocol: p, Shards: 3, F: 1, Clock: clocks.ModelChrony,
+				CoordsPerRegion: 2, CoordsRemote: 2, Seed: 42, Gen: gen,
+				CostScale: harness.CPUScale,
+			},
+			Load: harness.LoadSpec{RatePerCoord: 1000, Outstanding: 300,
+				Warmup: 300 * time.Millisecond, Duration: time.Second, Seed: 7},
+		})
+	}
+	return runs
+}
+
+// BenchmarkSweepDriver measures the full multi-protocol sweep through
+// harness.RunSpecs with one worker (the old serial behavior) and with all
+// cores; the per-protocol results are identical, only wall clock changes.
+func BenchmarkSweepDriver(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results := harness.RunSpecs(sweepRuns(), bc.workers)
+				var total float64
+				for _, r := range results {
+					total += r.Run.Throughput()
+				}
+				b.ReportMetric(total, "sum-txns/s")
+			}
+		})
 	}
 }
 

@@ -17,52 +17,111 @@
 //	tigabench -exp all               # everything
 //
 // Add -quick for a reduced sweep (seconds instead of minutes per figure).
-// Throughput is reported in simulated-testbed units: per-operation CPU costs
-// are scaled by harness.CPUScale (see EXPERIMENTS.md).
+// Independent sweep points run on the parallel driver; -workers bounds the
+// pool (0 = all cores, 1 = the old serial behavior — output is identical
+// either way). -protocols restricts multi-protocol sweeps to a subset of the
+// registered protocols. Throughput is reported in simulated-testbed units:
+// per-operation CPU costs are scaled by harness.CPUScale (see
+// EXPERIMENTS.md).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"tiga/internal/harness"
+	"tiga/internal/protocol"
 )
 
+// experiments lists every runnable experiment in presentation order. fig8 is
+// an alias: the harness records both regions in the fig7 pass.
+var experiments = []struct {
+	name string
+	run  func(w *os.File, o harness.Options)
+}{
+	{"table1", func(w *os.File, o harness.Options) { harness.Table1(w, o) }},
+	{"fig7", func(w *os.File, o harness.Options) { harness.Fig7And8(w, o) }},
+	{"fig9", func(w *os.File, o harness.Options) { harness.Fig9(w, o) }},
+	{"fig10", func(w *os.File, o harness.Options) { harness.Fig10(w, o) }},
+	{"fig11", func(w *os.File, o harness.Options) { harness.Fig11(w, o) }},
+	{"table2", func(w *os.File, o harness.Options) { harness.Table2(w, o) }},
+	{"fig12", func(w *os.File, o harness.Options) { harness.Fig12(w, o) }},
+	{"fig13", func(w *os.File, o harness.Options) { harness.Fig13(w, o) }},
+	{"table3", func(w *os.File, o harness.Options) { harness.Table3(w, o) }},
+	{"fig14", func(w *os.File, o harness.Options) { harness.Fig14(w, o) }},
+	{"ablations", func(w *os.File, o harness.Options) {
+		harness.AblationEpsilon(w, o)
+		harness.AblationSlowReply(w, o)
+	}},
+}
+
+func experimentNames() []string {
+	names := make([]string, 0, len(experiments)+2)
+	for _, e := range experiments {
+		names = append(names, e.name)
+		if e.name == "fig7" {
+			names = append(names, "fig8")
+		}
+	}
+	return append(names, "all")
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig7|fig8|fig9|fig10|fig11|table2|fig12|fig13|table3|fig14|ablations|all")
+	exp := flag.String("exp", "all", "experiment: "+strings.Join(experimentNames(), "|"))
 	quick := flag.Bool("quick", false, "reduced sweeps and durations")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	keys := flag.Int("keys", 0, "MicroBench keys per shard (0 = default)")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = all cores, 1 = serial)")
+	protocols := flag.String("protocols", "",
+		"comma-separated protocol subset for the sweeps (default: all registered)")
 	flag.Parse()
 
-	o := harness.Options{Seed: *seed, Quick: *quick, Keys: *keys}
+	if *exp != "all" {
+		valid := false
+		for _, name := range experimentNames() {
+			if *exp == name {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "tigabench: unknown experiment %q\nvalid experiments: %s\n",
+				*exp, strings.Join(experimentNames(), ", "))
+			os.Exit(2)
+		}
+	}
+
+	var subset []string
+	if *protocols != "" {
+		for _, p := range strings.Split(*protocols, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			if !protocol.Registered(p) {
+				fmt.Fprintf(os.Stderr, "tigabench: unknown protocol %q\nregistered protocols: %s\n",
+					p, strings.Join(protocol.Names(), ", "))
+				os.Exit(2)
+			}
+			subset = append(subset, p)
+		}
+	}
+
+	o := harness.Options{Seed: *seed, Quick: *quick, Keys: *keys,
+		Workers: *workers, Protocols: subset}
 	w := os.Stdout
 	start := time.Now()
 
-	run := func(name string, fn func()) {
-		if *exp != "all" && *exp != name && !(name == "fig7" && *exp == "fig8") {
-			return
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name && !(e.name == "fig7" && *exp == "fig8") {
+			continue
 		}
 		t0 := time.Now()
-		fn()
-		fmt.Fprintf(w, "[%s done in %v]\n", name, time.Since(t0).Round(time.Millisecond))
+		e.run(w, o)
+		fmt.Fprintf(w, "[%s done in %v]\n", e.name, time.Since(t0).Round(time.Millisecond))
 	}
-
-	run("table1", func() { harness.Table1(w, o) })
-	run("fig7", func() { harness.Fig7And8(w, o) })
-	run("fig9", func() { harness.Fig9(w, o) })
-	run("fig10", func() { harness.Fig10(w, o) })
-	run("fig11", func() { harness.Fig11(w, o) })
-	run("table2", func() { harness.Table2(w, o) })
-	run("fig12", func() { harness.Fig12(w, o) })
-	run("fig13", func() { harness.Fig13(w, o) })
-	run("table3", func() { harness.Table3(w, o) })
-	run("fig14", func() { harness.Fig14(w, o) })
-	run("ablations", func() {
-		harness.AblationEpsilon(w, o)
-		harness.AblationSlowReply(w, o)
-	})
 	fmt.Fprintf(w, "total: %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -4,8 +4,14 @@
 // balance check issued afterwards — from any client, in any region — must
 // observe it; under plain serializability the read may be served from a
 // stale serialization point and miss it. This example runs concurrent
-// cross-shard transfers on Tiga, audits global conservation of money, and
+// cross-shard transfers, audits global conservation of money, and
 // demonstrates the real-time-ordering guarantee directly.
+//
+// Deployments come from the protocol registry: the conservation audit runs
+// on every registered protocol (atomic commit is universal), while the
+// real-time-ordering demonstration is gated on the protocol.Checkable
+// capability — only a strictly serializable system with agreed serialization
+// timestamps advertises it.
 //
 //	go run ./examples/banking
 package main
@@ -16,10 +22,11 @@ import (
 	"time"
 
 	"tiga/internal/clocks"
-	"tiga/internal/simnet"
+	"tiga/internal/harness"
+	"tiga/internal/protocol"
 	"tiga/internal/store"
-	"tiga/internal/tiga"
 	"tiga/internal/txn"
+	"tiga/internal/workload"
 )
 
 const (
@@ -30,6 +37,19 @@ const (
 )
 
 func acct(shard, i int) string { return fmt.Sprintf("acct-%d-%d", shard, i) }
+
+// accounts seeds every shard's account rows. It satisfies workload.Generator
+// so harness.Build can use it; Next is unused because this example drives
+// its own transactions.
+type accounts struct{}
+
+func (accounts) Seed(shard int, st *store.Store) {
+	for i := 0; i < accountsPer; i++ {
+		st.Seed(acct(shard, i), txn.EncodeInt(initialBalance))
+	}
+}
+
+func (accounts) Next(rng *rand.Rand) workload.Job { return workload.Job{} }
 
 // transferTxn atomically moves amount from one account to another, possibly
 // across shards (accounts may go negative: an overdraft line; conservation
@@ -57,83 +77,108 @@ func transferTxn(fs, fa, ts, ta int, amount int64) *txn.Txn {
 	return t
 }
 
-func main() {
-	sim := simnet.NewSim(11)
-	net := simnet.NewNetwork(sim, simnet.GeoConfig(500*time.Microsecond, 0))
-	cluster := tiga.NewCluster(net, tiga.DefaultConfig(shards, 1),
-		tiga.ColocatedPlacement([]simnet.Region{0, 1, 2}),
-		clocks.NewFactory(clocks.ModelChrony, time.Minute, 3),
-		func(shard int, st *store.Store) {
-			for i := 0; i < accountsPer; i++ {
-				st.Seed(acct(shard, i), txn.EncodeInt(initialBalance))
-			}
-		})
-	cluster.Start()
+// auditTxn reads every account on every shard in one transaction — a
+// consistent global snapshot under (strict) serializability.
+func auditTxn() *txn.Txn {
+	t := &txn.Txn{Pieces: make(map[int]*txn.Piece), Label: "audit"}
+	for s := 0; s < shards; s++ {
+		keys := make([]string, accountsPer)
+		for i := range keys {
+			keys[i] = acct(s, i)
+		}
+		t.Pieces[s] = &txn.Piece{
+			ReadSet: keys,
+			Exec: func(kv txn.KV) []byte {
+				var sum int64
+				for _, k := range keys {
+					sum += txn.DecodeInt(kv.Get(k))
+				}
+				return txn.EncodeInt(sum)
+			},
+		}
+	}
+	return t
+}
+
+// runBank drives the transfer load and the closing audit on one registered
+// protocol and returns (committed transfers, audited total, audit ok).
+func runBank(name string) (committed int, total int64, audited bool) {
+	spec := harness.ClusterSpec{
+		Protocol: name, Shards: shards, F: 1, Clock: clocks.ModelChrony,
+		CoordsPerRegion: 1, Seed: 11, Gen: accounts{},
+	}
+	d := harness.Build(spec)
+	d.Sys.Start()
 
 	rng := rand.New(rand.NewSource(99))
-	committed := 0
 	for i := 0; i < transfers; i++ {
-		sim.At(time.Duration(100+i*5)*time.Millisecond, func() {
+		d.Sim.At(time.Duration(100+i*5)*time.Millisecond, func() {
 			fs, ts := rng.Intn(shards), rng.Intn(shards)
 			fa, ta := rng.Intn(accountsPer), rng.Intn(accountsPer)
 			if fs == ts && fa == ta {
 				ta = (ta + 1) % accountsPer
 			}
 			t := transferTxn(fs, fa, ts, ta, int64(1+rng.Intn(50)))
-			cluster.Coords[fs].Submit(t, func(r txn.Result) {
+			d.Sys.Submit(fs, t, func(r txn.Result) {
 				if r.OK {
 					committed++
 				}
 			})
 		})
 	}
+	d.Sim.At(4*time.Second, func() {
+		d.Sys.Submit(0, auditTxn(), func(r txn.Result) {
+			if !r.OK {
+				return
+			}
+			audited = true
+			for s := 0; s < shards; s++ {
+				total += txn.DecodeInt(r.PerShard[s])
+			}
+		})
+	})
+	d.Sim.Run(6 * time.Second)
+	return committed, total, audited
+}
 
-	// Real-time ordering: withdraw from acct-0-0 in region 0, and the moment
-	// it completes, read the balance from region 2. Strict serializability
-	// guarantees the read observes the withdrawal.
-	sim.At(2200*time.Millisecond, func() {
+func main() {
+	// Part 1: conservation of money on every registered protocol. Atomic
+	// cross-shard commit is protocol-independent, and so is this code: the
+	// registry resolves each deployment by name.
+	want := int64(shards*accountsPer) * initialBalance
+	fmt.Printf("conservation audit across every registered protocol (expect %d):\n", want)
+	for _, name := range protocol.Names() {
+		committed, total, audited := runBank(name)
+		fmt.Printf("  %-12s transfers=%3d/%d audit total=%6d conserved=%v\n",
+			name, committed, transfers, total, audited && total == want)
+	}
+
+	// Part 2: the real-time-ordering guarantee, on a protocol advertising
+	// the Checkable capability (agreed serialization timestamps). Withdraw
+	// from acct-0-0 in region 0, and the moment it completes, read the
+	// balance from region 2 (Brazil). Strict serializability guarantees the
+	// read observes the withdrawal.
+	spec := harness.ClusterSpec{
+		Protocol: "Tiga", Shards: shards, F: 1, Clock: clocks.ModelChrony,
+		CoordsPerRegion: 1, Seed: 11, Gen: accounts{},
+	}
+	d := harness.Build(spec)
+	if _, ok := d.Sys.(protocol.Checkable); !ok {
+		fmt.Println("\nreal-time ordering demo needs a protocol.Checkable system")
+		return
+	}
+	d.Sys.Start()
+	d.Sim.At(200*time.Millisecond, func() {
 		w := transferTxn(0, 0, 1, 1, 500)
-		cluster.Coords[0].Submit(w, func(r txn.Result) {
+		d.Sys.Submit(0, w, func(r txn.Result) {
 			withdrawn := txn.DecodeInt(r.PerShard[0])
 			read := &txn.Txn{ReadOnly: true, Pieces: map[int]*txn.Piece{0: txn.ReadPiece(acct(0, 0))}}
-			cluster.Coords[2].Submit(read, func(r2 txn.Result) {
+			d.Sys.Submit(2, read, func(r2 txn.Result) {
 				observed := txn.DecodeInt(r2.PerShard[0])
-				fmt.Printf("real-time order: withdrawal left %d; later read from Brazil observed %d (consistent=%v)\n",
+				fmt.Printf("\nreal-time order: withdrawal left %d; later read from Brazil observed %d (consistent=%v)\n",
 					withdrawn, observed, observed <= withdrawn)
 			})
 		})
 	})
-
-	// Audit: one read-only transaction summing every shard — a consistent
-	// global snapshot under strict serializability.
-	sim.At(4*time.Second, func() {
-		t := &txn.Txn{Pieces: make(map[int]*txn.Piece), ReadOnly: true, Label: "audit"}
-		for s := 0; s < shards; s++ {
-			keys := make([]string, accountsPer)
-			for i := range keys {
-				keys[i] = acct(s, i)
-			}
-			t.Pieces[s] = &txn.Piece{
-				ReadSet: keys,
-				Exec: func(kv txn.KV) []byte {
-					var sum int64
-					for _, k := range keys {
-						sum += txn.DecodeInt(kv.Get(k))
-					}
-					return txn.EncodeInt(sum)
-				},
-			}
-		}
-		cluster.Coords[0].Submit(t, func(r txn.Result) {
-			var total int64
-			for s := 0; s < shards; s++ {
-				total += txn.DecodeInt(r.PerShard[s])
-			}
-			want := int64(shards*accountsPer) * initialBalance
-			fmt.Printf("audit snapshot: total = %d, expected %d, conserved = %v\n", total, want, total == want)
-		})
-	})
-
-	sim.Run(6 * time.Second)
-	fmt.Printf("transfers committed: %d/%d\n", committed, transfers)
+	d.Sim.Run(2 * time.Second)
 }

@@ -8,6 +8,11 @@
 // order never contradicts real-time order (verified with the repository's
 // strict-serializability checker).
 //
+// The deployment is resolved through the protocol registry and inspected
+// only through protocol capabilities: seats are read back via
+// protocol.Checkable's leader stores, and the fairness check runs because
+// the system advertises agreed serialization timestamps.
+//
 //	go run ./examples/ticketing
 package main
 
@@ -18,10 +23,11 @@ import (
 
 	"tiga/internal/checker"
 	"tiga/internal/clocks"
-	"tiga/internal/simnet"
+	"tiga/internal/harness"
+	"tiga/internal/protocol"
 	"tiga/internal/store"
-	"tiga/internal/tiga"
 	"tiga/internal/txn"
+	"tiga/internal/workload"
 )
 
 const (
@@ -33,6 +39,23 @@ const (
 
 func seatKey(event, seat int) string { return fmt.Sprintf("seat-%d-%d", event, seat) }
 func shardOf(event int) int          { return event % shards }
+
+// inventory seeds each shard's seats (workload.Generator for harness.Build;
+// Next is unused because bookings are driven explicitly below).
+type inventory struct{}
+
+func (inventory) Seed(shard int, st *store.Store) {
+	for e := 0; e < events; e++ {
+		if shardOf(e) != shard {
+			continue
+		}
+		for s := 0; s < seats; s++ {
+			st.Seed(seatKey(e, s), txn.EncodeInt(0))
+		}
+	}
+}
+
+func (inventory) Next(rng *rand.Rand) workload.Job { return workload.Job{} }
 
 // bookTxn tries to claim a specific seat for a buyer: it succeeds only if
 // the seat is free (value 0), writing the buyer id otherwise leaving it.
@@ -54,35 +77,25 @@ func bookTxn(event, seat int, buyer int64) *txn.Txn {
 }
 
 func main() {
-	sim := simnet.NewSim(23)
-	net := simnet.NewNetwork(sim, simnet.GeoConfig(500*time.Microsecond, 0))
-	cluster := tiga.NewCluster(net, tiga.DefaultConfig(shards, 1),
-		tiga.ColocatedPlacement([]simnet.Region{0, 1, 2, simnet.RegionHongKong}),
-		clocks.NewFactory(clocks.ModelChrony, time.Minute, 5),
-		func(shard int, st *store.Store) {
-			for e := 0; e < events; e++ {
-				if shardOf(e) != shard {
-					continue
-				}
-				for s := 0; s < seats; s++ {
-					st.Seed(seatKey(e, s), txn.EncodeInt(0))
-				}
-			}
-		})
-	cluster.Start()
+	// Buyers book from every server region plus remote Hong Kong.
+	spec := harness.ClusterSpec{
+		Protocol: "Tiga", Shards: shards, F: 1, Clock: clocks.ModelChrony,
+		CoordsPerRegion: 1, CoordsRemote: 1, Seed: 23, Gen: inventory{},
+	}
+	d := harness.Build(spec)
+	d.Sys.Start()
 
 	rng := rand.New(rand.NewSource(7))
 	var commits []checker.Commit
 	won, lost := 0, 0
 	for b := 1; b <= buyers; b++ {
 		buyer := int64(b)
-		sim.At(time.Duration(100+b*8)*time.Millisecond, func() {
+		d.Sim.At(time.Duration(100+b*8)*time.Millisecond, func() {
 			event := rng.Intn(events)
 			seat := rng.Intn(seats)
 			t := bookTxn(event, seat, buyer)
-			start := sim.Now()
-			// Buyers book from every region, including remote Hong Kong.
-			cluster.Coords[int(buyer)%len(cluster.Coords)].Submit(t, func(r txn.Result) {
+			start := d.Sim.Now()
+			d.Sys.Submit(int(buyer)%d.Sys.NumCoords(), t, func(r txn.Result) {
 				if !r.OK {
 					return
 				}
@@ -92,20 +105,27 @@ func main() {
 					lost++
 				}
 				commits = append(commits, checker.Commit{
-					ID: t.ID, TS: r.TS, Submit: start, Complete: sim.Now(),
+					ID: t.ID, TS: r.TS, Submit: start, Complete: d.Sim.Now(),
 				})
 			})
 		})
 	}
-	sim.Run(8 * time.Second)
+	d.Sim.Run(8 * time.Second)
 
 	// No double-selling: each seat owned by exactly one buyer (or free).
+	// Read the final inventory through the Checkable capability's leader
+	// stores rather than any protocol-specific type.
+	check, ok := d.Sys.(protocol.Checkable)
+	if !ok {
+		fmt.Println("deployed protocol exposes no leader stores / timestamps; pick a Checkable one")
+		return
+	}
 	owners := make(map[int64]int)
 	soldSeats := 0
 	for e := 0; e < events; e++ {
-		lead := cluster.Servers[shardOf(e)][0]
+		st := check.LeaderStore(shardOf(e))
 		for s := 0; s < seats; s++ {
-			if o := txn.DecodeInt(lead.Store().Get(seatKey(e, s))); o != 0 {
+			if o := txn.DecodeInt(st.Get(seatKey(e, s))); o != 0 {
 				owners[o]++
 				soldSeats++
 			}

@@ -1,0 +1,3 @@
+module tiga
+
+go 1.22

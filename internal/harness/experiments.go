@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"tiga/internal/clocks"
 	"tiga/internal/metrics"
+	"tiga/internal/protocol"
 	"tiga/internal/tiga"
 	"tiga/internal/tpcc"
 	"tiga/internal/workload"
@@ -19,6 +21,11 @@ import (
 // which divides all throughput numbers by roughly the same factor while
 // preserving the protocols' relative ordering, the latency structure, and
 // the crossover points. EXPERIMENTS.md records the paper-vs-measured values.
+//
+// Sweeps enumerate the protocol registry (protocol.Names()) and execute
+// their independent points on the parallel driver (RunSpecs): every point
+// owns a private simulator, so the output is identical to a serial run while
+// the wall clock scales down with the core count.
 const CPUScale = 10
 
 // Options shapes an experiment run.
@@ -30,6 +37,14 @@ type Options struct {
 	// Keys per shard for MicroBench (paper: 1M; default here 100k to bound
 	// simulator memory across 9 replicated copies).
 	Keys int
+	// Workers caps the parallel sweep driver's pool (0 = all cores,
+	// 1 = serial). The Keys memory bound holds per deployment; peak sweep
+	// memory is roughly Workers times that, so cap the pool on machines
+	// with many cores and little RAM.
+	Workers int
+	// Protocols restricts multi-protocol sweeps to a subset of
+	// protocol.Names() (nil = every registered protocol).
+	Protocols []string
 }
 
 func (o Options) keys() int {
@@ -49,6 +64,62 @@ func (o Options) durations() (warmup, dur time.Duration) {
 	return time.Second, 3 * time.Second
 }
 
+// protocols returns the registered protocol names the sweeps enumerate, in
+// the registry's canonical order, filtered by Options.Protocols.
+func (o Options) protocols() []string {
+	names := protocol.Names()
+	if len(o.Protocols) == 0 {
+		return names
+	}
+	keep := make(map[string]bool, len(o.Protocols))
+	for _, p := range o.Protocols {
+		keep[p] = true
+	}
+	var out []string
+	for _, n := range names {
+		if keep[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// without filters one name out of a protocol list.
+func without(names []string, drop string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if n != drop {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// sweepProtocols applies an experiment's by-design exclusions to the
+// selected protocol list and notes on w when nothing is left to run — e.g.
+// -protocols Detock against a table that excludes Detock would otherwise
+// print bare headers and exit 0 silently.
+func (o Options) sweepProtocols(w io.Writer, drop ...string) []string {
+	names := o.protocols()
+	for _, d := range drop {
+		names = without(names, d)
+	}
+	if len(names) == 0 {
+		fmt.Fprint(w, "(no rows: none of the selected protocols run in this experiment")
+		if len(drop) > 0 {
+			fmt.Fprintf(w, "; excluded by design: %s", strings.Join(drop, ", "))
+		}
+		fmt.Fprintln(w, ")")
+	}
+	return names
+}
+
+// microSkew reads the skew factor back off a MicroBench spec, so sweep rows
+// are labeled from the run itself rather than loop-shape index arithmetic.
+func microSkew(spec ClusterSpec) float64 {
+	return spec.Gen.(*workload.MicroBench).Skew
+}
+
 func (o Options) microSpec(protocol string, skew float64, rotated bool, clock clocks.Model) (ClusterSpec, *workload.MicroBench) {
 	gen := workload.NewMicroBench(3, o.keys(), skew)
 	return ClusterSpec{
@@ -58,16 +129,19 @@ func (o Options) microSpec(protocol string, skew float64, rotated bool, clock cl
 	}, gen
 }
 
-// buildScaled builds a deployment with the experiment CPU scale applied.
-func buildScaled(spec ClusterSpec) *Deployment {
-	spec.CostScale = CPUScale
-	return Build(spec)
+func (o Options) tpccSpec(protocol string) ClusterSpec {
+	tg := tpcc.New(tpccConfig(o))
+	return ClusterSpec{
+		Protocol: protocol, Shards: 6, F: 1, Clock: clocks.ModelChrony,
+		CoordsPerRegion: 2, CoordsRemote: 2, Seed: o.Seed, Gen: tg,
+		CostScale: CPUScale,
+	}
 }
 
-// maxThroughput drives the system at a saturating rate and returns the run.
-// Coordinator retry timers are stretched so saturation does not trigger
-// retransmission storms that would distort the measurement.
-func (o Options) maxThroughput(protocol string, gen workload.Generator, spec ClusterSpec, perCoordRate float64) *metrics.Run {
+// saturate prepares one maximum-throughput point: the system is driven at a
+// saturating rate with coordinator retry timers stretched so saturation does
+// not trigger retransmission storms that would distort the measurement.
+func (o Options) saturate(spec ClusterSpec, perCoordRate float64) SpecRun {
 	base := spec.Tiga
 	spec.Tiga = func(cfg *tiga.Config) {
 		if base != nil {
@@ -75,40 +149,44 @@ func (o Options) maxThroughput(protocol string, gen workload.Generator, spec Clu
 		}
 		cfg.RetryTimeout = 10 * time.Second
 	}
-	d := buildScaled(spec)
+	spec.CostScale = CPUScale
 	warm, dur := o.durations()
-	res := RunLoad(d, gen, LoadSpec{
+	return SpecRun{Spec: spec, Load: LoadSpec{
 		RatePerCoord: perCoordRate, Outstanding: 300,
 		Warmup: warm, Duration: dur, Seed: o.Seed + 1,
-	})
-	return res.Run
+	}}
+}
+
+// point prepares one fixed-rate sweep point with the standard outstanding cap.
+func (o Options) point(spec ClusterSpec, rate float64, seedOffset int64) SpecRun {
+	spec.CostScale = CPUScale
+	warm, dur := o.durations()
+	return SpecRun{Spec: spec, Load: LoadSpec{
+		RatePerCoord: rate, Outstanding: 400,
+		Warmup: warm, Duration: dur, Seed: o.Seed + seedOffset,
+	}}
 }
 
 // Table1 reproduces Table 1: maximum throughput under MicroBench (skew 0.5)
-// and TPC-C for every protocol.
+// and TPC-C for every registered protocol.
 func Table1(w io.Writer, o Options) map[string]map[string]float64 {
 	out := map[string]map[string]float64{"MicroBench": {}, "TPC-C": {}}
 	fmt.Fprintf(w, "Table 1. Maximum throughput (txns/s, simulated testbed; paper numbers are ~%dx larger)\n", CPUScale)
 	fmt.Fprintf(w, "%-12s %12s %12s\n", "Protocol", "MicroBench", "TPC-C")
-	for _, p := range Protocols {
-		if p == "NCC+" {
-			continue // Table 1 reports NCC; NCC+ appears in Figs 7–8
-		}
-		// MicroBench at saturation.
-		spec, gen := o.microSpec(p, 0.5, false, clocks.ModelChrony)
-		run := o.maxThroughput(p, gen, spec, 3000)
-		micro := run.Throughput()
-		out["MicroBench"][p] = micro
-
+	// Table 1 reports NCC; NCC+ appears in Figs 7–8.
+	names := o.sweepProtocols(w, "NCC+")
+	runs := make([]SpecRun, 0, 2*len(names))
+	for _, p := range names {
+		spec, _ := o.microSpec(p, 0.5, false, clocks.ModelChrony)
+		runs = append(runs, o.saturate(spec, 3000))
 		// TPC-C at saturation (6 shards per the paper's setup).
-		tg := tpcc.New(tpccConfig(o))
-		tspec := ClusterSpec{
-			Protocol: p, Shards: 6, F: 1, Clock: clocks.ModelChrony,
-			CoordsPerRegion: 2, CoordsRemote: 2, Seed: o.Seed, Gen: tg,
-			CostScale: CPUScale,
-		}
-		trun := o.maxThroughput(p, tg, tspec, 1000)
-		tpc := trun.Throughput()
+		runs = append(runs, o.saturate(o.tpccSpec(p), 1000))
+	}
+	results := RunSpecs(runs, o.Workers)
+	for i, p := range names {
+		micro := results[2*i].Run.Throughput()
+		tpc := results[2*i+1].Run.Throughput()
+		out["MicroBench"][p] = micro
 		out["TPC-C"][p] = tpc
 		fmt.Fprintf(w, "%-12s %12.0f %12.0f\n", p, micro, tpc)
 	}
@@ -152,11 +230,17 @@ func (o Options) rates() []float64 {
 	return []float64{100, 250, 500, 1000, 1500, 2500}
 }
 
+func regionLatency(run *metrics.Run, region string) *metrics.Latency {
+	if lat := run.ByRegion[region]; lat != nil {
+		return lat
+	}
+	return &metrics.Latency{}
+}
+
 // Fig7And8 reproduces Figures 7 and 8: MicroBench (skew 0.5) with varying
 // per-coordinator rates; latency reported separately for the local region
 // (South Carolina, Fig 7) and the remote region (Hong Kong, Fig 8).
 func Fig7And8(w io.Writer, o Options) (local, remote []SweepRow) {
-	warm, dur := o.durations()
 	for _, region := range []string{"South Carolina", "Hong Kong"} {
 		fig := "Fig 7 (local region: South Carolina)"
 		if region == "Hong Kong" {
@@ -165,24 +249,28 @@ func Fig7And8(w io.Writer, o Options) (local, remote []SweepRow) {
 		fmt.Fprintf(w, "\n%s — MicroBench skew 0.5, varying per-coordinator rate\n", fig)
 		sweepHeader(w, "rate/coord")
 	}
-	for _, p := range Protocols {
-		for _, rate := range o.rates() {
-			spec, gen := o.microSpec(p, 0.5, false, clocks.ModelChrony)
-			d := buildScaled(spec)
-			res := RunLoad(d, gen, LoadSpec{RatePerCoord: rate, Outstanding: 400, Warmup: warm, Duration: dur, Seed: o.Seed + 2})
-			run := res.Run
-			for _, region := range []string{"South Carolina", "Hong Kong"} {
-				lat := run.ByRegion[region]
-				if lat == nil {
-					lat = &metrics.Latency{}
-				}
-				row := SweepRow{Protocol: p, X: rate, Thpt: run.Throughput(),
-					Commit: run.Counters.CommitRate(), P50: lat.Percentile(50), P90: lat.Percentile(90)}
-				if region == "South Carolina" {
-					local = append(local, row)
-				} else {
-					remote = append(remote, row)
-				}
+	names := o.sweepProtocols(w)
+	rates := o.rates()
+	var runs []SpecRun
+	for _, p := range names {
+		for _, rate := range rates {
+			spec, _ := o.microSpec(p, 0.5, false, clocks.ModelChrony)
+			runs = append(runs, o.point(spec, rate, 2))
+		}
+	}
+	results := RunSpecs(runs, o.Workers)
+	for i, res := range results {
+		run := res.Run
+		p := runs[i].Spec.Protocol
+		rate := runs[i].Load.RatePerCoord
+		for _, region := range []string{"South Carolina", "Hong Kong"} {
+			lat := regionLatency(run, region)
+			row := SweepRow{Protocol: p, X: rate, Thpt: run.Throughput(),
+				Commit: run.Counters.CommitRate(), P50: lat.Percentile(50), P90: lat.Percentile(90)}
+			if region == "South Carolina" {
+				local = append(local, row)
+			} else {
+				remote = append(remote, row)
 			}
 		}
 	}
@@ -210,23 +298,28 @@ func (o Options) skews() []float64 {
 func Fig9(w io.Writer, o Options) []SweepRow {
 	fmt.Fprintln(w, "\nFig 9 — MicroBench, fixed rate, varying skew factor (all regions)")
 	sweepHeader(w, "skew")
-	warm, dur := o.durations()
 	rate := 800.0
 	if o.Quick {
 		rate = 600
 	}
-	var rows []SweepRow
-	for _, p := range Protocols {
-		for _, skew := range o.skews() {
-			spec, gen := o.microSpec(p, skew, false, clocks.ModelChrony)
-			d := buildScaled(spec)
-			res := RunLoad(d, gen, LoadSpec{RatePerCoord: rate, Outstanding: 400, Warmup: warm, Duration: dur, Seed: o.Seed + 3})
-			run := res.Run
-			row := SweepRow{Protocol: p, X: skew, Thpt: run.Throughput(),
-				Commit: run.Counters.CommitRate(), P50: run.Lat.Percentile(50), P90: run.Lat.Percentile(90)}
-			row.print(w)
-			rows = append(rows, row)
+	names := o.sweepProtocols(w)
+	skews := o.skews()
+	var runs []SpecRun
+	for _, p := range names {
+		for _, skew := range skews {
+			spec, _ := o.microSpec(p, skew, false, clocks.ModelChrony)
+			runs = append(runs, o.point(spec, rate, 3))
 		}
+	}
+	results := RunSpecs(runs, o.Workers)
+	var rows []SweepRow
+	for i, res := range results {
+		run := res.Run
+		row := SweepRow{Protocol: runs[i].Spec.Protocol, X: microSkew(runs[i].Spec),
+			Thpt: run.Throughput(), Commit: run.Counters.CommitRate(),
+			P50: run.Lat.Percentile(50), P90: run.Lat.Percentile(90)}
+		row.print(w)
+		rows = append(rows, row)
 	}
 	return rows
 }
@@ -235,31 +328,26 @@ func Fig9(w io.Writer, o Options) []SweepRow {
 func Fig10(w io.Writer, o Options) []SweepRow {
 	fmt.Fprintln(w, "\nFig 10 — TPC-C, varying per-coordinator rate (all regions)")
 	sweepHeader(w, "rate/coord")
-	warm, dur := o.durations()
 	rates := []float64{50, 125, 250, 500}
 	if o.Quick {
 		rates = []float64{100, 400}
 	}
-	var rows []SweepRow
-	for _, p := range Protocols {
-		if p == "NCC+" {
-			continue
-		}
+	names := o.sweepProtocols(w, "NCC+")
+	var runs []SpecRun
+	for _, p := range names {
 		for _, rate := range rates {
-			tg := tpcc.New(tpccConfig(o))
-			spec := ClusterSpec{
-				Protocol: p, Shards: 6, F: 1, Clock: clocks.ModelChrony,
-				CoordsPerRegion: 2, CoordsRemote: 2, Seed: o.Seed, Gen: tg,
-				CostScale: CPUScale,
-			}
-			d := buildScaled(spec)
-			res := RunLoad(d, tg, LoadSpec{RatePerCoord: rate, Outstanding: 400, Warmup: warm, Duration: dur, Seed: o.Seed + 4})
-			run := res.Run
-			row := SweepRow{Protocol: p, X: rate, Thpt: run.Throughput(),
-				Commit: run.Counters.CommitRate(), P50: run.Lat.Percentile(50), P90: run.Lat.Percentile(90)}
-			row.print(w)
-			rows = append(rows, row)
+			runs = append(runs, o.point(o.tpccSpec(p), rate, 4))
 		}
+	}
+	results := RunSpecs(runs, o.Workers)
+	var rows []SweepRow
+	for i, res := range results {
+		run := res.Run
+		row := SweepRow{Protocol: runs[i].Spec.Protocol, X: runs[i].Load.RatePerCoord,
+			Thpt: run.Throughput(), Commit: run.Counters.CommitRate(),
+			P50: run.Lat.Percentile(50), P90: run.Lat.Percentile(90)}
+		row.print(w)
+		rows = append(rows, row)
 	}
 	return rows
 }
@@ -273,20 +361,27 @@ type Fig11Result struct {
 
 // Fig11 reproduces Figure 11: Tiga's throughput and Hong Kong median latency
 // before and after killing one shard leader mid-run; the paper reports a
-// ~3.8 s gap until throughput recovers.
+// ~3.8 s gap until throughput recovers. The crash is injected through the
+// protocol.Faultable capability, so any protocol registering fault hooks can
+// reuse this experiment.
 func Fig11(w io.Writer, o Options) Fig11Result {
-	spec, gen := o.microSpec("Tiga", 0.5, false, clocks.ModelChrony)
-	d := buildScaled(spec)
+	spec, _ := o.microSpec("Tiga", 0.5, false, clocks.ModelChrony)
 	total := 16 * time.Second
 	if o.Quick {
 		total = 12 * time.Second
 	}
 	killAt := 5 * time.Second
-	d.Sim.At(killAt, func() { d.TigaCluster.KillServer(1, 0) })
-	res := RunLoad(d, gen, LoadSpec{
-		RatePerCoord: 1000, Outstanding: 600, Warmup: 0, Duration: total,
-		Seed: o.Seed + 5, TrackSamples: true,
-	})
+	res := RunSpecs([]SpecRun{{
+		Spec: spec,
+		Load: LoadSpec{
+			RatePerCoord: 1000, Outstanding: 600, Warmup: 0, Duration: total,
+			Seed: o.Seed + 5, TrackSamples: true,
+		},
+		Setup: func(d *Deployment) {
+			faulty := d.Sys.(protocol.Faultable)
+			d.Sim.At(killAt, func() { faulty.KillServer(1, 0) })
+		},
+	}}, 1)[0]
 	// Build per-second series.
 	secs := int(total/time.Second) + 1
 	thpt := make([]float64, secs)
@@ -337,16 +432,22 @@ func Fig11(w io.Writer, o Options) Fig11Result {
 // Table2 reproduces Table 2: maximum throughput and p50 latency after server
 // rotation (leaders separated across regions), with deltas vs co-location.
 // Detock is excluded as in the paper (its home directories are already
-// spread across regions).
+// spread across regions); NCC+ as in Table 1.
 func Table2(w io.Writer, o Options) map[string][4]float64 {
 	fmt.Fprintln(w, "\nTable 2 — server rotation (leaders separated)")
 	fmt.Fprintf(w, "%-12s %12s %8s %10s %8s\n", "Protocol", "Thpt(txn/s)", "Δthpt%", "p50(ms)", "Δp50%")
 	out := make(map[string][4]float64)
-	for _, p := range []string{"2PL+Paxos", "OCC+Paxos", "Tapir", "Janus", "Calvin+", "NCC", "Tiga"} {
-		spec0, gen0 := o.microSpec(p, 0.5, false, clocks.ModelChrony)
-		base := o.maxThroughput(p, gen0, spec0, 3000)
-		spec1, gen1 := o.microSpec(p, 0.5, true, clocks.ModelChrony)
-		rot := o.maxThroughput(p, gen1, spec1, 3000)
+	names := o.sweepProtocols(w, "NCC+", "Detock")
+	runs := make([]SpecRun, 0, 2*len(names))
+	for _, p := range names {
+		spec0, _ := o.microSpec(p, 0.5, false, clocks.ModelChrony)
+		runs = append(runs, o.saturate(spec0, 3000))
+		spec1, _ := o.microSpec(p, 0.5, true, clocks.ModelChrony)
+		runs = append(runs, o.saturate(spec1, 3000))
+	}
+	results := RunSpecs(runs, o.Workers)
+	for i, p := range names {
+		base, rot := results[2*i].Run, results[2*i+1].Run
 		dThpt := 100 * (rot.Throughput() - base.Throughput()) / base.Throughput()
 		p50b := float64(base.Lat.Percentile(50)) / float64(time.Millisecond)
 		p50r := float64(rot.Lat.Percentile(50)) / float64(time.Millisecond)
@@ -362,29 +463,29 @@ func Table2(w io.Writer, o Options) map[string][4]float64 {
 func Fig12(w io.Writer, o Options) []SweepRow {
 	fmt.Fprintln(w, "\nFig 12 — Tiga-Colocate vs Tiga-Separate, p50 vs skew")
 	fmt.Fprintf(w, "%-16s %6s %16s %16s\n", "Variant", "skew", "SC p50", "HK p50")
-	warm, dur := o.durations()
-	var rows []SweepRow
+	skews := o.skews()
+	var runs []SpecRun
 	for _, rotated := range []bool{false, true} {
+		for _, skew := range skews {
+			spec, _ := o.microSpec("Tiga", skew, rotated, clocks.ModelChrony)
+			pt := o.point(spec, 80, 6)
+			pt.Load.Outstanding = 100
+			runs = append(runs, pt)
+		}
+	}
+	results := RunSpecs(runs, o.Workers)
+	var rows []SweepRow
+	for i, res := range results {
 		name := "Tiga-Colocate"
-		if rotated {
+		if runs[i].Spec.Rotated {
 			name = "Tiga-Separate"
 		}
-		for _, skew := range o.skews() {
-			spec, gen := o.microSpec("Tiga", skew, rotated, clocks.ModelChrony)
-			d := buildScaled(spec)
-			res := RunLoad(d, gen, LoadSpec{RatePerCoord: 80, Outstanding: 100, Warmup: warm, Duration: dur, Seed: o.Seed + 6})
-			run := res.Run
-			sc, hk := run.ByRegion["South Carolina"], run.ByRegion["Hong Kong"]
-			if sc == nil {
-				sc = &metrics.Latency{}
-			}
-			if hk == nil {
-				hk = &metrics.Latency{}
-			}
-			fmt.Fprintf(w, "%-16s %6.2f %16v %16v\n", name, skew,
-				sc.Percentile(50).Round(time.Millisecond), hk.Percentile(50).Round(time.Millisecond))
-			rows = append(rows, SweepRow{Protocol: name, X: skew, P50: sc.Percentile(50), P90: hk.Percentile(50)})
-		}
+		run := res.Run
+		skew := microSkew(runs[i].Spec)
+		sc, hk := regionLatency(run, "South Carolina"), regionLatency(run, "Hong Kong")
+		fmt.Fprintf(w, "%-16s %6.2f %16v %16v\n", name, skew,
+			sc.Percentile(50).Round(time.Millisecond), hk.Percentile(50).Round(time.Millisecond))
+		rows = append(rows, SweepRow{Protocol: name, X: skew, P50: sc.Percentile(50), P90: hk.Percentile(50)})
 	}
 	return rows
 }
@@ -399,50 +500,57 @@ type Fig13Row struct {
 
 // Fig13 reproduces Figure 13: Tiga's latency and rollback rate with varying
 // headroom deltas (plus the 0-Hdrm baseline), skew 0.99, leaders separated.
+// The rollback counts come from the protocol.RollbackReporter capability.
 func Fig13(w io.Writer, o Options) []Fig13Row {
 	fmt.Fprintln(w, "\nFig 13 — headroom sensitivity (skew 0.99, leaders separated)")
 	fmt.Fprintf(w, "%-10s %14s %14s %12s\n", "delta(ms)", "SC p50", "HK p50", "rollback%")
-	warm, dur := o.durations()
 	deltas := []float64{-50, -25, 0, 25, 50}
 	if o.Quick {
 		deltas = []float64{-25, 0, 25}
 	}
-	var rows []Fig13Row
-	run := func(label string, zero bool, deltaMs float64) {
-		spec, gen := o.microSpec("Tiga", 0.99, true, clocks.ModelChrony)
+	type variant struct {
+		label   string
+		zero    bool
+		deltaMs float64
+	}
+	variants := []variant{{"0-Hdrm", true, 0}}
+	for _, dm := range deltas {
+		variants = append(variants, variant{fmt.Sprintf("%+.0f", dm), false, dm})
+	}
+	runs := make([]SpecRun, 0, len(variants))
+	for _, v := range variants {
+		spec, _ := o.microSpec("Tiga", 0.99, true, clocks.ModelChrony)
 		base := spec.Tiga
+		v := v
 		spec.Tiga = func(cfg *tiga.Config) {
 			if base != nil {
 				base(cfg)
 			}
-			cfg.ZeroHeadroom = zero
-			cfg.HeadroomDelta = time.Duration(deltaMs * float64(time.Millisecond))
+			cfg.ZeroHeadroom = v.zero
+			cfg.HeadroomDelta = time.Duration(v.deltaMs * float64(time.Millisecond))
 		}
-		d := buildScaled(spec)
-		res := RunLoad(d, gen, LoadSpec{RatePerCoord: 20, Outstanding: 100, Warmup: warm, Duration: dur, Seed: o.Seed + 7})
+		pt := o.point(spec, 20, 7)
+		pt.Load.Outstanding = 100
+		pt.KeepDeployment = true // rollback counts are read post-run
+		runs = append(runs, pt)
+	}
+	results := RunSpecs(runs, o.Workers)
+	var rows []Fig13Row
+	for i, v := range variants {
+		res := results[i]
 		runm := res.Run
-		sc, hk := runm.ByRegion["South Carolina"], runm.ByRegion["Hong Kong"]
-		if sc == nil {
-			sc = &metrics.Latency{}
-		}
-		if hk == nil {
-			hk = &metrics.Latency{}
-		}
+		sc, hk := regionLatency(runm, "South Carolina"), regionLatency(runm, "Hong Kong")
 		rb := 0.0
-		if runm.Counters.Committed > 0 {
-			rb = 100 * float64(d.TigaCluster.TotalRollbacks()) / float64(runm.Counters.Committed)
+		if rr, ok := res.Deployment.Sys.(protocol.RollbackReporter); ok && runm.Counters.Committed > 0 {
+			rb = 100 * float64(rr.TotalRollbacks()) / float64(runm.Counters.Committed)
 		}
-		row := Fig13Row{DeltaMs: deltaMs, SCP50: sc.Percentile(50), HKP50: hk.Percentile(50), Rollback: rb}
-		if zero {
+		row := Fig13Row{DeltaMs: v.deltaMs, SCP50: sc.Percentile(50), HKP50: hk.Percentile(50), Rollback: rb}
+		if v.zero {
 			row.DeltaMs = -1e9
 		}
 		rows = append(rows, row)
-		fmt.Fprintf(w, "%-10s %14v %14v %12.1f\n", label,
+		fmt.Fprintf(w, "%-10s %14v %14v %12.1f\n", v.label,
 			row.SCP50.Round(time.Millisecond), row.HKP50.Round(time.Millisecond), rb)
-	}
-	run("0-Hdrm", true, 0)
-	for _, dm := range deltas {
-		run(fmt.Sprintf("%+.0f", dm), false, dm)
 	}
 	return rows
 }
@@ -453,15 +561,21 @@ func Table3(w io.Writer, o Options) map[string][2]float64 {
 	fmt.Fprintln(w, "\nTable 3 — Tiga with different clocks (skew 0.99)")
 	fmt.Fprintf(w, "%-10s %14s %16s\n", "Clock", "Thpt(txn/s)", "clock err (ms)")
 	out := make(map[string][2]float64)
-	for _, m := range []clocks.Model{clocks.ModelNtpd, clocks.ModelChrony, clocks.ModelHuygens, clocks.ModelBad} {
-		spec, gen := o.microSpec("Tiga", 0.99, false, m)
-		run := o.maxThroughput("Tiga", gen, spec, 3000)
+	models := []clocks.Model{clocks.ModelNtpd, clocks.ModelChrony, clocks.ModelHuygens, clocks.ModelBad}
+	runs := make([]SpecRun, 0, len(models))
+	for _, m := range models {
+		spec, _ := o.microSpec("Tiga", 0.99, false, m)
+		runs = append(runs, o.saturate(spec, 3000))
+	}
+	results := RunSpecs(runs, o.Workers)
+	for i, m := range models {
+		run := results[i].Run
 		// Measure the error the same way the paper does (a real-time clock
 		// monitor): sample a population of this model's clocks.
 		cf := clocks.NewFactory(m, time.Minute, o.Seed+9)
 		cs := make([]clocks.Clock, 16)
-		for i := range cs {
-			cs[i] = cf.New()
+		for j := range cs {
+			cs[j] = cf.New()
 		}
 		errMs := float64(clocks.MeasureError(cs, time.Minute, 64)) / float64(time.Millisecond)
 		out[m.String()] = [2]float64{run.Throughput(), errMs}
@@ -475,25 +589,25 @@ func Table3(w io.Writer, o Options) map[string][2]float64 {
 func Fig14(w io.Writer, o Options) []SweepRow {
 	fmt.Fprintln(w, "\nFig 14 — Tiga latency with different clocks")
 	fmt.Fprintf(w, "%-10s %10s %14s %14s\n", "Clock", "rate", "SC p50", "HK p50")
-	warm, dur := o.durations()
-	var rows []SweepRow
-	for _, m := range []clocks.Model{clocks.ModelNtpd, clocks.ModelChrony, clocks.ModelBad, clocks.ModelHuygens} {
-		for _, rate := range o.rates() {
-			spec, gen := o.microSpec("Tiga", 0.99, false, m)
-			d := buildScaled(spec)
-			res := RunLoad(d, gen, LoadSpec{RatePerCoord: rate, Outstanding: 400, Warmup: warm, Duration: dur, Seed: o.Seed + 8})
-			run := res.Run
-			sc, hk := run.ByRegion["South Carolina"], run.ByRegion["Hong Kong"]
-			if sc == nil {
-				sc = &metrics.Latency{}
-			}
-			if hk == nil {
-				hk = &metrics.Latency{}
-			}
-			fmt.Fprintf(w, "%-10s %10.0f %14v %14v\n", m.String(), rate,
-				sc.Percentile(50).Round(time.Millisecond), hk.Percentile(50).Round(time.Millisecond))
-			rows = append(rows, SweepRow{Protocol: m.String(), X: rate, P50: sc.Percentile(50), P90: hk.Percentile(50)})
+	models := []clocks.Model{clocks.ModelNtpd, clocks.ModelChrony, clocks.ModelBad, clocks.ModelHuygens}
+	rates := o.rates()
+	var runs []SpecRun
+	for _, m := range models {
+		for _, rate := range rates {
+			spec, _ := o.microSpec("Tiga", 0.99, false, m)
+			runs = append(runs, o.point(spec, rate, 8))
 		}
+	}
+	results := RunSpecs(runs, o.Workers)
+	var rows []SweepRow
+	for i, res := range results {
+		m := runs[i].Spec.Clock
+		rate := runs[i].Load.RatePerCoord
+		run := res.Run
+		sc, hk := regionLatency(run, "South Carolina"), regionLatency(run, "Hong Kong")
+		fmt.Fprintf(w, "%-10s %10.0f %14v %14v\n", m.String(), rate,
+			sc.Percentile(50).Round(time.Millisecond), hk.Percentile(50).Round(time.Millisecond))
+		rows = append(rows, SweepRow{Protocol: m.String(), X: rate, P50: sc.Percentile(50), P90: hk.Percentile(50)})
 	}
 	return rows
 }
@@ -504,9 +618,10 @@ func Fig14(w io.Writer, o Options) []SweepRow {
 func AblationEpsilon(w io.Writer, o Options) {
 	fmt.Fprintln(w, "\nAblation — coordination-free ε-bound mode (§6) vs timestamp agreement")
 	fmt.Fprintf(w, "%-22s %12s %9s %12s\n", "Variant", "Thpt(txn/s)", "Commit%", "p50")
-	warm, dur := o.durations()
-	for _, eps := range []time.Duration{0, 10 * time.Millisecond, 50 * time.Millisecond} {
-		spec, gen := o.microSpec("Tiga", 0.5, false, clocks.ModelHuygens)
+	epsilons := []time.Duration{0, 10 * time.Millisecond, 50 * time.Millisecond}
+	runs := make([]SpecRun, 0, len(epsilons))
+	for _, eps := range epsilons {
+		spec, _ := o.microSpec("Tiga", 0.5, false, clocks.ModelHuygens)
 		base := spec.Tiga
 		eps := eps
 		spec.Tiga = func(cfg *tiga.Config) {
@@ -515,8 +630,11 @@ func AblationEpsilon(w io.Writer, o Options) {
 			}
 			cfg.EpsilonBound = eps
 		}
-		d := buildScaled(spec)
-		res := RunLoad(d, gen, LoadSpec{RatePerCoord: 800, Outstanding: 400, Warmup: warm, Duration: dur, Seed: o.Seed + 10})
+		runs = append(runs, o.point(spec, 800, 10))
+	}
+	results := RunSpecs(runs, o.Workers)
+	for i, eps := range epsilons {
+		res := results[i]
 		name := "agreement (ε=0)"
 		if eps > 0 {
 			name = fmt.Sprintf("coordination-free ε=%v", eps)
@@ -531,9 +649,10 @@ func AblationEpsilon(w io.Writer, o Options) {
 func AblationSlowReply(w io.Writer, o Options) {
 	fmt.Fprintln(w, "\nAblation — per-entry slow replies vs Appendix E batched inquiries")
 	fmt.Fprintf(w, "%-12s %12s %12s %14s\n", "Variant", "Thpt(txn/s)", "p50", "msgs sent")
-	warm, dur := o.durations()
-	for _, batch := range []bool{false, true} {
-		spec, gen := o.microSpec("Tiga", 0.5, false, clocks.ModelChrony)
+	variants := []bool{false, true}
+	runs := make([]SpecRun, 0, len(variants))
+	for _, batch := range variants {
+		spec, _ := o.microSpec("Tiga", 0.5, false, clocks.ModelChrony)
 		base := spec.Tiga
 		batch := batch
 		spec.Tiga = func(cfg *tiga.Config) {
@@ -542,28 +661,25 @@ func AblationSlowReply(w io.Writer, o Options) {
 			}
 			cfg.BatchSlowReplies = batch
 		}
-		d := buildScaled(spec)
-		res := RunLoad(d, gen, LoadSpec{RatePerCoord: 800, Outstanding: 400, Warmup: warm, Duration: dur, Seed: o.Seed + 11})
+		pt := o.point(spec, 800, 11)
+		pt.KeepDeployment = true // message counts are read post-run
+		runs = append(runs, pt)
+	}
+	results := RunSpecs(runs, o.Workers)
+	for i, batch := range variants {
+		res := results[i]
 		name := "per-entry"
 		if batch {
 			name = "batched"
 		}
 		fmt.Fprintf(w, "%-12s %12.0f %12v %14d\n", name, res.Run.Throughput(),
-			res.Run.Lat.Percentile(50).Round(time.Millisecond), d.Net.Sent)
+			res.Run.Lat.Percentile(50).Round(time.Millisecond), res.Deployment.Net.Sent)
 	}
 }
 
 // Fig10ForProtocol runs one protocol's TPC-C point (bench harness helper).
 func Fig10ForProtocol(w io.Writer, o Options, protocol string, rate float64) []SweepRow {
-	warm, dur := o.durations()
-	tg := tpcc.New(tpccConfig(o))
-	spec := ClusterSpec{
-		Protocol: protocol, Shards: 6, F: 1, Clock: clocks.ModelChrony,
-		CoordsPerRegion: 2, CoordsRemote: 2, Seed: o.Seed, Gen: tg,
-		CostScale: CPUScale,
-	}
-	d := buildScaled(spec)
-	res := RunLoad(d, tg, LoadSpec{RatePerCoord: rate, Outstanding: 400, Warmup: warm, Duration: dur, Seed: o.Seed + 4})
+	res := RunSpecs([]SpecRun{o.point(o.tpccSpec(protocol), rate, 4)}, 1)[0]
 	run := res.Run
 	row := SweepRow{Protocol: protocol, X: rate, Thpt: run.Throughput(),
 		Commit: run.Counters.CommitRate(), P50: run.Lat.Percentile(50), P90: run.Lat.Percentile(90)}

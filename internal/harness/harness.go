@@ -3,41 +3,42 @@
 // evaluation method (§5.1): each coordinator submits transactions at a fixed
 // rate with a cap on outstanding transactions, and the harness measures
 // throughput, commit rate, and per-region latency percentiles.
+//
+// The harness knows no concrete protocol type: deployments are resolved
+// through the protocol registry (see internal/protocol), which each protocol
+// package joins via init-time self-registration. The blank imports below pull
+// those registrations in; adding a protocol means writing a package with a
+// protocol.Register call and listing it here (or importing it from the
+// binary that needs it).
 package harness
 
 import (
-	"fmt"
 	"math/rand"
 	"time"
 
 	"tiga/internal/checker"
 	"tiga/internal/clocks"
 	"tiga/internal/metrics"
-	"tiga/internal/protocols/calvin"
-	"tiga/internal/protocols/detock"
-	"tiga/internal/protocols/janus"
-	"tiga/internal/protocols/lockocc"
-	"tiga/internal/protocols/ncc"
-	"tiga/internal/protocols/tapir"
+	"tiga/internal/protocol"
 	"tiga/internal/simnet"
 	"tiga/internal/store"
 	"tiga/internal/tiga"
 	"tiga/internal/txn"
 	"tiga/internal/workload"
+
+	// Registered baseline protocols (tiga registers itself through the
+	// normal import above).
+	_ "tiga/internal/protocols/calvin"
+	_ "tiga/internal/protocols/detock"
+	_ "tiga/internal/protocols/janus"
+	_ "tiga/internal/protocols/lockocc"
+	_ "tiga/internal/protocols/ncc"
+	_ "tiga/internal/protocols/tapir"
 )
-
-// System is the protocol-independent submission interface.
-type System interface {
-	Submit(coord int, t *txn.Txn, done func(txn.Result))
-	NumCoords() int
-	Start()
-}
-
-// Protocol names accepted by Build.
-var Protocols = []string{"2PL+Paxos", "OCC+Paxos", "Tapir", "Janus", "Calvin+", "NCC", "NCC+", "Detock", "Tiga"}
 
 // ClusterSpec describes a deployment for one experiment run.
 type ClusterSpec struct {
+	// Protocol names a registered protocol (see protocol.Names()).
 	Protocol string
 	Shards   int
 	F        int
@@ -55,7 +56,8 @@ type ClusterSpec struct {
 	// Gen seeds the stores and generates load.
 	Gen workload.Generator
 	// Tiga lets experiments override Tiga's configuration (headroom deltas,
-	// epsilon mode, batching, ...).
+	// epsilon mode, batching, ...). It reaches the protocol through the
+	// registry's generic Tune hook, so only Tiga-family deployments see it.
 	Tiga func(*tiga.Config)
 	// CostScale multiplies every CPU cost (message handling, execution,
 	// graph work) by an integer factor. The experiment harness uses it to
@@ -64,14 +66,15 @@ type ClusterSpec struct {
 	CostScale int
 }
 
-// Deployment bundles a built system with its simulator and metadata.
+// Deployment bundles a built system with its simulator and metadata. The
+// system is protocol-agnostic; optional abilities are discovered by
+// asserting d.Sys against the protocol capability interfaces
+// (protocol.Checkable, protocol.Faultable, protocol.RollbackReporter).
 type Deployment struct {
 	Sim          *simnet.Sim
 	Net          *simnet.Network
-	Sys          System
+	Sys          protocol.System
 	CoordRegions []simnet.Region
-	// TigaCluster is non-nil when Protocol == "Tiga".
-	TigaCluster *tiga.Cluster
 }
 
 // CoordRegionList returns the paper's coordinator placement.
@@ -95,7 +98,16 @@ func (s ClusterSpec) serverRegion(shard, replica int) simnet.Region {
 	return simnet.Region(replica)
 }
 
-// Build constructs the deployment for the spec.
+// Base CPU cost units: the per-piece execution budget and the auxiliary tick
+// (graph work, PQ maintenance), calibrated once against Table 1's MicroBench
+// saturation throughputs and scaled per-protocol by each CostProfile.
+const (
+	baseExecUnit = 1200 * time.Nanosecond
+	baseTickUnit = 100 * time.Nanosecond
+)
+
+// Build constructs the deployment for the spec by dispatching through the
+// protocol registry. It panics on an unregistered protocol name.
 func Build(spec ClusterSpec) *Deployment {
 	if spec.Horizon == 0 {
 		spec.Horizon = time.Minute
@@ -112,84 +124,35 @@ func Build(spec ClusterSpec) *Deployment {
 	netCfg.DefaultCost = time.Duration(scale) * time.Microsecond
 	net := simnet.NewNetwork(sim, netCfg)
 	coords := spec.CoordRegionList()
-	seedFn := func(shard int, st *store.Store) {
-		if spec.Gen != nil {
-			spec.Gen.Seed(shard, st)
+
+	ctx := &protocol.BuildContext{
+		Net:          net,
+		Shards:       spec.Shards,
+		F:            spec.F,
+		Regions:      3,
+		Rotated:      spec.Rotated,
+		CoordRegions: coords,
+		ServerRegion: spec.serverRegion,
+		SeedStore: func(shard int, st *store.Store) {
+			if spec.Gen != nil {
+				spec.Gen.Seed(shard, st)
+			}
+		},
+		Clocks: clocks.NewFactory(spec.Clock, spec.Horizon, spec.Seed+1),
+	}
+	if tune := spec.Tiga; tune != nil {
+		ctx.Tune = func(cfg any) {
+			if c, ok := cfg.(*tiga.Config); ok {
+				tune(c)
+			}
 		}
 	}
-	d := &Deployment{Sim: sim, Net: net, CoordRegions: coords}
-
-	// Per-protocol CPU cost model: a per-piece execution budget calibrated
-	// once against Table 1's MicroBench saturation throughputs (the paper's
-	// n2-standard-16 testbed), then held fixed across every experiment. The
-	// multipliers reflect each protocol's per-transaction server work:
-	// Tiga's timestamp ordering is the cheapest; lock managers, per-replica
-	// OCC validation, RTC bookkeeping, and dependency graphs cost more.
-	exec := time.Duration(scale) * 1200 * time.Nanosecond
-	tick := time.Duration(scale) * 100 * time.Nanosecond
-
-	switch spec.Protocol {
-	case "Tiga":
-		cfg := tiga.DefaultConfig(spec.Shards, spec.F)
-		cfg.ExecCost = exec
-		cfg.PQCost = 3 * tick
-		if spec.Tiga != nil {
-			spec.Tiga(&cfg)
-		}
-		cf := clocks.NewFactory(spec.Clock, spec.Horizon, spec.Seed+1)
-		pl := tiga.ColocatedPlacement(coords)
-		if spec.Rotated {
-			pl = tiga.RotatedPlacement(coords, 3)
-		}
-		c := tiga.NewCluster(net, cfg, pl, cf, seedFn)
-		d.Sys, d.TigaCluster = c, c
-	case "2PL+Paxos", "OCC+Paxos":
-		cc, cost := lockocc.TwoPL, 17*exec
-		if spec.Protocol == "OCC+Paxos" {
-			cc, cost = lockocc.OCC, 18*exec
-		}
-		d.Sys = lockocc.New(lockocc.Spec{
-			CC: cc, Shards: spec.Shards, F: spec.F, Net: net,
-			ServerRegion: spec.serverRegion, CoordRegions: coords,
-			Seed: seedFn, ExecCost: cost,
-		})
-	case "Tapir":
-		d.Sys = tapir.New(tapir.Spec{
-			Shards: spec.Shards, F: spec.F, Net: net,
-			ServerRegion: spec.serverRegion, CoordRegions: coords,
-			Seed: seedFn, ExecCost: 5 * exec,
-		})
-	case "Janus":
-		d.Sys = janus.New(janus.Spec{
-			Shards: spec.Shards, F: spec.F, Net: net,
-			ServerRegion: spec.serverRegion, CoordRegions: coords,
-			Seed: seedFn, ExecCost: 5 * exec, GraphCost: 3 * tick,
-		})
-	case "Calvin+":
-		d.Sys = calvin.New(calvin.Spec{
-			Shards: spec.Shards, Regions: 3, Net: net, CoordRegions: coords,
-			Seed: seedFn, ExecCost: 9 * exec, Epoch: 10 * time.Millisecond,
-		})
-	case "Detock":
-		d.Sys = detock.New(detock.Spec{
-			Shards: spec.Shards, Regions: 3, Net: net, CoordRegions: coords,
-			Seed: seedFn, ExecCost: 10 * exec, GraphCost: 5 * tick,
-		})
-	case "NCC", "NCC+":
-		s := ncc.Spec{
-			Shards: spec.Shards, F: spec.F, Net: net,
-			HomeRegion: simnet.RegionSouthCarolina, CoordRegions: coords,
-			Seed: seedFn, ExecCost: 13 * exec,
-			Replicated: spec.Protocol == "NCC+",
-		}
-		if spec.Rotated {
-			s.HomeRegionOf = func(shard int) simnet.Region { return simnet.Region(shard % 3) }
-		}
-		d.Sys = ncc.New(s)
-	default:
-		panic(fmt.Sprintf("unknown protocol %q", spec.Protocol))
+	sys, err := protocol.Build(spec.Protocol, ctx,
+		time.Duration(scale)*baseExecUnit, time.Duration(scale)*baseTickUnit)
+	if err != nil {
+		panic(err)
 	}
-	return d
+	return &Deployment{Sim: sim, Net: net, Sys: sys, CoordRegions: coords}
 }
 
 // LoadSpec drives the open-loop workload.
@@ -201,8 +164,9 @@ type LoadSpec struct {
 	Seed         int64
 	// MaxChainRestarts bounds interactive-transaction restarts.
 	MaxChainRestarts int
-	// Check enables the strict-serializability checker (Tiga only — the
-	// baselines do not expose serialization timestamps).
+	// Check enables the strict-serializability checker. It is ignored for
+	// systems that do not implement protocol.Checkable (their results carry
+	// no serialization timestamps).
 	Check bool
 	// TrackSamples records every commit as a (time, latency, region) sample
 	// for time-series plots (Fig 11).
@@ -222,6 +186,9 @@ type RunResult struct {
 	Commits []checker.Commit
 	Counter *checker.Counter
 	Samples []Sample
+	// Deployment is the deployment the run was driven against, for
+	// post-run inspection (net counters, capability interfaces).
+	Deployment *Deployment
 }
 
 // RunLoad executes the open-loop workload against a built deployment and
@@ -233,11 +200,14 @@ func RunLoad(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResult {
 	if spec.MaxChainRestarts == 0 {
 		spec.MaxChainRestarts = 10
 	}
+	if _, ok := d.Sys.(protocol.Checkable); !ok {
+		spec.Check = false
+	}
 	d.Sys.Start()
 	run := metrics.NewRun()
 	run.Start = spec.Warmup
 	run.End = spec.Warmup + spec.Duration
-	res := &RunResult{Run: run, Counter: checker.NewCounter()}
+	res := &RunResult{Run: run, Counter: checker.NewCounter(), Deployment: d}
 
 	interval := time.Duration(float64(time.Second) / spec.RatePerCoord)
 	for ci := 0; ci < d.Sys.NumCoords(); ci++ {

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SpecRun is one independent experiment point for the parallel sweep driver:
+// a deployment spec plus the load to drive through it. Spec.Gen both seeds
+// the stores and generates the load — and it MUST be a fresh generator owned
+// by this run: generators may be stateful (e.g. tpcc.Gen allocates unique
+// order ids), so sharing one across points races under parallel workers and
+// breaks the serial-identical guarantee. The Options helpers (microSpec,
+// tpccSpec) already construct one per point.
+type SpecRun struct {
+	Spec ClusterSpec
+	Load LoadSpec
+	// Setup, when non-nil, runs after Build and before RunLoad — e.g. to
+	// schedule a mid-run fault on the deployment's simulator.
+	Setup func(d *Deployment)
+	// KeepDeployment preserves RunResult.Deployment for post-run inspection
+	// (net counters, capability interfaces). Off by default: a sweep's
+	// deployments would otherwise all stay reachable until the whole sweep
+	// finishes, multiplying peak memory by the point count.
+	KeepDeployment bool
+}
+
+// RunSpecs executes independent experiment points on a worker pool and
+// returns their results in input order. Every point owns a private simulator
+// seeded from its spec, so the results are identical to running the points
+// serially — scheduling only changes wall-clock time, not output. workers <= 0
+// uses all available cores. Peak memory scales with the worker count (each
+// in-flight point holds a full deployment: stores on every replica, lock
+// tables, logs); pass a smaller pool on memory-constrained machines.
+func RunSpecs(runs []SpecRun, workers int) []*RunResult {
+	out := make([]*RunResult, len(runs))
+	if len(runs) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	runOne := func(i int) {
+		r := runs[i]
+		d := Build(r.Spec)
+		if r.Setup != nil {
+			r.Setup(d)
+		}
+		out[i] = RunLoad(d, r.Spec.Gen, r.Load)
+		if !r.KeepDeployment {
+			out[i].Deployment = nil // let the point's simulator be collected
+		}
+	}
+	if workers == 1 {
+		for i := range runs {
+			runOne(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(runs) {
+					return
+				}
+				runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

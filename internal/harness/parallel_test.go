@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"tiga/internal/clocks"
+	"tiga/internal/protocol"
+	"tiga/internal/workload"
+)
+
+// TestRunSpecsSerialParallelIdentical pins RunSpecs's core guarantee: the
+// worker count changes only wall-clock time, never results. A regression
+// here means shared mutable state (or map-iteration order reaching a message
+// send) leaked into Build/RunLoad — the bug class that makes whole
+// experiment runs nondeterministic.
+func TestRunSpecsSerialParallelIdentical(t *testing.T) {
+	mkRuns := func() []SpecRun {
+		var runs []SpecRun
+		for _, p := range []string{"2PL+Paxos", "Tapir", "Janus", "Tiga"} {
+			runs = append(runs, SpecRun{
+				Spec: ClusterSpec{
+					Protocol: p, Shards: 3, F: 1, Clock: clocks.ModelChrony,
+					CoordsPerRegion: 1, CoordsRemote: 1, Seed: 77,
+					Gen: workload.NewMicroBench(3, 1000, 0.5),
+				},
+				Load: LoadSpec{RatePerCoord: 40, Warmup: 500 * time.Millisecond,
+					Duration: 2 * time.Second, Seed: 9},
+			})
+		}
+		return runs
+	}
+	serial := RunSpecs(mkRuns(), 1)
+	parallel := RunSpecs(mkRuns(), 4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i].Run, parallel[i].Run
+		if s.Counters != p.Counters {
+			t.Errorf("point %d: counters diverge: serial %+v parallel %+v", i, s.Counters, p.Counters)
+		}
+		if s.Throughput() != p.Throughput() {
+			t.Errorf("point %d: throughput diverges: %v vs %v", i, s.Throughput(), p.Throughput())
+		}
+		for _, pct := range []float64{50, 90, 99} {
+			if sl, pl := s.Lat.Percentile(pct), p.Lat.Percentile(pct); sl != pl {
+				t.Errorf("point %d: p%.0f diverges: %v vs %v", i, pct, sl, pl)
+			}
+		}
+	}
+}
+
+// TestRunSpecsDropsDeployments verifies sweep points release their simulators
+// unless explicitly retained — otherwise a large sweep pins every
+// deployment's stores in memory until the whole sweep finishes.
+func TestRunSpecsDropsDeployments(t *testing.T) {
+	gen := workload.NewMicroBench(3, 200, 0.5)
+	base := SpecRun{
+		Spec: ClusterSpec{
+			Protocol: "Tiga", Shards: 3, F: 1, Clock: clocks.ModelChrony,
+			CoordsPerRegion: 1, Seed: 3, Gen: gen,
+		},
+		Load: LoadSpec{RatePerCoord: 20, Duration: time.Second, Seed: 4},
+	}
+	kept := base
+	kept.KeepDeployment = true
+	res := RunSpecs([]SpecRun{base, kept}, 1)
+	if res[0].Deployment != nil {
+		t.Error("default point retained its Deployment")
+	}
+	if res[1].Deployment == nil {
+		t.Error("KeepDeployment point lost its Deployment")
+	} else if _, ok := res[1].Deployment.Sys.(protocol.Checkable); !ok {
+		t.Error("retained deployment lost capability access")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"tiga/internal/checker"
 	"tiga/internal/clocks"
+	"tiga/internal/protocol"
 	"tiga/internal/tiga"
 	"tiga/internal/txn"
 	"tiga/internal/workload"
@@ -70,11 +71,11 @@ func TestStrictSerializabilityStress(t *testing.T) {
 			}
 			// No committed effect may be lost (in-flight transactions at
 			// shutdown can add effects beyond the client-visible count).
-			c := d.TigaCluster
+			c := d.Sys.(*tiga.Cluster)
 			err := res.Counter.VerifyAtLeast(func(key string) int64 {
 				var sh, idx int
 				fmt.Sscanf(key, "k%d-%d", &sh, &idx)
-				return txn.DecodeInt(c.Leader(sh).Store().Get(key))
+				return txn.DecodeInt(c.LeaderStore(sh).Get(key))
 			})
 			if err != nil {
 				t.Fatalf("effect mismatch: %v", err)
@@ -98,7 +99,8 @@ func TestStrictSerializabilityUnderLeaderFailure(t *testing.T) {
 		Seed: 77, Gen: gen,
 	}
 	d := Build(spec)
-	d.Sim.At(2*time.Second, func() { d.TigaCluster.KillServer(0, 0) })
+	faulty := d.Sys.(protocol.Faultable)
+	d.Sim.At(2*time.Second, func() { faulty.KillServer(0, 0) })
 	res := RunLoad(d, gen, LoadSpec{
 		RatePerCoord: 50, Warmup: 0, Duration: 10 * time.Second,
 		Seed: 78, Check: true,

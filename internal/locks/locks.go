@@ -41,11 +41,18 @@ type Table struct {
 	// the protocol must abort that holder and eventually ReleaseAll it.
 	Wound func(victim txn.ID)
 	held  map[txn.ID][]string
+	// queued tracks the keys on which a transaction has waiting (never
+	// granted) requests, in request order, so ReleaseAll can purge them
+	// deterministically — grant callbacks run synchronously and feed the
+	// simulation's event order, so map-iteration order here would make whole
+	// runs diverge.
+	queued map[txn.ID][]string
 }
 
 // NewTable returns an empty lock table.
 func NewTable() *Table {
-	return &Table{locks: make(map[string]*lock), held: make(map[txn.ID][]string)}
+	return &Table{locks: make(map[string]*lock), held: make(map[txn.ID][]string),
+		queued: make(map[txn.ID][]string)}
 }
 
 func compatible(hs []holder, m Mode) bool {
@@ -102,22 +109,34 @@ func (t *Table) Acquire(key string, m Mode, id txn.ID, prio uint64, grant func()
 		}
 	}
 	l.queue = append(l.queue, waiter{holder: holder{id: id, prio: prio, mode: m}, grant: grant})
+	t.queued[id] = append(t.queued[id], key)
 	return false
 }
 
 // ReleaseAll drops every lock and queued request owned by id, granting any
-// now-compatible waiters (their grant callbacks run synchronously).
+// now-compatible waiters (their grant callbacks run synchronously, in the
+// deterministic order the requests were made).
 func (t *Table) ReleaseAll(id txn.ID) {
 	keys := t.held[id]
+	queued := t.queued[id]
 	delete(t.held, id)
+	delete(t.queued, id)
 	seen := map[string]bool{}
 	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
 		seen[k] = true
 		t.release(k, id)
 	}
 	// Also purge queued (never-granted) requests on other keys.
-	for key, l := range t.locks {
+	for _, key := range queued {
 		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		l := t.locks[key]
+		if l == nil {
 			continue
 		}
 		for i := 0; i < len(l.queue); {

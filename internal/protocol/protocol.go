@@ -1,0 +1,190 @@
+// Package protocol defines the protocol-independent contract between the
+// experiment harness and the transaction protocols, and a registry through
+// which protocols make themselves available by name.
+//
+// Each protocol package registers itself in an init function:
+//
+//	func init() {
+//		protocol.Register("Tapir", protocol.CostProfile{Exec: 5, Rank: 30},
+//			func(ctx *protocol.BuildContext) protocol.System { ... })
+//	}
+//
+// The harness resolves a deployment with protocol.Build, which looks up the
+// factory, converts the protocol's CostProfile into absolute CPU costs, and
+// hands the factory a BuildContext carrying the network, placement, seeding,
+// and tuning hooks. Nothing in the harness names a concrete protocol type;
+// optional abilities (serialization-timestamp checking, fault injection) are
+// discovered through the capability interfaces below.
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tiga/internal/clocks"
+	"tiga/internal/simnet"
+	"tiga/internal/store"
+	"tiga/internal/txn"
+)
+
+// System is the protocol-independent submission interface every registered
+// protocol implements.
+type System interface {
+	// Submit routes a transaction through the given coordinator index.
+	Submit(coord int, t *txn.Txn, done func(txn.Result))
+	// NumCoords returns the coordinator count.
+	NumCoords() int
+	// Start launches the system's periodic tasks; call once before running
+	// the simulator.
+	Start()
+}
+
+// Checkable is implemented by systems whose commit results carry globally
+// agreed serialization timestamps (txn.Result.TS), making them eligible for
+// the strict-serializability checker, and which expose per-shard leader
+// stores for effect verification against committed history.
+type Checkable interface {
+	System
+	// LeaderStore returns the current leader replica's store for a shard.
+	LeaderStore(shard int) *store.Store
+}
+
+// Faultable is implemented by systems that support the paper's failure and
+// recovery experiments (Fig 11): crashing a replica mid-run and rebooting it
+// with empty state.
+type Faultable interface {
+	System
+	KillServer(shard, replica int)
+	RestartServer(shard, replica int)
+}
+
+// RollbackReporter is implemented by systems that execute speculatively and
+// can revoke tentative executions; the count feeds the Fig 13 rollback-rate
+// column.
+type RollbackReporter interface {
+	TotalRollbacks() int64
+}
+
+// CostProfile declares a protocol's CPU-cost multipliers relative to the
+// harness base units — the per-piece execution budget calibrated once against
+// Table 1's MicroBench saturation throughputs (the paper's n2-standard-16
+// testbed) and held fixed across every experiment. The multipliers reflect
+// each protocol's per-transaction server work: Tiga's timestamp ordering is
+// the cheapest; lock managers, per-replica OCC validation, RTC bookkeeping,
+// and dependency graphs cost more.
+type CostProfile struct {
+	// Exec scales the base per-piece execution cost.
+	Exec int
+	// Aux scales the base tick cost charged to auxiliary bookkeeping
+	// (dependency-graph visits, priority-queue maintenance). Zero if the
+	// protocol has no such component.
+	Aux int
+	// Rank orders Names() into the paper's canonical Table 1 column order.
+	Rank int
+}
+
+// BuildContext carries everything a Factory needs to assemble a deployment.
+// ExecCost and AuxCost arrive already resolved from the protocol's
+// CostProfile and the harness base units.
+type BuildContext struct {
+	Net *simnet.Network
+	// Shards is the shard count m; F the tolerated failures per shard
+	// (2f+1 replicas where the protocol replicates).
+	Shards int
+	F      int
+	// Regions is the number of distinct server regions (3 in the paper's
+	// testbed).
+	Regions int
+	// Rotated separates leaders (or home shards) across regions (§5.5,
+	// Table 2); each protocol applies its own placement policy.
+	Rotated bool
+	// CoordRegions lists one region per coordinator.
+	CoordRegions []simnet.Region
+	// ServerRegion maps (shard, replica) to a region under the current
+	// rotation policy.
+	ServerRegion func(shard, replica int) simnet.Region
+	// SeedStore pre-populates one shard's store (also used to rebuild
+	// stores during recovery replay).
+	SeedStore func(shard int, st *store.Store)
+	// Clocks supplies per-node synchronized clocks for protocols that use
+	// them.
+	Clocks *clocks.Factory
+	// ExecCost is the resolved per-piece execution budget
+	// (CostProfile.Exec × base unit).
+	ExecCost time.Duration
+	// AuxCost is the resolved auxiliary tick cost (CostProfile.Aux × base
+	// tick unit).
+	AuxCost time.Duration
+	// Tune, when non-nil, is invoked with the protocol's config value
+	// (e.g. *tiga.Config) before the deployment is assembled, letting
+	// experiments override protocol-specific knobs without the harness
+	// naming concrete types.
+	Tune func(cfg any)
+}
+
+// Factory assembles a ready-to-start System from a BuildContext.
+type Factory func(ctx *BuildContext) System
+
+type entry struct {
+	cost  CostProfile
+	build Factory
+}
+
+var registry = map[string]entry{}
+
+// Register makes a protocol available under name. It is intended to be
+// called from package init functions and panics on duplicate names or nil
+// factories.
+func Register(name string, cost CostProfile, build Factory) {
+	if name == "" || build == nil {
+		panic("protocol: Register requires a name and a factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("protocol: duplicate registration of %q", name))
+	}
+	registry[name] = entry{cost: cost, build: build}
+}
+
+// Names returns every registered protocol in the paper's canonical order
+// (CostProfile.Rank, then name).
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := registry[out[i]].cost.Rank, registry[out[j]].cost.Rank
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Registered reports whether name has a registered factory.
+func Registered(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
+// Profile returns the registered cost profile for name.
+func Profile(name string) (CostProfile, bool) {
+	e, ok := registry[name]
+	return e.cost, ok
+}
+
+// Build looks up name's factory, resolves the protocol's CostProfile against
+// the given base units into ctx.ExecCost / ctx.AuxCost, and invokes the
+// factory. It returns an error naming the valid protocols when name is
+// unknown.
+func Build(name string, ctx *BuildContext, execUnit, auxUnit time.Duration) (System, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown protocol %q (registered: %v)", name, Names())
+	}
+	ctx.ExecCost = time.Duration(e.cost.Exec) * execUnit
+	ctx.AuxCost = time.Duration(e.cost.Aux) * auxUnit
+	return e.build(ctx), nil
+}

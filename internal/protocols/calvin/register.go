@@ -1,0 +1,21 @@
+package calvin
+
+import (
+	"time"
+
+	"tiga/internal/protocol"
+)
+
+// Calvin+ sequences epochs deterministically; its per-replica scheduler and
+// lock acquisition dominate per-transaction work. The 10 ms epoch matches the
+// paper's configuration.
+func init() {
+	protocol.Register("Calvin+", protocol.CostProfile{Exec: 9, Rank: 50},
+		func(ctx *protocol.BuildContext) protocol.System {
+			return New(Spec{
+				Shards: ctx.Shards, Regions: ctx.Regions, Net: ctx.Net,
+				CoordRegions: ctx.CoordRegions, Seed: ctx.SeedStore,
+				ExecCost: ctx.ExecCost, Epoch: 10 * time.Millisecond,
+			})
+		})
+}

@@ -329,13 +329,20 @@ func (en *engine) execute(d *dtxn) {
 		writes[sh] = v.writes
 	}
 	// Synchronous geo-replication: wait for f=1 remote ack before reporting.
+	// Replicate in shard order — send order feeds the simulation's event
+	// order, so map iteration here would diverge runs.
+	repShards := make([]int, 0, len(writes))
+	for sh := range writes {
+		repShards = append(repShards, sh)
+	}
+	sort.Ints(repShards)
 	d.acks[en.region] = true
 	for reg := 0; reg < en.sys.spec.Regions; reg++ {
 		if reg == en.region {
 			continue
 		}
-		for sh, w := range writes {
-			en.node.Send(en.sys.engines[reg].node.ID(), replWrite{ID: d.t.ID, Shard: sh, Writes: w})
+		for _, sh := range repShards {
+			en.node.Send(en.sys.engines[reg].node.ID(), replWrite{ID: d.t.ID, Shard: sh, Writes: writes[sh]})
 		}
 	}
 }

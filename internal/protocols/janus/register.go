@@ -1,0 +1,16 @@
+package janus
+
+import "tiga/internal/protocol"
+
+// Janus tracks dependencies and runs SCC-based deterministic execution; the
+// Aux component charges per graph node visited.
+func init() {
+	protocol.Register("Janus", protocol.CostProfile{Exec: 5, Aux: 3, Rank: 40},
+		func(ctx *protocol.BuildContext) protocol.System {
+			return New(Spec{
+				Shards: ctx.Shards, F: ctx.F, Net: ctx.Net,
+				ServerRegion: ctx.ServerRegion, CoordRegions: ctx.CoordRegions,
+				Seed: ctx.SeedStore, ExecCost: ctx.ExecCost, GraphCost: ctx.AuxCost,
+			})
+		})
+}

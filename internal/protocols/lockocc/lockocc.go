@@ -64,21 +64,21 @@ type voteMsg struct {
 	OK     bool
 	Ret    []byte
 	Writes map[string][]byte
-	Reads  map[string]uint64 // OCC: observed versions
 }
 
 type commitReq struct {
 	ID    txn.ID
 	Coord simnet.NodeID
-	Reads map[string]uint64
 }
 
 type abortReq struct{ ID txn.ID }
 
+// committedMsg reports a shard's replicated apply. The commit phase is
+// infallible (validation happens at vote time), so it carries no failure
+// flag.
 type committedMsg struct {
 	Shard int
 	ID    txn.ID
-	OK    bool
 }
 
 // commitRec is the Paxos-replicated commit record.
@@ -94,8 +94,9 @@ type pendingSrv struct {
 	wounded bool
 	voted   bool
 	writes  map[string][]byte
-	waiting int // outstanding lock grants (2PL)
-	occHeld []string
+	waiting int      // outstanding lock grants (2PL)
+	occHeld []string // OCC: write-locked keys
+	occRead []string // OCC: read-marked keys
 }
 
 // server is a shard leader plus its Paxos group membership.
@@ -106,8 +107,8 @@ type server struct {
 	node    *simnet.Node
 	st      *store.Store
 	lt      *locks.Table
-	vers    map[string]uint64 // OCC versions
-	occLock map[string]txn.ID // OCC prepared-key locks
+	occLock map[string]txn.ID          // OCC: key -> in-flight writer
+	occRead map[string]map[txn.ID]bool // OCC: key -> in-flight readers
 	pax     *paxos.Replica
 	pending map[txn.ID]*pendingSrv
 	onSlot  map[int]txn.ID // slot -> awaiting commit reply
@@ -147,7 +148,7 @@ func New(spec Spec) *System {
 			srv := &server{
 				sys: sys, shard: s, replica: r, node: node,
 				st: store.New(), lt: locks.NewTable(),
-				vers: make(map[string]uint64), occLock: make(map[string]txn.ID),
+				occLock: make(map[string]txn.ID), occRead: make(map[string]map[txn.ID]bool),
 				pending: make(map[txn.ID]*pendingSrv), onSlot: make(map[int]txn.ID),
 			}
 			srv.pax = paxos.NewReplica("pax", node, nodes[s], r, 0, spec.F)
@@ -201,7 +202,13 @@ func (s *server) handle(from simnet.NodeID, msg simnet.Message) {
 }
 
 func (s *server) onWound(victim txn.ID) {
-	if p := s.pending[victim]; p != nil {
+	// A transaction that already voted OK on THIS shard must not be wounded:
+	// its coordinator may already be committing it elsewhere, so aborting it
+	// here would break 2PC atomicity. The immunity is per-shard only — the
+	// same transaction can still be queued on another shard, so a wound-wait
+	// cycle spanning shards is not broken by this path and would need
+	// coordinator-side vote timeouts to resolve (see ROADMAP open items).
+	if p := s.pending[victim]; p != nil && !p.voted {
 		p.wounded = true
 	}
 }
@@ -215,15 +222,36 @@ func (s *server) onReqExec(m reqExec) {
 	s.pending[id] = p
 	piece := m.T.Pieces[s.shard]
 	if s.sys.spec.CC == OCC {
-		// Optimistic execution: no locks, record read versions.
+		// Optimistic execution with validation at prepare time: conflicts
+		// with in-flight transactions (write-write, read-write) fail the
+		// vote here, before any shard has applied anything, so the commit
+		// phase below is infallible and 2PC stays atomic.
 		s.node.Work(s.sys.spec.ExecCost)
-		reads := make(map[string]uint64, len(piece.ReadSet))
-		for _, k := range piece.ReadSet {
-			reads[k] = s.vers[k]
+		if s.occConflict(id, piece) {
+			delete(s.pending, id)
+			s.node.Send(m.Coord, voteMsg{Shard: s.shard, ID: id, OK: false})
+			return
 		}
+		for _, k := range piece.WriteSet {
+			s.occLock[k] = id
+			p.occHeld = append(p.occHeld, k)
+		}
+		for _, k := range piece.ReadSet {
+			if contains(piece.WriteSet, k) {
+				continue
+			}
+			rd := s.occRead[k]
+			if rd == nil {
+				rd = make(map[txn.ID]bool)
+				s.occRead[k] = rd
+			}
+			rd[id] = true
+			p.occRead = append(p.occRead, k)
+		}
+		p.voted = true
 		ret, writes := executeBuffered(s.st, piece)
 		p.writes = writes
-		s.node.Send(m.Coord, voteMsg{Shard: s.shard, ID: id, OK: true, Ret: ret, Writes: writes, Reads: reads})
+		s.node.Send(m.Coord, voteMsg{Shard: s.shard, ID: id, OK: true, Ret: ret, Writes: writes})
 		return
 	}
 	// 2PL: acquire all locks (wound-wait), then execute.
@@ -267,36 +295,35 @@ func (s *server) finishLock(id txn.ID) {
 	s.node.Send(p.coord, voteMsg{Shard: s.shard, ID: id, OK: true, Ret: ret, Writes: writes})
 }
 
+// occConflict reports whether the piece conflicts with any in-flight
+// transaction: its writes against their reads or writes, its reads against
+// their writes.
+func (s *server) occConflict(id txn.ID, piece *txn.Piece) bool {
+	for _, k := range piece.WriteSet {
+		if w, ok := s.occLock[k]; ok && w != id {
+			return true
+		}
+		for r := range s.occRead[k] {
+			if r != id {
+				return true
+			}
+		}
+	}
+	for _, k := range piece.ReadSet {
+		if w, ok := s.occLock[k]; ok && w != id {
+			return true
+		}
+	}
+	return false
+}
+
+// onCommitReq starts the replicated apply. Validation already happened at
+// vote time (OCC) or is guaranteed by held locks (2PL, wounds are rejected
+// after voting), so this phase cannot fail and commitment is atomic across
+// shards.
 func (s *server) onCommitReq(m commitReq) {
 	p := s.pending[m.ID]
 	if p == nil {
-		return
-	}
-	if s.sys.spec.CC == OCC {
-		// Validation: read versions unchanged and keys unlocked.
-		piece := s.pending[m.ID].t.Pieces[s.shard]
-		for k, v := range m.Reads {
-			if s.vers[k] != v {
-				s.failCommit(m, p)
-				return
-			}
-			if owner, locked := s.occLock[k]; locked && owner != m.ID {
-				s.failCommit(m, p)
-				return
-			}
-		}
-		for _, k := range piece.WriteSet {
-			if owner, locked := s.occLock[k]; locked && owner != m.ID {
-				s.failCommit(m, p)
-				return
-			}
-		}
-		for _, k := range piece.WriteSet {
-			s.occLock[k] = m.ID
-			p.occHeld = append(p.occHeld, k)
-		}
-	} else if p.wounded {
-		s.failCommit(m, p)
 		return
 	}
 	p.coord = m.Coord
@@ -304,23 +331,31 @@ func (s *server) onCommitReq(m commitReq) {
 	s.onSlot[slot] = m.ID
 }
 
-func (s *server) failCommit(m commitReq, p *pendingSrv) {
-	s.abortLocal(m.ID)
-	s.node.Send(m.Coord, committedMsg{Shard: s.shard, ID: m.ID, OK: false})
-}
-
 func (s *server) abortLocal(id txn.ID) {
 	p := s.pending[id]
 	if p == nil {
 		return
 	}
+	s.releaseOCC(p, id)
+	s.lt.ReleaseAll(id)
+	delete(s.pending, id)
+}
+
+// releaseOCC drops the transaction's OCC read marks and write locks.
+func (s *server) releaseOCC(p *pendingSrv, id txn.ID) {
 	for _, k := range p.occHeld {
 		if s.occLock[k] == id {
 			delete(s.occLock, k)
 		}
 	}
-	s.lt.ReleaseAll(id)
-	delete(s.pending, id)
+	for _, k := range p.occRead {
+		if rd := s.occRead[k]; rd != nil {
+			delete(rd, id)
+			if len(rd) == 0 {
+				delete(s.occRead, k)
+			}
+		}
+	}
 }
 
 // onPaxosCommit applies a replicated commit record on every replica; the
@@ -329,7 +364,6 @@ func (s *server) onPaxosCommit(slot int, cmd paxos.Command) {
 	rec := cmd.(commitRec)
 	for k, v := range rec.Writes {
 		s.st.Seed(k, v)
-		s.vers[k]++
 	}
 	if s.replica != 0 {
 		return
@@ -337,14 +371,10 @@ func (s *server) onPaxosCommit(slot int, cmd paxos.Command) {
 	if id, ok := s.onSlot[slot]; ok {
 		delete(s.onSlot, slot)
 		if p := s.pending[id]; p != nil {
-			for _, k := range p.occHeld {
-				if s.occLock[k] == id {
-					delete(s.occLock, k)
-				}
-			}
+			s.releaseOCC(p, id)
 			s.lt.ReleaseAll(id)
 			delete(s.pending, id)
-			s.node.Send(p.coord, committedMsg{Shard: s.shard, ID: id, OK: true})
+			s.node.Send(p.coord, committedMsg{Shard: s.shard, ID: id})
 		}
 	}
 }
@@ -445,18 +475,16 @@ func (co *coordinator) onVote(m voteMsg) {
 		return
 	}
 	p.phase = 1
-	for sh, v := range p.votes {
-		co.node.Send(co.sys.leaderNode(sh), commitReq{ID: m.ID, Coord: co.node.ID(), Reads: v.Reads})
+	// Shard order must be deterministic: the simulation's event order (and
+	// thus the whole run) follows message send order.
+	for _, sh := range p.t.Shards() {
+		co.node.Send(co.sys.leaderNode(sh), commitReq{ID: m.ID, Coord: co.node.ID()})
 	}
 }
 
 func (co *coordinator) onCommitted(m committedMsg) {
 	p := co.pending[m.ID]
 	if p == nil {
-		return
-	}
-	if !m.OK {
-		co.abort(p)
 		return
 	}
 	p.commits[m.Shard] = true

@@ -1,0 +1,21 @@
+package lockocc
+
+import "tiga/internal/protocol"
+
+// The layered baselines pay for a lock manager (2PL) or per-replica
+// validation (OCC) on top of Paxos replication, the highest per-transaction
+// CPU work in Table 1's calibration.
+func init() {
+	register("2PL+Paxos", TwoPL, protocol.CostProfile{Exec: 17, Rank: 10})
+	register("OCC+Paxos", OCC, protocol.CostProfile{Exec: 18, Rank: 20})
+}
+
+func register(name string, cc CC, cost protocol.CostProfile) {
+	protocol.Register(name, cost, func(ctx *protocol.BuildContext) protocol.System {
+		return New(Spec{
+			CC: cc, Shards: ctx.Shards, F: ctx.F, Net: ctx.Net,
+			ServerRegion: ctx.ServerRegion, CoordRegions: ctx.CoordRegions,
+			Seed: ctx.SeedStore, ExecCost: ctx.ExecCost,
+		})
+	})
+}

@@ -1,0 +1,16 @@
+package tapir
+
+import "tiga/internal/protocol"
+
+// Tapir consolidates concurrency control with inconsistent replication, so
+// its per-transaction work sits between Tiga and the layered baselines.
+func init() {
+	protocol.Register("Tapir", protocol.CostProfile{Exec: 5, Rank: 30},
+		func(ctx *protocol.BuildContext) protocol.System {
+			return New(Spec{
+				Shards: ctx.Shards, F: ctx.F, Net: ctx.Net,
+				ServerRegion: ctx.ServerRegion, CoordRegions: ctx.CoordRegions,
+				Seed: ctx.SeedStore, ExecCost: ctx.ExecCost,
+			})
+		})
+}

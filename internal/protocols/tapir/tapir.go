@@ -13,6 +13,7 @@
 package tapir
 
 import (
+	"sort"
 	"time"
 
 	"tiga/internal/simnet"
@@ -339,9 +340,17 @@ func (co *coordinator) decide(p *pending, commit bool) {
 	rets := make(map[int][]byte)
 	if commit {
 		for _, sh := range p.t.Shards() {
-			// Use the execution result from any PREPARE-OK vote.
-			for _, v := range p.votes[sh] {
-				if v.OK {
+			// Use the execution result from the lowest-numbered PREPARE-OK
+			// replica: TAPIR's inconsistent replicas may diverge, so a
+			// map-order pick would make the client-visible result (and the
+			// whole deterministic run) depend on map iteration.
+			reps := make([]int, 0, len(p.votes[sh]))
+			for rep := range p.votes[sh] {
+				reps = append(reps, rep)
+			}
+			sort.Ints(reps)
+			for _, rep := range reps {
+				if v := p.votes[sh][rep]; v.OK {
 					rets[sh] = v.Ret
 					break
 				}

@@ -1,6 +1,7 @@
 package tiga
 
 import (
+	"sort"
 	"time"
 
 	"tiga/internal/clocks"
@@ -253,7 +254,13 @@ func (co *Coordinator) inquireSlow() {
 			shards[sh] = true
 		}
 	}
+	// Deterministic send order: the simulation's event order follows it.
+	order := make([]int, 0, len(shards))
 	for sh := range shards {
+		order = append(order, sh)
+	}
+	sort.Ints(order)
+	for _, sh := range order {
 		for rep := 0; rep < co.cfg.Replicas(); rep++ {
 			if rep == co.gvec[sh]%co.cfg.Replicas() {
 				continue
@@ -281,12 +288,36 @@ func (co *Coordinator) onSlowInquiryRep(from simnet.NodeID, m slowInquiryRep) {
 		}
 		byRep[m.Replica] = slowReply{viewInfo: m.viewInfo, Shard: m.Shard, Replica: m.Replica, ID: p.t.ID, TS: lf.TS}
 	}
-	for id := range co.pending {
-		co.evaluate(co.pending[id])
-		if _, still := co.pending[id]; !still {
-			continue
+	// Evaluate in submission order: completions run client callbacks and
+	// sends, so map-iteration order here would diverge runs.
+	for _, id := range co.pendingInOrder() {
+		if p, ok := co.pending[id]; ok {
+			co.evaluate(p)
 		}
 	}
+}
+
+// sortIDs orders transaction IDs deterministically by (Coord, Seq) — the
+// canonical ordering every map-keyed scan must apply before its results feed
+// message sends or callbacks, or whole simulation runs diverge.
+func sortIDs(ids []txn.ID) {
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Coord != ids[j].Coord {
+			return ids[i].Coord < ids[j].Coord
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
+}
+
+// pendingInOrder returns the pending transaction IDs in submission (sequence)
+// order; all of a coordinator's IDs share its Coord component.
+func (co *Coordinator) pendingInOrder() []txn.ID {
+	ids := make([]txn.ID, 0, len(co.pending))
+	for id := range co.pending {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	return ids
 }
 
 // evaluate runs Algorithm 3's quorum checks and completes the transaction
@@ -367,8 +398,10 @@ func (co *Coordinator) adoptView(gv int, gvec []int, mode Mode) {
 	copy(co.gvec, gvec)
 	co.gmode = mode
 	// Replies gathered under the old view are useless; resubmit in the new
-	// view (§4: "In case of a view change, the coordinator retries").
-	for _, p := range co.pending {
+	// view (§4: "In case of a view change, the coordinator retries"), in
+	// deterministic submission order.
+	for _, id := range co.pendingInOrder() {
+		p := co.pending[id]
 		p.fast = make(map[int]map[int]fastReply)
 		p.slow = make(map[int]map[int]slowReply)
 		co.multicast(p)

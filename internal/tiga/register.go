@@ -1,0 +1,33 @@
+package tiga
+
+import (
+	"tiga/internal/protocol"
+	"tiga/internal/store"
+)
+
+// Tiga's consolidated design makes its per-transaction server work the
+// cheapest of the evaluated protocols: a timestamp comparison plus
+// priority-queue maintenance (the Aux component) instead of lock tables or
+// dependency graphs.
+func init() {
+	protocol.Register("Tiga", protocol.CostProfile{Exec: 1, Aux: 3, Rank: 90},
+		func(ctx *protocol.BuildContext) protocol.System {
+			cfg := DefaultConfig(ctx.Shards, ctx.F)
+			cfg.ExecCost = ctx.ExecCost
+			cfg.PQCost = ctx.AuxCost
+			if ctx.Tune != nil {
+				ctx.Tune(&cfg)
+			}
+			pl := ColocatedPlacement(ctx.CoordRegions)
+			if ctx.Rotated {
+				pl = RotatedPlacement(ctx.CoordRegions, ctx.Regions)
+			}
+			return NewCluster(ctx.Net, cfg, pl, ctx.Clocks, ctx.SeedStore)
+		})
+}
+
+// LeaderStore returns the current leader replica's store for a shard
+// (protocol.Checkable).
+func (c *Cluster) LeaderStore(shard int) *store.Store {
+	return c.Leader(shard).Store()
+}

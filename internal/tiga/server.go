@@ -805,10 +805,18 @@ func (s *Server) resendAgreements() {
 	if s.status != statusNormal || !s.IsLeader() {
 		return
 	}
-	for _, r := range s.recs {
+	// Broadcast in a deterministic ID order — rebroadcast sends feed the
+	// simulation's event order.
+	ids := make([]txn.ID, 0, len(s.recs))
+	for id, r := range s.recs {
 		if r.t == nil || r.agreed || r.released || !r.multiShard() {
 			continue
 		}
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	for _, id := range ids {
+		r := s.recs[id]
 		switch r.round {
 		case 1:
 			s.broadcastNotification(r, 1, r.round1[s.shard])
