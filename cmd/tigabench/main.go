@@ -8,6 +8,7 @@
 //	tigabench -exp fig9              # Fig 9: skew sweep
 //	tigabench -exp fig10             # Fig 10: TPC-C rate sweep
 //	tigabench -exp fig11             # Fig 11: leader failure recovery
+//	tigabench -exp fig11b            # Fig 11 analogue: 2PL+Paxos leader crash + reboot
 //	tigabench -exp table2            # Table 2: server rotation
 //	tigabench -exp fig12             # Fig 12: colocate vs separate
 //	tigabench -exp fig13             # Fig 13: headroom sensitivity
@@ -15,6 +16,14 @@
 //	tigabench -exp fig14             # Fig 14: latency per clock model
 //	tigabench -exp ablations         # extra ablations (ε-mode, Appendix E)
 //	tigabench -exp all               # everything
+//
+// Tuning:
+//
+//	tigabench -knobs                           # list every protocol's knobs
+//	tigabench -set Tiga.delta=20ms -exp fig13  # override a knob (repeatable)
+//	tigabench -op 2PL+Paxos=1500,200 -exp table1
+//	                                 # per-protocol operating point:
+//	                                 # saturation rate[,outstanding cap]
 //
 // Add -quick for a reduced sweep (seconds instead of minutes per figure).
 // Independent sweep points run on the parallel driver; -workers bounds the
@@ -29,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,6 +57,7 @@ var experiments = []struct {
 	{"fig9", func(w *os.File, o harness.Options) { harness.Fig9(w, o) }},
 	{"fig10", func(w *os.File, o harness.Options) { harness.Fig10(w, o) }},
 	{"fig11", func(w *os.File, o harness.Options) { harness.Fig11(w, o) }},
+	{"fig11b", func(w *os.File, o harness.Options) { harness.Fig11Baseline(w, o) }},
 	{"table2", func(w *os.File, o harness.Options) { harness.Table2(w, o) }},
 	{"fig12", func(w *os.File, o harness.Options) { harness.Fig12(w, o) }},
 	{"fig13", func(w *os.File, o harness.Options) { harness.Fig13(w, o) }},
@@ -69,6 +80,123 @@ func experimentNames() []string {
 	return append(names, "all")
 }
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tigabench: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// printKnobs lists every registered protocol's knob schema.
+func printKnobs(w *os.File) {
+	for _, p := range protocol.Names() {
+		schema, _ := protocol.Knobs(p)
+		fmt.Fprintf(w, "%s\n", p)
+		if len(schema) == 0 {
+			fmt.Fprintf(w, "  (no knobs)\n")
+			continue
+		}
+		for _, k := range schema {
+			def := fmt.Sprintf("%v", k.Default)
+			if d, ok := k.Default.(time.Duration); ok {
+				def = d.String()
+			}
+			fmt.Fprintf(w, "  -set %s.%s=<%s>  (default %s)\n      %s\n",
+				p, k.Name, k.Type, def, k.Doc)
+		}
+	}
+}
+
+// parseSets turns repeated -set proto.knob=value flags into the harness knob
+// map, validating the protocol, the knob name, and the value's type against
+// the registered schema. Any mistake exits 2 with the valid alternatives,
+// mirroring the -exp/-protocols validation.
+func parseSets(sets []string) map[string]map[string]any {
+	if len(sets) == 0 {
+		return nil
+	}
+	out := make(map[string]map[string]any)
+	for _, s := range sets {
+		assign := strings.SplitN(s, "=", 2)
+		if len(assign) != 2 {
+			fail("-set %q: want proto.knob=value", s)
+		}
+		path := strings.SplitN(assign[0], ".", 2)
+		if len(path) != 2 {
+			fail("-set %q: want proto.knob=value", s)
+		}
+		proto, name, raw := path[0], path[1], assign[1]
+		schema, ok := protocol.Knobs(proto)
+		if !ok {
+			fail("-set %q: unknown protocol %q\nregistered protocols: %s",
+				s, proto, strings.Join(protocol.Names(), ", "))
+		}
+		knob, found := schema.Find(name)
+		if !found {
+			fail("-set %q: protocol %s has no knob %q\nvalid knobs: %s (see -knobs)",
+				s, proto, name, strings.Join(schema.Names(), ", "))
+		}
+		v, err := protocol.ParseValue(knob, raw)
+		if err != nil {
+			fail("-set %q: %v", s, err)
+		}
+		m := out[proto]
+		if m == nil {
+			m = make(map[string]any)
+			out[proto] = m
+		}
+		m[name] = v
+	}
+	return out
+}
+
+// parseOps turns repeated -op proto=rate[,outstanding] flags into the
+// per-protocol operating-point map.
+func parseOps(ops []string) map[string]harness.OpPoint {
+	if len(ops) == 0 {
+		return nil
+	}
+	out := make(map[string]harness.OpPoint)
+	for _, s := range ops {
+		assign := strings.SplitN(s, "=", 2)
+		if len(assign) != 2 {
+			fail("-op %q: want proto=rate[,outstanding]", s)
+		}
+		proto := assign[0]
+		if !protocol.Registered(proto) {
+			fail("-op %q: unknown protocol %q\nregistered protocols: %s",
+				s, proto, strings.Join(protocol.Names(), ", "))
+		}
+		parts := strings.Split(assign[1], ",")
+		if len(parts) > 2 {
+			fail("-op %q: want proto=rate[,outstanding]", s)
+		}
+		var op harness.OpPoint
+		rate, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil || rate <= 0 {
+			fail("-op %q: %q is not a positive rate", s, parts[0])
+		}
+		op.SaturationRate = rate
+		if len(parts) == 2 {
+			n, err := strconv.Atoi(parts[1])
+			if err != nil || n <= 0 {
+				fail("-op %q: %q is not a positive outstanding cap", s, parts[1])
+			}
+			op.Outstanding = n
+		}
+		out[proto] = op
+	}
+	return out
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: "+strings.Join(experimentNames(), "|"))
 	quick := flag.Bool("quick", false, "reduced sweeps and durations")
@@ -77,7 +205,17 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = all cores, 1 = serial)")
 	protocols := flag.String("protocols", "",
 		"comma-separated protocol subset for the sweeps (default: all registered)")
+	listKnobs := flag.Bool("knobs", false, "list every protocol's knobs with defaults and exit")
+	var sets multiFlag
+	flag.Var(&sets, "set", "knob override proto.knob=value (repeatable; see -knobs)")
+	var ops multiFlag
+	flag.Var(&ops, "op", "operating-point override proto=rate[,outstanding] (repeatable)")
 	flag.Parse()
+
+	if *listKnobs {
+		printKnobs(os.Stdout)
+		return
+	}
 
 	if *exp != "all" {
 		valid := false
@@ -88,9 +226,8 @@ func main() {
 			}
 		}
 		if !valid {
-			fmt.Fprintf(os.Stderr, "tigabench: unknown experiment %q\nvalid experiments: %s\n",
+			fail("unknown experiment %q\nvalid experiments: %s",
 				*exp, strings.Join(experimentNames(), ", "))
-			os.Exit(2)
 		}
 	}
 
@@ -102,16 +239,16 @@ func main() {
 				continue
 			}
 			if !protocol.Registered(p) {
-				fmt.Fprintf(os.Stderr, "tigabench: unknown protocol %q\nregistered protocols: %s\n",
+				fail("unknown protocol %q\nregistered protocols: %s",
 					p, strings.Join(protocol.Names(), ", "))
-				os.Exit(2)
 			}
 			subset = append(subset, p)
 		}
 	}
 
 	o := harness.Options{Seed: *seed, Quick: *quick, Keys: *keys,
-		Workers: *workers, Protocols: subset}
+		Workers: *workers, Protocols: subset,
+		Knobs: parseSets(sets), Ops: parseOps(ops)}
 	w := os.Stdout
 	start := time.Now()
 

@@ -10,7 +10,6 @@ import (
 	"tiga/internal/clocks"
 	"tiga/internal/metrics"
 	"tiga/internal/protocol"
-	"tiga/internal/tiga"
 	"tiga/internal/tpcc"
 	"tiga/internal/workload"
 )
@@ -45,6 +44,47 @@ type Options struct {
 	// Protocols restricts multi-protocol sweeps to a subset of
 	// protocol.Names() (nil = every registered protocol).
 	Protocols []string
+	// Knobs holds per-protocol knob overrides (protocol name -> knob name ->
+	// value) applied to every spec the experiments construct. User overrides
+	// win over experiment-imposed operating conditions (the saturation
+	// retry-timeout stretch) but not over the parameters an experiment
+	// exists to sweep (Fig 13's headroom, the ablation toggles).
+	Knobs map[string]map[string]any
+	// Ops overrides the driving operating point per protocol. The sweeps
+	// otherwise share one saturation rate and outstanding cap across every
+	// system, which under- or over-drives protocols whose capacity differs
+	// by an order of magnitude (geo-distributed operating points are
+	// inherently per-protocol).
+	Ops map[string]OpPoint
+}
+
+// OpPoint is one protocol's driving operating point.
+type OpPoint struct {
+	// SaturationRate replaces the shared per-coordinator rate in the
+	// maximum-throughput experiments (Tables 1 and 2). 0 keeps the shared
+	// rate.
+	SaturationRate float64
+	// Outstanding replaces the shared in-flight cap per coordinator in
+	// every experiment. 0 keeps the shared cap.
+	Outstanding int
+}
+
+// copyKnobs deep-copies a knob override map so each spec owns its inner
+// maps: experiments layer spec-specific knobs on top, and shared inner maps
+// would leak one point's overrides into every other point of the sweep.
+func copyKnobs(in map[string]map[string]any) map[string]map[string]any {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[string]map[string]any, len(in))
+	for p, m := range in {
+		mm := make(map[string]any, len(m))
+		for k, v := range m {
+			mm[k] = v
+		}
+		out[p] = mm
+	}
+	return out
 }
 
 func (o Options) keys() int {
@@ -125,7 +165,7 @@ func (o Options) microSpec(protocol string, skew float64, rotated bool, clock cl
 	return ClusterSpec{
 		Protocol: protocol, Shards: 3, F: 1, Rotated: rotated, Clock: clock,
 		CoordsPerRegion: 2, CoordsRemote: 2, Seed: o.Seed, Gen: gen,
-		CostScale: CPUScale,
+		CostScale: CPUScale, Knobs: copyKnobs(o.Knobs),
 	}, gen
 }
 
@@ -134,35 +174,46 @@ func (o Options) tpccSpec(protocol string) ClusterSpec {
 	return ClusterSpec{
 		Protocol: protocol, Shards: 6, F: 1, Clock: clocks.ModelChrony,
 		CoordsPerRegion: 2, CoordsRemote: 2, Seed: o.Seed, Gen: tg,
-		CostScale: CPUScale,
+		CostScale: CPUScale, Knobs: copyKnobs(o.Knobs),
 	}
 }
 
 // saturate prepares one maximum-throughput point: the system is driven at a
-// saturating rate with coordinator retry timers stretched so saturation does
-// not trigger retransmission storms that would distort the measurement.
+// saturating rate with Tiga's coordinator retry timer stretched so
+// saturation does not trigger retransmission storms that would distort the
+// measurement. A per-protocol operating point (Options.Ops) replaces the
+// shared rate and outstanding cap.
 func (o Options) saturate(spec ClusterSpec, perCoordRate float64) SpecRun {
-	base := spec.Tiga
-	spec.Tiga = func(cfg *tiga.Config) {
-		if base != nil {
-			base(cfg)
-		}
-		cfg.RetryTimeout = 10 * time.Second
-	}
+	spec.setKnobDefault("Tiga", "retry-timeout", 10*time.Second)
 	spec.CostScale = CPUScale
+	outstanding := 300
+	if op, ok := o.Ops[spec.Protocol]; ok {
+		if op.SaturationRate > 0 {
+			perCoordRate = op.SaturationRate
+		}
+		if op.Outstanding > 0 {
+			outstanding = op.Outstanding
+		}
+	}
 	warm, dur := o.durations()
 	return SpecRun{Spec: spec, Load: LoadSpec{
-		RatePerCoord: perCoordRate, Outstanding: 300,
+		RatePerCoord: perCoordRate, Outstanding: outstanding,
 		Warmup: warm, Duration: dur, Seed: o.Seed + 1,
 	}}
 }
 
-// point prepares one fixed-rate sweep point with the standard outstanding cap.
+// point prepares one fixed-rate sweep point with the standard outstanding
+// cap (or the protocol's operating-point override; the rate is the sweep's
+// X axis and stays shared).
 func (o Options) point(spec ClusterSpec, rate float64, seedOffset int64) SpecRun {
 	spec.CostScale = CPUScale
+	outstanding := 400
+	if op, ok := o.Ops[spec.Protocol]; ok && op.Outstanding > 0 {
+		outstanding = op.Outstanding
+	}
 	warm, dur := o.durations()
 	return SpecRun{Spec: spec, Load: LoadSpec{
-		RatePerCoord: rate, Outstanding: 400,
+		RatePerCoord: rate, Outstanding: outstanding,
 		Warmup: warm, Duration: dur, Seed: o.Seed + seedOffset,
 	}}
 }
@@ -382,7 +433,15 @@ func Fig11(w io.Writer, o Options) Fig11Result {
 			d.Sim.At(killAt, func() { faulty.KillServer(1, 0) })
 		},
 	}}, 1)[0]
-	// Build per-second series.
+	title := fmt.Sprintf("Fig 11 — Tiga leader failure at t=%v (paper: ~3.8 s recovery)", killAt)
+	return recoveryTimeline(w, title, res, total, killAt)
+}
+
+// recoveryTimeline folds a sample stream into the Fig 11 presentation:
+// per-second throughput, per-second Hong Kong median latency, and the
+// recovery time (first bucket after the kill back at >= 80% of the
+// pre-failure average).
+func recoveryTimeline(w io.Writer, title string, res *RunResult, total, killAt time.Duration) Fig11Result {
 	secs := int(total/time.Second) + 1
 	thpt := make([]float64, secs)
 	hk := make([][]time.Duration, secs)
@@ -404,8 +463,6 @@ func Fig11(w io.Writer, o Options) Fig11Result {
 		sort.Slice(ls, func(a, b int) bool { return ls[a] < ls[b] })
 		out.HKP50[i] = ls[len(ls)/2]
 	}
-	// Recovery time: first sub-second bucket after the kill where throughput
-	// returns to >= 80% of the pre-failure average.
 	var pre float64
 	kill := int(killAt / time.Second)
 	for i := 1; i < kill; i++ {
@@ -420,13 +477,58 @@ func Fig11(w io.Writer, o Options) Fig11Result {
 		}
 	}
 	out.RecoverySec = rec
-	fmt.Fprintf(w, "\nFig 11 — Tiga leader failure at t=%v (paper: ~3.8 s recovery)\n", killAt)
+	fmt.Fprintf(w, "\n%s\n", title)
 	fmt.Fprintf(w, "%5s %12s %12s\n", "sec", "thpt(txn/s)", "HK p50")
 	for i := 0; i < secs; i++ {
 		fmt.Fprintf(w, "%5d %12.0f %12v\n", i, thpt[i], out.HKP50[i].Round(time.Millisecond))
 	}
 	fmt.Fprintf(w, "recovery time: %.1f s\n", out.RecoverySec)
 	return out
+}
+
+// Fig11Baseline runs the Fig 11 failure scenario against a Paxos-backed
+// baseline — the first non-Tiga recovery curve. The 2PL+Paxos shard-1 leader
+// is crashed mid-run and rebooted 4 s later (rebuilding its log from the
+// surviving replicas); the vote-timeout knob is dialed down from its inert
+// 10 s default so transactions caught in the outage presume-abort and retry
+// instead of hanging, and undelivered commit decisions are re-sent to the
+// rebooted leader. Unlike Tiga (whose view change elects a co-located
+// replacement in ~3.8 s), the baseline has no leader election: throughput
+// on transactions touching the dead shard stays depressed until the reboot.
+func Fig11Baseline(w io.Writer, o Options) Fig11Result {
+	const proto = "2PL+Paxos"
+	spec, _ := o.microSpec(proto, 0.5, false, clocks.ModelChrony)
+	spec.setKnobDefault(proto, "vote-timeout", time.Second)
+	total := 16 * time.Second
+	if o.Quick {
+		total = 12 * time.Second
+	}
+	killAt := 5 * time.Second
+	restartAt := killAt + 4*time.Second
+	rate, outstanding := 300.0, 600
+	if op, ok := o.Ops[proto]; ok {
+		if op.SaturationRate > 0 {
+			rate = op.SaturationRate
+		}
+		if op.Outstanding > 0 {
+			outstanding = op.Outstanding
+		}
+	}
+	res := RunSpecs([]SpecRun{{
+		Spec: spec,
+		Load: LoadSpec{
+			RatePerCoord: rate, Outstanding: outstanding, Warmup: 0, Duration: total,
+			Seed: o.Seed + 5, TrackSamples: true,
+		},
+		Setup: func(d *Deployment) {
+			faulty := d.Sys.(protocol.Faultable)
+			d.Sim.At(killAt, func() { faulty.KillServer(1, 0) })
+			d.Sim.At(restartAt, func() { faulty.RestartServer(1, 0) })
+		},
+	}}, 1)[0]
+	title := fmt.Sprintf("Fig 11b — %s leader failure at t=%v, reboot at t=%v (no election: outage lasts until the reboot)",
+		proto, killAt, restartAt)
+	return recoveryTimeline(w, title, res, total, killAt)
 }
 
 // Table2 reproduces Table 2: maximum throughput and p50 latency after server
@@ -520,15 +622,8 @@ func Fig13(w io.Writer, o Options) []Fig13Row {
 	runs := make([]SpecRun, 0, len(variants))
 	for _, v := range variants {
 		spec, _ := o.microSpec("Tiga", 0.99, true, clocks.ModelChrony)
-		base := spec.Tiga
-		v := v
-		spec.Tiga = func(cfg *tiga.Config) {
-			if base != nil {
-				base(cfg)
-			}
-			cfg.ZeroHeadroom = v.zero
-			cfg.HeadroomDelta = time.Duration(v.deltaMs * float64(time.Millisecond))
-		}
+		spec.SetKnob("Tiga", "zero-headroom", v.zero)
+		spec.SetKnob("Tiga", "headroom-delta", time.Duration(v.deltaMs*float64(time.Millisecond)))
 		pt := o.point(spec, 20, 7)
 		pt.Load.Outstanding = 100
 		pt.KeepDeployment = true // rollback counts are read post-run
@@ -622,14 +717,7 @@ func AblationEpsilon(w io.Writer, o Options) {
 	runs := make([]SpecRun, 0, len(epsilons))
 	for _, eps := range epsilons {
 		spec, _ := o.microSpec("Tiga", 0.5, false, clocks.ModelHuygens)
-		base := spec.Tiga
-		eps := eps
-		spec.Tiga = func(cfg *tiga.Config) {
-			if base != nil {
-				base(cfg)
-			}
-			cfg.EpsilonBound = eps
-		}
+		spec.SetKnob("Tiga", "epsilon-bound", eps)
 		runs = append(runs, o.point(spec, 800, 10))
 	}
 	results := RunSpecs(runs, o.Workers)
@@ -653,14 +741,7 @@ func AblationSlowReply(w io.Writer, o Options) {
 	runs := make([]SpecRun, 0, len(variants))
 	for _, batch := range variants {
 		spec, _ := o.microSpec("Tiga", 0.5, false, clocks.ModelChrony)
-		base := spec.Tiga
-		batch := batch
-		spec.Tiga = func(cfg *tiga.Config) {
-			if base != nil {
-				base(cfg)
-			}
-			cfg.BatchSlowReplies = batch
-		}
+		spec.SetKnob("Tiga", "batch-slow-replies", batch)
 		pt := o.point(spec, 800, 11)
 		pt.KeepDeployment = true // message counts are read post-run
 		runs = append(runs, pt)

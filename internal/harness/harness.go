@@ -22,18 +22,18 @@ import (
 	"tiga/internal/protocol"
 	"tiga/internal/simnet"
 	"tiga/internal/store"
-	"tiga/internal/tiga"
 	"tiga/internal/txn"
 	"tiga/internal/workload"
 
-	// Registered baseline protocols (tiga registers itself through the
-	// normal import above).
+	// Registered protocols. The harness never names a concrete protocol
+	// type; the blank imports only pull in the init-time registrations.
 	_ "tiga/internal/protocols/calvin"
 	_ "tiga/internal/protocols/detock"
 	_ "tiga/internal/protocols/janus"
 	_ "tiga/internal/protocols/lockocc"
 	_ "tiga/internal/protocols/ncc"
 	_ "tiga/internal/protocols/tapir"
+	_ "tiga/internal/tiga"
 )
 
 // ClusterSpec describes a deployment for one experiment run.
@@ -55,10 +55,16 @@ type ClusterSpec struct {
 	Horizon         time.Duration
 	// Gen seeds the stores and generates load.
 	Gen workload.Generator
-	// Tiga lets experiments override Tiga's configuration (headroom deltas,
-	// epsilon mode, batching, ...). It reaches the protocol through the
-	// registry's generic Tune hook, so only Tiga-family deployments see it.
-	Tiga func(*tiga.Config)
+	// Knobs holds per-protocol knob overrides, keyed by protocol name then
+	// knob name (see protocol.Knobs for each protocol's schema). Only the
+	// map under Knobs[Protocol] reaches the deployment being built; entries
+	// for other protocols are inert, so one knob set can be shared across a
+	// sweep's specs. Build panics (via the registry's validation) on unknown
+	// knob names or type mismatches.
+	//
+	// This replaces the pre-knob `Tiga func(*tiga.Config)` field: the
+	// harness no longer references any concrete protocol type.
+	Knobs map[string]map[string]any
 	// CostScale multiplies every CPU cost (message handling, execution,
 	// graph work) by an integer factor. The experiment harness uses it to
 	// shrink absolute throughput while preserving the protocols' relative
@@ -75,6 +81,31 @@ type Deployment struct {
 	Net          *simnet.Network
 	Sys          protocol.System
 	CoordRegions []simnet.Region
+}
+
+// SetKnob records a knob override for proto, allocating the maps as needed.
+func (s *ClusterSpec) SetKnob(proto, knob string, v any) {
+	if s.Knobs == nil {
+		s.Knobs = make(map[string]map[string]any)
+	}
+	m := s.Knobs[proto]
+	if m == nil {
+		m = make(map[string]any)
+		s.Knobs[proto] = m
+	}
+	m[knob] = v
+}
+
+// setKnobDefault records a knob override only when the caller has not set
+// one, so experiment-imposed operating conditions (e.g. the saturation
+// retry-timeout stretch) never clobber an explicit user override.
+func (s *ClusterSpec) setKnobDefault(proto, knob string, v any) {
+	if m := s.Knobs[proto]; m != nil {
+		if _, ok := m[knob]; ok {
+			return
+		}
+	}
+	s.SetKnob(proto, knob, v)
 }
 
 // CoordRegionList returns the paper's coordinator placement.
@@ -139,13 +170,7 @@ func Build(spec ClusterSpec) *Deployment {
 			}
 		},
 		Clocks: clocks.NewFactory(spec.Clock, spec.Horizon, spec.Seed+1),
-	}
-	if tune := spec.Tiga; tune != nil {
-		ctx.Tune = func(cfg any) {
-			if c, ok := cfg.(*tiga.Config); ok {
-				tune(c)
-			}
-		}
+		Knobs:  spec.Knobs[spec.Protocol],
 	}
 	sys, err := protocol.Build(spec.Protocol, ctx,
 		time.Duration(scale)*baseExecUnit, time.Duration(scale)*baseTickUnit)

@@ -5,9 +5,11 @@
 // OCC+Paxos, NCC+), exactly the "stacked" design whose extra WRTTs Tiga's
 // consolidation removes (§1, §2).
 //
-// Leader election is out of scope here: the baselines' fault tolerance is not
-// exercised by the paper's experiments (Fig 11 evaluates Tiga only), so the
-// leader is fixed at construction.
+// Leader election is out of scope here: the leader is fixed at construction.
+// What IS supported is rebooting that fixed leader — Snapshot/InstallLog let
+// a crashed leader rebuild its log from the surviving followers and resume,
+// which powers the baseline recovery experiment (the Fig 11 analogue for
+// 2PL+Paxos).
 package paxos
 
 import (
@@ -180,3 +182,48 @@ func (r *Replica) apply() {
 
 // Committed returns the number of committed slots (tests).
 func (r *Replica) Committed() int { return r.commitTo }
+
+// LogLen returns the log length, committed or not (recovery catch-up gate).
+func (r *Replica) LogLen() int { return len(r.log) }
+
+// Snapshot returns a copy of the replica's log and its commit point, for
+// recovery state transfer to a rebooting peer.
+func (r *Replica) Snapshot() ([]Command, int) {
+	return append([]Command(nil), r.log...), r.commitTo
+}
+
+// InstallLog adopts a log merged from the surviving replicas onto a freshly
+// constructed leader: the committed prefix is applied locally (OnCommit
+// replay), the commit point is pushed to followers, and adopted-but-
+// uncommitted tail entries are re-proposed under fresh acks. The tail is
+// truncated at the first gap — commit order is sequential, so a slot missing
+// from every survivor cannot have committed and neither can anything after
+// it. Leader only.
+func (r *Replica) InstallLog(log []Command, commitTo int) {
+	r.log = append(r.log[:0], log...)
+	if commitTo > len(r.log) {
+		commitTo = len(r.log) // defensive: a commit point past every survivor's log
+	}
+	for s := commitTo; s < len(r.log); s++ {
+		if r.log[s] == nil {
+			r.log = r.log[:s]
+			break
+		}
+	}
+	r.commitTo = commitTo
+	r.applied = 0
+	r.apply()
+	for i, p := range r.peers {
+		if i != r.me {
+			r.node.Send(p, commit{GroupTag: r.Tag, CommitTo: r.commitTo})
+		}
+	}
+	for s := r.commitTo; s < len(r.log); s++ {
+		r.acks[s] = map[int]bool{r.me: true}
+		for i, p := range r.peers {
+			if i != r.me {
+				r.node.Send(p, accept{GroupTag: r.Tag, Slot: s, Cmd: r.log[s], CommitTo: r.commitTo})
+			}
+		}
+	}
+}

@@ -2,19 +2,26 @@
 // experiment harness and the transaction protocols, and a registry through
 // which protocols make themselves available by name.
 //
-// Each protocol package registers itself in an init function:
+// Each protocol package registers itself in an init function, declaring its
+// tunable knobs alongside the factory:
 //
 //	func init() {
 //		protocol.Register("Tapir", protocol.CostProfile{Exec: 5, Rank: 30},
+//			protocol.Schema{
+//				{Name: "max-retries", Type: protocol.KnobInt, Default: 5,
+//					Doc: "client retries before reporting an abort"},
+//			},
 //			func(ctx *protocol.BuildContext) protocol.System { ... })
 //	}
 //
 // The harness resolves a deployment with protocol.Build, which looks up the
-// factory, converts the protocol's CostProfile into absolute CPU costs, and
-// hands the factory a BuildContext carrying the network, placement, seeding,
-// and tuning hooks. Nothing in the harness names a concrete protocol type;
-// optional abilities (serialization-timestamp checking, fault injection) are
-// discovered through the capability interfaces below.
+// factory, converts the protocol's CostProfile into absolute CPU costs,
+// type-checks the knob overrides in BuildContext.Knobs against the schema
+// (filling declared defaults), and hands the factory a BuildContext carrying
+// the network, placement, seeding, and validated knob values. Nothing in the
+// harness names a concrete protocol type; optional abilities (serialization-
+// timestamp checking, fault injection) are discovered through the capability
+// interfaces below.
 package protocol
 
 import (
@@ -116,11 +123,13 @@ type BuildContext struct {
 	// AuxCost is the resolved auxiliary tick cost (CostProfile.Aux × base
 	// tick unit).
 	AuxCost time.Duration
-	// Tune, when non-nil, is invoked with the protocol's config value
-	// (e.g. *tiga.Config) before the deployment is assembled, letting
-	// experiments override protocol-specific knobs without the harness
-	// naming concrete types.
-	Tune func(cfg any)
+	// Knobs carries the knob overrides for the protocol being built, keyed
+	// by knob name. Callers may leave it nil or sparse; Build validates it
+	// against the protocol's registered Schema (rejecting unknown names and
+	// type mismatches), fills the declared defaults, and replaces the field
+	// with the resolved Values — so factories read it through the typed
+	// getters (ctx.Knobs.Duration("delta"), ...) without nil checks.
+	Knobs Values
 }
 
 // Factory assembles a ready-to-start System from a BuildContext.
@@ -128,22 +137,24 @@ type Factory func(ctx *BuildContext) System
 
 type entry struct {
 	cost  CostProfile
+	knobs Schema
 	build Factory
 }
 
 var registry = map[string]entry{}
 
-// Register makes a protocol available under name. It is intended to be
-// called from package init functions and panics on duplicate names or nil
-// factories.
-func Register(name string, cost CostProfile, build Factory) {
+// Register makes a protocol available under name, with the given knob
+// schema. It is intended to be called from package init functions and panics
+// on duplicate names, nil factories, or malformed schemas.
+func Register(name string, cost CostProfile, knobs Schema, build Factory) {
 	if name == "" || build == nil {
 		panic("protocol: Register requires a name and a factory")
 	}
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("protocol: duplicate registration of %q", name))
 	}
-	registry[name] = entry{cost: cost, build: build}
+	knobs.validate(name)
+	registry[name] = entry{cost: cost, knobs: knobs, build: build}
 }
 
 // Names returns every registered protocol in the paper's canonical order
@@ -175,15 +186,38 @@ func Profile(name string) (CostProfile, bool) {
 	return e.cost, ok
 }
 
+// Knobs returns the registered knob schema for name (discovery: the CLI's
+// -knobs listing and -set validation).
+func Knobs(name string) (Schema, bool) {
+	e, ok := registry[name]
+	return e.knobs, ok
+}
+
+// ResolveKnobs validates raw knob overrides for name against its registered
+// schema without building anything (CLI validation, tests).
+func ResolveKnobs(name string, raw map[string]any) (Values, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown protocol %q (registered: %v)", name, Names())
+	}
+	return e.knobs.Resolve(raw)
+}
+
 // Build looks up name's factory, resolves the protocol's CostProfile against
-// the given base units into ctx.ExecCost / ctx.AuxCost, and invokes the
+// the given base units into ctx.ExecCost / ctx.AuxCost, validates ctx.Knobs
+// against the registered knob schema (filling defaults), and invokes the
 // factory. It returns an error naming the valid protocols when name is
-// unknown.
+// unknown, or the valid knobs when an override does not type-check.
 func Build(name string, ctx *BuildContext, execUnit, auxUnit time.Duration) (System, error) {
 	e, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("unknown protocol %q (registered: %v)", name, Names())
 	}
+	vals, err := e.knobs.Resolve(ctx.Knobs)
+	if err != nil {
+		return nil, fmt.Errorf("protocol %s: %w", name, err)
+	}
+	ctx.Knobs = vals
 	ctx.ExecCost = time.Duration(e.cost.Exec) * execUnit
 	ctx.AuxCost = time.Duration(e.cost.Aux) * auxUnit
 	return e.build(ctx), nil

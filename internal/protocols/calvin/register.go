@@ -11,11 +11,15 @@ import (
 // paper's configuration.
 func init() {
 	protocol.Register("Calvin+", protocol.CostProfile{Exec: 9, Rank: 50},
+		protocol.Schema{
+			{Name: "epoch", Type: protocol.KnobDuration, Default: 10 * time.Millisecond,
+				Doc: "sequencer epoch length: shorter cuts batching latency, longer amortizes the merge barrier"},
+		},
 		func(ctx *protocol.BuildContext) protocol.System {
 			return New(Spec{
 				Shards: ctx.Shards, Regions: ctx.Regions, Net: ctx.Net,
 				CoordRegions: ctx.CoordRegions, Seed: ctx.SeedStore,
-				ExecCost: ctx.ExecCost, Epoch: 10 * time.Millisecond,
+				ExecCost: ctx.ExecCost, Epoch: ctx.Knobs.Duration("epoch"),
 			})
 		})
 }

@@ -33,6 +33,10 @@ type Spec struct {
 	GraphCost    time.Duration
 	// Home maps a shard to its home region (default: shard % regions).
 	Home func(shard int) int
+	// DDRScan caps the pending transactions examined per arrival when
+	// building the deadlock-resolution conflict graph (default 256), so
+	// saturated queues do not turn per-arrival ordering into quadratic work.
+	DDRScan int
 }
 
 func tid(id txn.ID) uint64 { return uint64(id.Coord)<<40 | id.Seq }
@@ -110,6 +114,9 @@ func New(spec Spec) *System {
 	}
 	if spec.GraphCost == 0 {
 		spec.GraphCost = 150 * time.Nanosecond
+	}
+	if spec.DDRScan == 0 {
+		spec.DDRScan = 256
 	}
 	sys := &System{spec: spec}
 	for reg := 0; reg < spec.Regions; reg++ {
@@ -235,8 +242,8 @@ func (en *engine) tryOrder(d *dtxn) {
 	// per-arrival ordering into quadratic work (DDR only needs the recent
 	// conflicting window).
 	scan := en.queue
-	if len(scan) > 256 {
-		scan = scan[:256]
+	if max := en.sys.spec.DDRScan; len(scan) > max {
+		scan = scan[:max]
 	}
 	for _, o := range scan {
 		if o == d || o.t == nil || o.done {

@@ -31,6 +31,10 @@ type Spec struct {
 	ExecCost     time.Duration
 	// GraphCost is the CPU charged per graph node visited during SCC.
 	GraphCost time.Duration
+	// NoFastPath forces the accept round even when a super quorum reports
+	// identical dependencies (the "fast-path" knob, inverted so the zero
+	// value keeps Janus's normal 2-WRTT fast path).
+	NoFastPath bool
 }
 
 func tid(id txn.ID) uint64 { return uint64(id.Coord)<<40 | id.Seq }
@@ -343,7 +347,7 @@ func (sys *System) Submit(coord int, t *txn.Txn, done func(txn.Result)) {
 	co := sys.coords[coord]
 	co.seq++
 	t.ID = txn.ID{Coord: co.idx, Seq: co.seq}
-	p := &pending{t: t, done: done, fastPath: true,
+	p := &pending{t: t, done: done, fastPath: !sys.spec.NoFastPath,
 		votes:   make(map[int]map[int]preacceptRep),
 		accepts: make(map[int]map[int]bool),
 		results: make(map[int][]byte)}

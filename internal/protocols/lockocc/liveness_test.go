@@ -1,0 +1,125 @@
+package lockocc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tiga/internal/simnet"
+	"tiga/internal/store"
+	"tiga/internal/txn"
+)
+
+// buildCycleDeployment places the two shard leaders in different regions
+// (shard 0 -> region 0, shard 1 -> region 1) with one coordinator co-located
+// with each, so a transaction submitted near its "home" shard locks it
+// before the rival's WAN request arrives — the geometry that produces the
+// cross-shard wound-wait cycle from the ROADMAP:
+//
+//	T1 (older) votes on shard 0, waits on shard 1;
+//	T2 (younger) votes on shard 1, waits on shard 0 — T1's wound is ignored
+//	because T2 already voted there.
+//
+// Per-shard vote immunity can never break this cycle; only the coordinator's
+// vote timeout (presumed abort) can.
+func buildCycleDeployment(voteTimeout time.Duration) (*simnet.Sim, *System) {
+	sim := simnet.NewSim(11)
+	net := simnet.NewNetwork(sim, simnet.GeoConfig(0, 0)) // no jitter: exact geometry
+	sys := New(Spec{
+		CC: TwoPL, Shards: 2, F: 1, Net: net,
+		ServerRegion: func(shard, r int) simnet.Region { return simnet.Region((shard + r) % 3) },
+		CoordRegions: []simnet.Region{0, 1},
+		Seed: func(shard int, st *store.Store) {
+			st.Seed(fmt.Sprintf("cyc%d", shard), txn.EncodeInt(0))
+		},
+		ExecCost: time.Microsecond, VoteTimeout: voteTimeout,
+	})
+	sys.Start()
+	return sim, sys
+}
+
+func cycleTxn() *txn.Txn {
+	return &txn.Txn{Pieces: map[int]*txn.Piece{
+		0: txn.IncrementPiece("cyc0"),
+		1: txn.IncrementPiece("cyc1"),
+	}}
+}
+
+// submitCycle arms the T1/T2 collision and returns completion flags:
+// done[i] is set when transaction i's final result arrives, ok[i] when it
+// committed. T2 starts 20 ms after T1 — late enough that T1 has locked its
+// home shard, early enough that T2 locks shard 1 before T1's WAN request
+// lands there.
+func submitCycle(sim *simnet.Sim, sys *System) (done, ok *[2]bool) {
+	done, ok = new([2]bool), new([2]bool)
+	sim.At(10*time.Millisecond, func() {
+		sys.Submit(0, cycleTxn(), func(r txn.Result) { done[0] = true; ok[0] = r.OK })
+	})
+	sim.At(30*time.Millisecond, func() {
+		sys.Submit(1, cycleTxn(), func(r txn.Result) { done[1] = true; ok[1] = r.OK })
+	})
+	return done, ok
+}
+
+// TestCrossShardWoundWaitCycleHangsWithoutTimeout documents the liveness
+// hole the vote timeout exists to close: with the timer disabled, the cycle
+// never resolves, and later transactions queue behind the stuck locks
+// forever.
+func TestCrossShardWoundWaitCycleHangsWithoutTimeout(t *testing.T) {
+	sim, sys := buildCycleDeployment(0)
+	done, _ := submitCycle(sim, sys)
+	probeDone := false
+	sim.At(2*time.Second, func() {
+		sys.Submit(0, cycleTxn(), func(txn.Result) { probeDone = true })
+	})
+	sim.Run(20 * time.Second)
+	if done[0] || done[1] {
+		t.Fatalf("cycle resolved without a vote timeout (done=%v) — the regression geometry no longer deadlocks", *done)
+	}
+	if probeDone {
+		t.Fatal("probe transaction completed although the cycle holds its locks")
+	}
+}
+
+// TestVoteTimeoutResolvesCrossShardWoundWaitCycle is the regression test for
+// the fix: the same deadlock geometry, with the coordinator vote timeout
+// armed, resolves — both transactions reach a final result, at least one
+// commits, the presumed-abort counter shows the escape fired, and later
+// transactions on the same keys proceed.
+func TestVoteTimeoutResolvesCrossShardWoundWaitCycle(t *testing.T) {
+	sim, sys := buildCycleDeployment(300 * time.Millisecond)
+	done, ok := submitCycle(sim, sys)
+	probeOK := false
+	sim.At(8*time.Second, func() {
+		sys.Submit(0, cycleTxn(), func(r txn.Result) { probeOK = r.OK })
+	})
+	sim.Run(20 * time.Second)
+	if !done[0] || !done[1] {
+		t.Fatalf("cycle did not resolve under the vote timeout (done=%v)", *done)
+	}
+	if !ok[0] && !ok[1] {
+		t.Fatalf("both transactions aborted permanently; presumed abort should let at least one retry win")
+	}
+	if sys.PresumedAborts == 0 {
+		t.Fatal("PresumedAborts = 0: the cycle resolved without the vote timeout firing?")
+	}
+	if !probeOK {
+		t.Fatal("probe transaction after the cycle did not commit")
+	}
+	// Exactly-once effects despite the presumed-abort retries.
+	commits := int64(0)
+	for i, o := range ok {
+		_ = i
+		if o {
+			commits++
+		}
+	}
+	if probeOK {
+		commits++
+	}
+	for sh := 0; sh < 2; sh++ {
+		if got := txn.DecodeInt(sys.Store(sh).Get(fmt.Sprintf("cyc%d", sh))); got != commits {
+			t.Fatalf("cyc%d = %d increments, want %d (retry double-apply?)", sh, got, commits)
+		}
+	}
+}

@@ -48,6 +48,15 @@ type Spec struct {
 	ExecCost     time.Duration
 	MaxRetries   int
 	RetryBackoff time.Duration
+	// VoteTimeout arms a coordinator-side progress timer per submission
+	// attempt (Spanner-style presumed abort). A transaction still gathering
+	// votes when the timer fires is aborted and retried — which breaks
+	// wound-wait cycles spanning shards, where per-shard vote immunity
+	// otherwise deadlocks both transactions forever. A transaction already
+	// past the commit decision instead re-sends its commit records to the
+	// shards that have not confirmed, so a rebooted shard leader can finish
+	// the 2PC. 0 disables the timer (the pre-knob behavior).
+	VoteTimeout time.Duration
 }
 
 // ---- messages ----
@@ -69,9 +78,26 @@ type voteMsg struct {
 type commitReq struct {
 	ID    txn.ID
 	Coord simnet.NodeID
+	// T and Prio let a shard leader that lost its pending state in a crash
+	// re-acquire the transaction's locks and re-execute the decided commit
+	// (the pre-crash write buffer would be stale against anything committed
+	// since the reboot).
+	T    *txn.Txn
+	Prio uint64
 }
 
 type abortReq struct{ ID txn.ID }
+
+// recoverReq asks a surviving replica for its Paxos state; recoverRep
+// answers. A rebooted leader merges the replies (every committed record is
+// on at least one survivor) and adopts them via paxos.InstallLog.
+type recoverReq struct{}
+
+type recoverRep struct {
+	Replica  int
+	Log      []paxos.Command
+	CommitTo int
+}
 
 // committedMsg reports a shard's replicated apply. The commit phase is
 // infallible (validation happens at vote time), so it carries no failure
@@ -88,15 +114,20 @@ type commitRec struct {
 }
 
 type pendingSrv struct {
-	t       *txn.Txn
-	prio    uint64
-	coord   simnet.NodeID
-	wounded bool
-	voted   bool
-	writes  map[string][]byte
-	waiting int      // outstanding lock grants (2PL)
-	occHeld []string // OCC: write-locked keys
-	occRead []string // OCC: read-marked keys
+	t        *txn.Txn
+	prio     uint64
+	coord    simnet.NodeID
+	wounded  bool
+	voted    bool
+	proposed bool // commit record handed to Paxos (dedup for re-sent commitReqs)
+	// relocking marks a commit decision being reconstructed after a leader
+	// reboot: locks are re-acquired and the piece re-executed before the
+	// commit record is proposed.
+	relocking bool
+	writes    map[string][]byte
+	waiting   int      // outstanding lock grants (2PL)
+	occHeld   []string // OCC: write-locked keys
+	occRead   []string // OCC: read-marked keys
 }
 
 // server is a shard leader plus its Paxos group membership.
@@ -112,15 +143,30 @@ type server struct {
 	pax     *paxos.Replica
 	pending map[txn.ID]*pendingSrv
 	onSlot  map[int]txn.ID // slot -> awaiting commit reply
+	// applied records every Paxos-applied commit, so re-sent commit requests
+	// (after a leader reboot) are answered instead of re-proposed.
+	applied map[txn.ID]bool
+	// recovering gates all processing while a rebooted leader is still
+	// merging survivor logs; recovered collects the replies by replica.
+	// catchingUp then gates 2PC traffic (but not Paxos) until the re-proposed
+	// tail has committed — serving earlier would let new transactions
+	// validate against a store still missing those pending writes.
+	recovering bool
+	recovered  map[int]recoverRep
+	catchingUp bool
 }
 
 // System is a running 2PL/OCC deployment.
 type System struct {
 	spec    Spec
-	servers [][]*server // [shard][replica]; replica 0 leads
+	nodes   [][]simnet.NodeID // [shard][replica]
+	servers [][]*server       // [shard][replica]; replica 0 leads
 	coords  []*coordinator
 	// Aborts counts client-visible aborts after retries were exhausted.
 	Aborts int64
+	// PresumedAborts counts vote-timeout firings that presumed-aborted a
+	// transaction still gathering votes (the cross-shard liveness escape).
+	PresumedAborts int64
 }
 
 // New builds the deployment.
@@ -133,32 +179,18 @@ func New(spec Spec) *System {
 	}
 	sys := &System{spec: spec}
 	n := 2*spec.F + 1
-	nodes := make([][]simnet.NodeID, spec.Shards)
+	sys.nodes = make([][]simnet.NodeID, spec.Shards)
 	for s := 0; s < spec.Shards; s++ {
-		nodes[s] = make([]simnet.NodeID, n)
+		sys.nodes[s] = make([]simnet.NodeID, n)
 		for r := 0; r < n; r++ {
-			nodes[s][r] = spec.Net.AddNode(spec.ServerRegion(s, r), nil).ID()
+			sys.nodes[s][r] = spec.Net.AddNode(spec.ServerRegion(s, r), nil).ID()
 		}
 	}
 	sys.servers = make([][]*server, spec.Shards)
 	for s := 0; s < spec.Shards; s++ {
 		sys.servers[s] = make([]*server, n)
 		for r := 0; r < n; r++ {
-			node := spec.Net.Node(nodes[s][r])
-			srv := &server{
-				sys: sys, shard: s, replica: r, node: node,
-				st: store.New(), lt: locks.NewTable(),
-				occLock: make(map[string]txn.ID), occRead: make(map[string]map[txn.ID]bool),
-				pending: make(map[txn.ID]*pendingSrv), onSlot: make(map[int]txn.ID),
-			}
-			srv.pax = paxos.NewReplica("pax", node, nodes[s], r, 0, spec.F)
-			srv.pax.OnCommit = srv.onPaxosCommit
-			srv.lt.Wound = srv.onWound
-			if spec.Seed != nil {
-				spec.Seed(s, srv.st)
-			}
-			node.SetHandler(srv.handle)
-			sys.servers[s][r] = srv
+			sys.servers[s][r] = newServer(sys, s, r)
 		}
 	}
 	for _, reg := range spec.CoordRegions {
@@ -171,8 +203,58 @@ func New(spec Spec) *System {
 	return sys
 }
 
+// newServer assembles one shard replica on its (already-added) network node,
+// with a freshly seeded store and an empty Paxos replica. It is used both at
+// construction and to rebuild a crashed server on restart.
+func newServer(sys *System, s, r int) *server {
+	node := sys.spec.Net.Node(sys.nodes[s][r])
+	srv := &server{
+		sys: sys, shard: s, replica: r, node: node,
+		st: store.New(), lt: locks.NewTable(),
+		occLock: make(map[string]txn.ID), occRead: make(map[string]map[txn.ID]bool),
+		pending: make(map[txn.ID]*pendingSrv), onSlot: make(map[int]txn.ID),
+		applied: make(map[txn.ID]bool),
+	}
+	srv.pax = paxos.NewReplica("pax", node, sys.nodes[s], r, 0, sys.spec.F)
+	srv.pax.OnCommit = srv.onPaxosCommit
+	srv.lt.Wound = srv.onWound
+	if sys.spec.Seed != nil {
+		sys.spec.Seed(s, srv.st)
+	}
+	node.SetHandler(srv.handle)
+	return srv
+}
+
 // Start is a no-op (no periodic tasks); present for interface symmetry.
 func (sys *System) Start() {}
+
+// KillServer crashes a replica: all queued and future deliveries and timers
+// are dropped until RestartServer (protocol.Faultable).
+func (sys *System) KillServer(shard, replica int) {
+	sys.servers[shard][replica].node.Crash()
+}
+
+// RestartServer reboots a crashed replica with empty state. The fresh server
+// re-seeds its store, then asks the surviving replicas for their Paxos logs;
+// once every survivor has answered it adopts the merged log (replaying the
+// committed commit records against the store) and resumes service. In-flight
+// 2PC decisions finish via the coordinators' vote-timeout re-sends; lock
+// state of prepared-but-undecided transactions is NOT restored (prepare
+// records are not replicated — a documented deviation from Spanner-style
+// 2PL, see EXPERIMENTS.md).
+func (sys *System) RestartServer(shard, replica int) {
+	old := sys.servers[shard][replica]
+	old.node.Restart()
+	srv := newServer(sys, shard, replica)
+	sys.servers[shard][replica] = srv
+	srv.recovering = true
+	srv.recovered = make(map[int]recoverRep)
+	for r, id := range sys.nodes[shard] {
+		if r != replica {
+			srv.node.Send(id, recoverReq{})
+		}
+	}
+}
 
 // NumCoords returns the coordinator count.
 func (sys *System) NumCoords() int { return len(sys.coords) }
@@ -185,11 +267,26 @@ func (sys *System) leaderNode(shard int) simnet.NodeID { return sys.servers[shar
 // ---- server ----
 
 func (s *server) handle(from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case recoverReq:
+		log, commitTo := s.pax.Snapshot()
+		s.node.Send(from, recoverRep{Replica: s.replica, Log: log, CommitTo: commitTo})
+		return
+	case recoverRep:
+		s.onRecoverRep(m)
+		return
+	}
+	if s.recovering {
+		return // not serving until the survivor logs are merged
+	}
 	if s.pax.Handle(from, msg) {
 		return
 	}
 	if s.replica != 0 {
 		return // followers only participate in Paxos
+	}
+	if s.catchingUp {
+		return // dropped requests are re-driven by coordinator timers
 	}
 	switch m := msg.(type) {
 	case reqExec:
@@ -201,13 +298,49 @@ func (s *server) handle(from simnet.NodeID, msg simnet.Message) {
 	}
 }
 
+// onRecoverRep collects survivor snapshots; once all have answered, the
+// merged log is installed. Any record committed before the crash gathered
+// f+1 acks, so it is present on at least one of the 2f survivors — the union
+// is gap-free up to the highest survivor commit point.
+func (s *server) onRecoverRep(m recoverRep) {
+	if !s.recovering {
+		return
+	}
+	s.recovered[m.Replica] = m
+	if len(s.recovered) < len(s.sys.nodes[s.shard])-1 {
+		return
+	}
+	var merged []paxos.Command
+	commitTo := 0
+	for r := 0; r < len(s.sys.nodes[s.shard]); r++ {
+		rep, ok := s.recovered[r]
+		if !ok {
+			continue
+		}
+		if rep.CommitTo > commitTo {
+			commitTo = rep.CommitTo
+		}
+		for i, c := range rep.Log {
+			if i >= len(merged) {
+				merged = append(merged, c)
+			} else if merged[i] == nil {
+				merged[i] = c
+			}
+		}
+	}
+	s.recovering = false
+	s.recovered = nil
+	s.pax.InstallLog(merged, commitTo)
+	s.catchingUp = s.pax.Committed() < s.pax.LogLen()
+}
+
 func (s *server) onWound(victim txn.ID) {
 	// A transaction that already voted OK on THIS shard must not be wounded:
 	// its coordinator may already be committing it elsewhere, so aborting it
 	// here would break 2PC atomicity. The immunity is per-shard only — the
 	// same transaction can still be queued on another shard, so a wound-wait
-	// cycle spanning shards is not broken by this path and would need
-	// coordinator-side vote timeouts to resolve (see ROADMAP open items).
+	// cycle spanning shards is not broken by this path; the coordinator's
+	// vote timeout (Spec.VoteTimeout, presumed abort) is what resolves it.
 	if p := s.pending[victim]; p != nil && !p.voted {
 		p.wounded = true
 	}
@@ -320,15 +453,81 @@ func (s *server) occConflict(id txn.ID, piece *txn.Piece) bool {
 // onCommitReq starts the replicated apply. Validation already happened at
 // vote time (OCC) or is guaranteed by held locks (2PL, wounds are rejected
 // after voting), so this phase cannot fail and commitment is atomic across
-// shards.
+// shards. Re-sent requests (coordinator vote-timeout after a leader reboot)
+// are deduplicated: an already-applied commit is acknowledged directly and
+// an in-flight proposal or re-lock is left alone. An unknown transaction is
+// a decided commit whose prepare state died with the old leader — it is
+// re-locked and re-executed before proposing, because its pre-crash write
+// buffer is stale against anything committed since the reboot.
 func (s *server) onCommitReq(m commitReq) {
+	if s.applied[m.ID] {
+		s.node.Send(m.Coord, committedMsg{Shard: s.shard, ID: m.ID})
+		return
+	}
 	p := s.pending[m.ID]
 	if p == nil {
+		p = &pendingSrv{t: m.T, prio: m.Prio, coord: m.Coord, voted: true, relocking: true}
+		s.pending[m.ID] = p
+		s.relock(m.ID, p)
 		return
 	}
 	p.coord = m.Coord
+	if p.proposed || p.relocking {
+		return
+	}
+	p.proposed = true
 	slot := s.pax.Propose(commitRec{ID: m.ID, Writes: p.writes})
 	s.onSlot[slot] = m.ID
+}
+
+// relock re-acquires a reconstructed commit decision's locks (wound-wait at
+// its original priority; having voted, it is itself immune to wounds) and
+// proposes once they are granted. The piece is re-executed under the fresh
+// locks so the commit applies on top of the current store state.
+func (s *server) relock(id txn.ID, p *pendingSrv) {
+	piece := p.t.Pieces[s.shard]
+	grant := func() {
+		p.waiting--
+		if p.waiting == 0 {
+			s.finishRelock(id)
+		}
+	}
+	for _, k := range piece.ReadSet {
+		if !contains(piece.WriteSet, k) && !s.lt.Acquire(k, locks.Shared, id, p.prio, grant) {
+			p.waiting++
+		}
+	}
+	for _, k := range piece.WriteSet {
+		if !s.lt.Acquire(k, locks.Exclusive, id, p.prio, grant) {
+			p.waiting++
+		}
+	}
+	if p.waiting == 0 {
+		s.finishRelock(id)
+	}
+}
+
+func (s *server) finishRelock(id txn.ID) {
+	p := s.pending[id]
+	if p == nil || !p.relocking {
+		return
+	}
+	p.relocking = false
+	if s.applied[id] {
+		// A recovered slot committed this transaction while we waited for
+		// the locks (InstallLog re-proposes the adopted tail).
+		s.lt.ReleaseAll(id)
+		delete(s.pending, id)
+		s.node.Send(p.coord, committedMsg{Shard: s.shard, ID: id})
+		return
+	}
+	s.node.Work(s.sys.spec.ExecCost)
+	ret, writes := executeBuffered(s.st, p.t.Pieces[s.shard])
+	_ = ret // the coordinator already holds the pre-crash vote result
+	p.writes = writes
+	p.proposed = true
+	slot := s.pax.Propose(commitRec{ID: id, Writes: p.writes})
+	s.onSlot[slot] = id
 }
 
 func (s *server) abortLocal(id txn.ID) {
@@ -359,14 +558,23 @@ func (s *server) releaseOCC(p *pendingSrv, id txn.ID) {
 }
 
 // onPaxosCommit applies a replicated commit record on every replica; the
-// leader additionally finishes the 2PC and answers the coordinator.
+// leader additionally finishes the 2PC and answers the coordinator. The
+// applied set makes the apply idempotent: after a leader reboot the same
+// transaction can reach commit through both a re-proposed recovered slot and
+// a re-sent commit request, and only the first may touch the store.
 func (s *server) onPaxosCommit(slot int, cmd paxos.Command) {
 	rec := cmd.(commitRec)
-	for k, v := range rec.Writes {
-		s.st.Seed(k, v)
+	if !s.applied[rec.ID] {
+		s.applied[rec.ID] = true
+		for k, v := range rec.Writes {
+			s.st.Seed(k, v)
+		}
 	}
 	if s.replica != 0 {
 		return
+	}
+	if s.catchingUp && s.pax.Committed() >= s.pax.LogLen() {
+		s.catchingUp = false
 	}
 	if id, ok := s.onSlot[slot]; ok {
 		delete(s.onSlot, slot)
@@ -450,6 +658,40 @@ func (co *coordinator) submit(t *txn.Txn, done func(txn.Result), retries int, pr
 	for _, sh := range t.Shards() {
 		co.node.Send(co.sys.leaderNode(sh), reqExec{T: t, Prio: p.prio, Coord: co.node.ID()})
 	}
+	if vt := co.sys.spec.VoteTimeout; vt > 0 {
+		id := t.ID
+		co.node.After(vt, func() { co.checkProgress(id) })
+	}
+}
+
+// checkProgress fires when the vote timeout elapses for a submission attempt.
+// Still gathering votes: presumed abort — release every shard and retry,
+// which is what breaks a wound-wait cycle spanning shards (the per-shard
+// vote immunity in onWound cannot). Past the commit decision: re-send the
+// commit records (with their writes) to the shards that have not confirmed,
+// so a rebooted leader can finish the 2PC, and keep watching.
+func (co *coordinator) checkProgress(id txn.ID) {
+	p := co.pending[id]
+	if p == nil {
+		return // completed (or aborted and re-submitted under a fresh ID)
+	}
+	if p.phase == 0 {
+		co.sys.PresumedAborts++
+		// Presumed-abort retries add a per-coordinator stagger on top of the
+		// shared backoff: two coordinators whose transactions deadlocked each
+		// other timed out together, and with identical backoffs their retries
+		// would re-collide in lockstep forever. The stagger is the
+		// deterministic simulator's stand-in for randomized backoff.
+		co.abort(p, co.sys.spec.RetryBackoff*time.Duration(co.idx)/2)
+		return
+	}
+	for _, sh := range p.t.Shards() {
+		if !p.commits[sh] {
+			co.node.Send(co.sys.leaderNode(sh),
+				commitReq{ID: id, Coord: co.node.ID(), T: p.t, Prio: p.prio})
+		}
+	}
+	co.node.After(co.sys.spec.VoteTimeout, func() { co.checkProgress(id) })
 }
 
 func (co *coordinator) handle(from simnet.NodeID, msg simnet.Message) {
@@ -467,7 +709,7 @@ func (co *coordinator) onVote(m voteMsg) {
 		return
 	}
 	if !m.OK {
-		co.abort(p)
+		co.abort(p, 0)
 		return
 	}
 	p.votes[m.Shard] = m
@@ -478,7 +720,8 @@ func (co *coordinator) onVote(m voteMsg) {
 	// Shard order must be deterministic: the simulation's event order (and
 	// thus the whole run) follows message send order.
 	for _, sh := range p.t.Shards() {
-		co.node.Send(co.sys.leaderNode(sh), commitReq{ID: m.ID, Coord: co.node.ID()})
+		co.node.Send(co.sys.leaderNode(sh),
+			commitReq{ID: m.ID, Coord: co.node.ID(), T: p.t, Prio: p.prio})
 	}
 }
 
@@ -499,7 +742,9 @@ func (co *coordinator) onCommitted(m committedMsg) {
 	p.done(res)
 }
 
-func (co *coordinator) abort(p *pendingCo) {
+// abort releases every shard and retries with backoff (plus the caller's
+// stagger; 0 for ordinary wound/validation aborts) until the budget runs out.
+func (co *coordinator) abort(p *pendingCo, stagger time.Duration) {
 	delete(co.pending, p.t.ID)
 	for _, sh := range p.t.Shards() {
 		co.node.Send(co.sys.leaderNode(sh), abortReq{ID: p.t.ID})
@@ -509,6 +754,6 @@ func (co *coordinator) abort(p *pendingCo) {
 		p.done(txn.Result{Aborted: true, Retries: p.retries})
 		return
 	}
-	backoff := co.sys.spec.RetryBackoff * time.Duration(p.retries+1)
+	backoff := co.sys.spec.RetryBackoff*time.Duration(p.retries+1) + stagger
 	co.node.After(backoff, func() { co.submit(p.t, p.done, p.retries+1, p.prio) })
 }

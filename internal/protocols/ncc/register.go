@@ -14,17 +14,23 @@ func init() {
 }
 
 func register(name string, replicated bool, cost protocol.CostProfile) {
-	protocol.Register(name, cost, func(ctx *protocol.BuildContext) protocol.System {
-		s := Spec{
-			Shards: ctx.Shards, F: ctx.F, Net: ctx.Net,
-			HomeRegion: simnet.RegionSouthCarolina, CoordRegions: ctx.CoordRegions,
-			Seed: ctx.SeedStore, ExecCost: ctx.ExecCost,
-			Replicated: replicated,
-		}
-		if ctx.Rotated {
-			regions := ctx.Regions
-			s.HomeRegionOf = func(shard int) simnet.Region { return simnet.Region(shard % regions) }
-		}
-		return New(s)
-	})
+	protocol.Register(name, cost,
+		protocol.Schema{
+			{Name: "rtc", Type: protocol.KnobBool, Default: true,
+				Doc: "Response Time Control gating (the strict-serializability mechanism); false replies immediately — an ablation of RTC's queueing cost"},
+		},
+		func(ctx *protocol.BuildContext) protocol.System {
+			s := Spec{
+				Shards: ctx.Shards, F: ctx.F, Net: ctx.Net,
+				HomeRegion: simnet.RegionSouthCarolina, CoordRegions: ctx.CoordRegions,
+				Seed: ctx.SeedStore, ExecCost: ctx.ExecCost,
+				Replicated: replicated,
+				NoRTC:      !ctx.Knobs.Bool("rtc"),
+			}
+			if ctx.Rotated {
+				regions := ctx.Regions
+				s.HomeRegionOf = func(shard int) simnet.Region { return simnet.Region(shard % regions) }
+			}
+			return New(s)
+		})
 }

@@ -1,16 +1,28 @@
 package tapir
 
-import "tiga/internal/protocol"
+import (
+	"time"
+
+	"tiga/internal/protocol"
+)
 
 // Tapir consolidates concurrency control with inconsistent replication, so
 // its per-transaction work sits between Tiga and the layered baselines.
 func init() {
 	protocol.Register("Tapir", protocol.CostProfile{Exec: 5, Rank: 30},
+		protocol.Schema{
+			{Name: "max-retries", Type: protocol.KnobInt, Default: 5,
+				Doc: "coordinator retries after OCC validation aborts before reporting failure"},
+			{Name: "retry-backoff", Type: protocol.KnobDuration, Default: 20 * time.Millisecond,
+				Doc: "base backoff before a retry; multiplied by the attempt number"},
+		},
 		func(ctx *protocol.BuildContext) protocol.System {
 			return New(Spec{
 				Shards: ctx.Shards, F: ctx.F, Net: ctx.Net,
 				ServerRegion: ctx.ServerRegion, CoordRegions: ctx.CoordRegions,
 				Seed: ctx.SeedStore, ExecCost: ctx.ExecCost,
+				MaxRetries:   ctx.Knobs.Int("max-retries"),
+				RetryBackoff: ctx.Knobs.Duration("retry-backoff"),
 			})
 		})
 }
