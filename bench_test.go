@@ -215,6 +215,34 @@ func BenchmarkFig14ClockLatency(b *testing.B) {
 	}
 }
 
+// ---- Scenario matrix: protocol × topology × workload ----
+
+// BenchmarkScenarioMatrix drives one representative cell per non-default
+// topology through the scenario layer: named topology + named workload,
+// resolved through the registries on the shared sweep driver.
+func BenchmarkScenarioMatrix(b *testing.B) {
+	for _, bc := range []struct{ topo, wl string }{
+		{"us-eu3", "ycsbt"},
+		{"planet5", "hotwrite"},
+		{"geo4-degraded", "micro"},
+	} {
+		b.Run(fmt.Sprintf("%s/%s", bc.topo, bc.wl), func(b *testing.B) {
+			o := quickOpts(42)
+			o.Topologies = []string{bc.topo}
+			o.Workloads = []string{bc.wl}
+			o.Protocols = []string{"Tiga", "Janus", "2PL+Paxos"}
+			for i := 0; i < b.N; i++ {
+				rows := harness.ScenarioMatrix(io.Discard, o)
+				var thpt float64
+				for _, r := range rows {
+					thpt += r.Thpt
+				}
+				b.ReportMetric(thpt, "sum-txns/s")
+			}
+		})
+	}
+}
+
 // ---- Ablations beyond the paper's figures ----
 
 func BenchmarkAblationEpsilonMode(b *testing.B) {

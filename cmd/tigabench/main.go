@@ -15,6 +15,7 @@
 //	tigabench -exp table3            # Table 3: clock ablation
 //	tigabench -exp fig14             # Fig 14: latency per clock model
 //	tigabench -exp ablations         # extra ablations (ε-mode, Appendix E)
+//	tigabench -exp scenarios         # protocol × topology × workload matrix
 //	tigabench -exp all               # everything
 //
 // Tuning:
@@ -25,48 +26,63 @@
 //	                                 # per-protocol operating point:
 //	                                 # saturation rate[,outstanding cap]
 //
+// Scenarios:
+//
+//	tigabench -topo list             # list the registered WAN topologies
+//	tigabench -workload list         # list the registered workloads
+//	tigabench -exp scenarios -topo us-eu3,planet5 -workload ycsbt,hotwrite
+//
 // Add -quick for a reduced sweep (seconds instead of minutes per figure).
 // Independent sweep points run on the parallel driver; -workers bounds the
-// pool (0 = all cores, 1 = the old serial behavior — output is identical
-// either way). -protocols restricts multi-protocol sweeps to a subset of the
-// registered protocols. Throughput is reported in simulated-testbed units:
-// per-operation CPU costs are scaled by harness.CPUScale (see
+// in-flight points per experiment (0 = all cores, 1 = the old serial
+// behavior — output is identical either way). Experiments share one
+// work-stealing worker pool and run concurrently under -exp all, so one
+// experiment's tail no longer idles the cores; output is still printed in
+// presentation order. -protocols restricts multi-protocol sweeps to a subset
+// of the registered protocols. Throughput is reported in simulated-testbed
+// units: per-operation CPU costs are scaled by harness.CPUScale (see
 // EXPERIMENTS.md).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"tiga/internal/harness"
 	"tiga/internal/protocol"
+	"tiga/internal/simnet"
+	"tiga/internal/workload"
 )
 
 // experiments lists every runnable experiment in presentation order. fig8 is
 // an alias: the harness records both regions in the fig7 pass.
 var experiments = []struct {
 	name string
-	run  func(w *os.File, o harness.Options)
+	run  func(w io.Writer, o harness.Options)
 }{
-	{"table1", func(w *os.File, o harness.Options) { harness.Table1(w, o) }},
-	{"fig7", func(w *os.File, o harness.Options) { harness.Fig7And8(w, o) }},
-	{"fig9", func(w *os.File, o harness.Options) { harness.Fig9(w, o) }},
-	{"fig10", func(w *os.File, o harness.Options) { harness.Fig10(w, o) }},
-	{"fig11", func(w *os.File, o harness.Options) { harness.Fig11(w, o) }},
-	{"fig11b", func(w *os.File, o harness.Options) { harness.Fig11Baseline(w, o) }},
-	{"table2", func(w *os.File, o harness.Options) { harness.Table2(w, o) }},
-	{"fig12", func(w *os.File, o harness.Options) { harness.Fig12(w, o) }},
-	{"fig13", func(w *os.File, o harness.Options) { harness.Fig13(w, o) }},
-	{"table3", func(w *os.File, o harness.Options) { harness.Table3(w, o) }},
-	{"fig14", func(w *os.File, o harness.Options) { harness.Fig14(w, o) }},
-	{"ablations", func(w *os.File, o harness.Options) {
+	{"table1", func(w io.Writer, o harness.Options) { harness.Table1(w, o) }},
+	{"fig7", func(w io.Writer, o harness.Options) { harness.Fig7And8(w, o) }},
+	{"fig9", func(w io.Writer, o harness.Options) { harness.Fig9(w, o) }},
+	{"fig10", func(w io.Writer, o harness.Options) { harness.Fig10(w, o) }},
+	{"fig11", func(w io.Writer, o harness.Options) { harness.Fig11(w, o) }},
+	{"fig11b", func(w io.Writer, o harness.Options) { harness.Fig11Baseline(w, o) }},
+	{"table2", func(w io.Writer, o harness.Options) { harness.Table2(w, o) }},
+	{"fig12", func(w io.Writer, o harness.Options) { harness.Fig12(w, o) }},
+	{"fig13", func(w io.Writer, o harness.Options) { harness.Fig13(w, o) }},
+	{"table3", func(w io.Writer, o harness.Options) { harness.Table3(w, o) }},
+	{"fig14", func(w io.Writer, o harness.Options) { harness.Fig14(w, o) }},
+	{"ablations", func(w io.Writer, o harness.Options) {
 		harness.AblationEpsilon(w, o)
 		harness.AblationSlowReply(w, o)
 	}},
+	{"scenarios", func(w io.Writer, o harness.Options) { harness.ScenarioMatrix(w, o) }},
 }
 
 func experimentNames() []string {
@@ -78,6 +94,32 @@ func experimentNames() []string {
 		}
 	}
 	return append(names, "all")
+}
+
+// jobWriter buffers an experiment's output until the presentation order
+// reaches it; promote flushes the backlog and streams every subsequent
+// write straight through (the head-of-queue experiment prints live).
+type jobWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+	out io.Writer // nil while buffering
+}
+
+func (w *jobWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.out != nil {
+		return w.out.Write(p)
+	}
+	return w.buf.Write(p)
+}
+
+func (w *jobWriter) promote(dst io.Writer) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	dst.Write(w.buf.Bytes())
+	w.buf.Reset()
+	w.out = dst
 }
 
 // multiFlag collects a repeatable string flag.
@@ -95,8 +137,56 @@ func fail(format string, args ...any) {
 	os.Exit(2)
 }
 
+// printTopologies lists every registered WAN topology (-topo list).
+func printTopologies(w io.Writer) {
+	for _, name := range simnet.TopologyNames() {
+		topo, _ := simnet.LookupTopology(name)
+		def := ""
+		if name == simnet.DefaultTopology {
+			def = "  (default)"
+		}
+		fmt.Fprintf(w, "%s%s\n  %s\n  regions: %s (servers in the first %d; remote coordinators in %s)\n",
+			name, def, topo.Doc, strings.Join(topo.RegionNames, ", "),
+			topo.ServerRegions, topo.RegionName(topo.RemoteCoordRegion))
+	}
+}
+
+// printWorkloads lists every registered workload with its parameter schema
+// (-workload list).
+func printWorkloads(w io.Writer) {
+	for _, name := range workload.Names() {
+		def, _ := workload.Lookup(name)
+		fmt.Fprintf(w, "%s\n  %s\n", name, def.Doc)
+		for _, k := range def.Params {
+			dv := fmt.Sprintf("%v", k.Default)
+			if d, ok := k.Default.(time.Duration); ok {
+				dv = d.String()
+			}
+			fmt.Fprintf(w, "  param %s=<%s>  (default %s)\n      %s\n", k.Name, k.Type, dv, k.Doc)
+		}
+	}
+}
+
+// parseNameList validates a comma-separated -topo/-workload subset against a
+// registry, exiting 2 with the valid list on an unknown name (mirroring
+// -set/-protocols).
+func parseNameList(singular, plural, raw string, known func(string) bool, valid []string) []string {
+	var out []string
+	for _, name := range strings.Split(raw, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known(name) {
+			fail("unknown %s %q\nregistered %s: %s", singular, name, plural, strings.Join(valid, ", "))
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
 // printKnobs lists every registered protocol's knob schema.
-func printKnobs(w *os.File) {
+func printKnobs(w io.Writer) {
 	for _, p := range protocol.Names() {
 		schema, _ := protocol.Knobs(p)
 		fmt.Fprintf(w, "%s\n", p)
@@ -205,6 +295,10 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = all cores, 1 = serial)")
 	protocols := flag.String("protocols", "",
 		"comma-separated protocol subset for the sweeps (default: all registered)")
+	topo := flag.String("topo", "",
+		"comma-separated topology subset for the scenario matrix, or 'list' to enumerate")
+	wl := flag.String("workload", "",
+		"comma-separated workload subset for the scenario matrix, or 'list' to enumerate")
 	listKnobs := flag.Bool("knobs", false, "list every protocol's knobs with defaults and exit")
 	var sets multiFlag
 	flag.Var(&sets, "set", "knob override proto.knob=value (repeatable; see -knobs)")
@@ -214,6 +308,14 @@ func main() {
 
 	if *listKnobs {
 		printKnobs(os.Stdout)
+		return
+	}
+	if *topo == "list" {
+		printTopologies(os.Stdout)
+		return
+	}
+	if *wl == "list" {
+		printWorkloads(os.Stdout)
 		return
 	}
 
@@ -246,19 +348,61 @@ func main() {
 		}
 	}
 
+	topos := parseNameList("topology", "topologies", *topo, func(n string) bool {
+		_, ok := simnet.LookupTopology(n)
+		return ok
+	}, simnet.TopologyNames())
+	wls := parseNameList("workload", "workloads", *wl, func(n string) bool {
+		_, ok := workload.Lookup(n)
+		return ok
+	}, workload.Names())
+
+	// -topo/-workload shape only the scenario matrix; the classic
+	// experiments reproduce the paper's fixed geo4 setup. Say so instead of
+	// silently ignoring the flags (mirroring the -protocols exclusion note).
+	if (len(topos) > 0 || len(wls) > 0) && *exp != "all" && *exp != "scenarios" {
+		fmt.Fprintf(os.Stderr,
+			"tigabench: note: -topo/-workload only affect the scenario matrix (-exp scenarios); %s runs the paper's geo4 setup\n", *exp)
+	}
+
 	o := harness.Options{Seed: *seed, Quick: *quick, Keys: *keys,
-		Workers: *workers, Protocols: subset,
+		Workers: *workers, Protocols: subset, Topologies: topos, Workloads: wls,
 		Knobs: parseSets(sets), Ops: parseOps(ops)}
 	w := os.Stdout
 	start := time.Now()
 
+	// Selected experiments run concurrently on the harness's shared worker
+	// pool (one experiment's tail points no longer idle the cores while the
+	// next experiment waits). The head of the presentation order streams to
+	// stdout live — a single long experiment prints progressively, exactly
+	// as before — while later experiments buffer until promoted, so the
+	// output order never changes and finished output survives a panic in a
+	// later experiment.
+	type job struct {
+		name    string
+		w       jobWriter
+		done    chan struct{}
+		elapsed time.Duration
+	}
+	var jobs []*job
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name && !(e.name == "fig7" && *exp == "fig8") {
 			continue
 		}
-		t0 := time.Now()
-		e.run(w, o)
-		fmt.Fprintf(w, "[%s done in %v]\n", e.name, time.Since(t0).Round(time.Millisecond))
+		j := &job{name: e.name, done: make(chan struct{})}
+		jobs = append(jobs, j)
+		run := e.run
+		go func() {
+			defer close(j.done)
+			t0 := time.Now()
+			run(&j.w, o)
+			j.elapsed = time.Since(t0)
+		}()
+	}
+	for _, j := range jobs {
+		j.w.promote(w)
+		<-j.done
+		fmt.Fprintf(w, "[%s done in %v]\n", j.name, j.elapsed.Round(time.Millisecond))
 	}
 	fmt.Fprintf(w, "total: %v\n", time.Since(start).Round(time.Millisecond))
 }

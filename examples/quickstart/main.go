@@ -106,9 +106,9 @@ func main() {
 	// 7. Every protocol exposes typed tuning knobs through the same
 	//    registry (discover them with `tigabench -knobs`). Example: forcing
 	//    Janus off its fast path costs the accept round — one extra WAN
-	//    round trip on a transaction with dependencies (a warm-up txn on the
-	//    same keys runs first; Janus's fast path needs identical non-empty
-	//    dependency votes).
+	//    round trip (a warm-up txn on the same keys runs first so the
+	//    measured txn carries real dependencies; dependency-free txns ride
+	//    the fast path too).
 	fmt.Println("\nknob demo: Janus with the fast path disabled (forced accept round):")
 	for _, fast := range []bool{true, false} {
 		spec := harness.ClusterSpec{
@@ -138,5 +138,35 @@ func main() {
 		})
 		d.Sim.Run(3 * time.Second)
 		fmt.Printf("  fast-path=%-5v tookFast=%-5v latency=%v\n", fast, tookFast, latency.Round(time.Millisecond))
+	}
+
+	// 8. The scenario layer: topologies and workloads are registries too
+	//    (discover them with `tigabench -topo list` / `-workload list`).
+	//    A ClusterSpec selects both by name — here the same transaction
+	//    shape as above, but on the 3-region US/EU triangle driven by the
+	//    read-heavy YCSB-T mix. `tigabench -exp scenarios` sweeps the full
+	//    protocol × topology × workload matrix.
+	fmt.Println("\nscenario layer: registered topologies and workloads:")
+	fmt.Printf("  topologies: %v\n", simnet.TopologyNames())
+	fmt.Printf("  workloads:  %v\n", workload.Names())
+	fmt.Println("\nTiga vs Janus on topology=us-eu3 workload=ycsbt (skew 0.9):")
+	var runs []harness.SpecRun
+	for _, name := range []string{"Tiga", "Janus"} {
+		runs = append(runs, harness.SpecRun{
+			Spec: harness.ClusterSpec{
+				Protocol: name, Shards: 3, F: 1, Clock: clocks.ModelChrony,
+				CoordsPerRegion: 1, CoordsRemote: 1, Seed: 2,
+				Topology: "us-eu3",
+				Workload: "ycsbt", WorkloadKeys: 1000,
+				WorkloadParams: map[string]any{"skew": 0.9},
+			},
+			Load: harness.LoadSpec{RatePerCoord: 30, Warmup: 500 * time.Millisecond,
+				Duration: 2 * time.Second, Seed: 9},
+		})
+	}
+	for i, res := range harness.RunSpecs(runs, 0) {
+		fmt.Printf("  %-12s thpt=%5.0f txn/s  commit=%5.1f%%  p50=%v\n",
+			runs[i].Spec.Protocol, res.Run.Throughput(),
+			res.Run.Counters.CommitRate(), res.Run.Lat.Percentile(50).Round(time.Millisecond))
 	}
 }

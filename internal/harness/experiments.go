@@ -44,6 +44,13 @@ type Options struct {
 	// Protocols restricts multi-protocol sweeps to a subset of
 	// protocol.Names() (nil = every registered protocol).
 	Protocols []string
+	// Topologies restricts the scenario matrix's topology axis to a subset
+	// of simnet.TopologyNames() (nil = every registered topology).
+	Topologies []string
+	// Workloads restricts the scenario matrix's workload axis to a subset
+	// of workload.Names() (nil = the default mix: micro plus the two
+	// scenario-layer generators, ycsbt and hotwrite).
+	Workloads []string
 	// Knobs holds per-protocol knob overrides (protocol name -> knob name ->
 	// value) applied to every spec the experiments construct. User overrides
 	// win over experiment-imposed operating conditions (the saturation

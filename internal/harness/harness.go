@@ -13,6 +13,7 @@
 package harness
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -40,21 +41,39 @@ import (
 type ClusterSpec struct {
 	// Protocol names a registered protocol (see protocol.Names()).
 	Protocol string
+	// Topology names a registered WAN layout (simnet.TopologyNames());
+	// empty selects simnet.DefaultTopology, the paper's geo4. The topology
+	// supplies the OWD matrix, region names, server-region count, and the
+	// remote-coordinator region, so experiments pick a WAN by name.
+	Topology string
 	Shards   int
 	F        int
 	// Rotated separates leaders across regions (§5.5, Table 2).
 	Rotated bool
 	Clock   clocks.Model
-	Jitter  time.Duration
-	Loss    float64
+	// Jitter and Loss override the topology's defaults when nonzero.
+	Jitter time.Duration
+	Loss   float64
 	// CoordsPerRegion places this many coordinators in each server region;
-	// CoordsRemote places coordinators in Hong Kong (§5.1).
+	// CoordsRemote places coordinators in the topology's remote region
+	// (Hong Kong under geo4, §5.1).
 	CoordsPerRegion int
 	CoordsRemote    int
 	Seed            int64
 	Horizon         time.Duration
-	// Gen seeds the stores and generates load.
+	// Gen seeds the stores and generates load. When nil, EnsureGen resolves
+	// Workload/WorkloadParams/WorkloadKeys through the workload registry; an
+	// explicit Gen always wins (tests construct their own generators).
 	Gen workload.Generator
+	// Workload names a registered workload (workload.Names()), used by
+	// EnsureGen when Gen is nil.
+	Workload string
+	// WorkloadParams are typed parameters for the named workload, validated
+	// against its registered schema (workload.Lookup(name).Params).
+	WorkloadParams map[string]any
+	// WorkloadKeys is the per-shard keyspace handed to the named workload's
+	// factory (0 = 2000, a unit-test-sized keyspace).
+	WorkloadKeys int
 	// Knobs holds per-protocol knob overrides, keyed by protocol name then
 	// knob name (see protocol.Knobs for each protocol's schema). Only the
 	// map under Knobs[Protocol] reaches the deployment being built; entries
@@ -81,6 +100,9 @@ type Deployment struct {
 	Net          *simnet.Network
 	Sys          protocol.System
 	CoordRegions []simnet.Region
+	// Topology is the resolved WAN layout the deployment runs on; it names
+	// the regions latency metrics are bucketed under.
+	Topology *simnet.Topology
 }
 
 // SetKnob records a knob override for proto, allocating the maps as needed.
@@ -108,25 +130,64 @@ func (s *ClusterSpec) setKnobDefault(proto, knob string, v any) {
 	s.SetKnob(proto, knob, v)
 }
 
-// CoordRegionList returns the paper's coordinator placement.
+// topology resolves the spec's WAN layout through the simnet registry,
+// defaulting to the paper's geo4. It panics on unknown names (mirroring the
+// protocol-registry validation in Build).
+func (s ClusterSpec) topology() *simnet.Topology {
+	name := s.Topology
+	if name == "" {
+		name = simnet.DefaultTopology
+	}
+	t, ok := simnet.LookupTopology(name)
+	if !ok {
+		panic(fmt.Sprintf("unknown topology %q (registered: %v)", name, simnet.TopologyNames()))
+	}
+	return t
+}
+
+// EnsureGen resolves Spec.Workload through the workload registry when Gen is
+// nil, so the same generator instance both seeds the stores and drives the
+// load. An explicit Gen always wins; a spec with neither is left alone
+// (stores stay unseeded, as before).
+func (s *ClusterSpec) EnsureGen() error {
+	if s.Gen != nil || s.Workload == "" {
+		return nil
+	}
+	keys := s.WorkloadKeys
+	if keys == 0 {
+		keys = 2000
+	}
+	gen, err := workload.Build(s.Workload, s.Shards, keys, s.WorkloadParams)
+	if err != nil {
+		return err
+	}
+	s.Gen = gen
+	return nil
+}
+
+// CoordRegionList returns the coordinator placement: CoordsPerRegion
+// coordinators in each of the topology's server regions, then CoordsRemote
+// in its remote region (the paper's Hong Kong analogue).
 func (s ClusterSpec) CoordRegionList() []simnet.Region {
+	topo := s.topology()
 	var out []simnet.Region
-	for r := 0; r < 3; r++ {
+	for r := 0; r < topo.ServerRegions; r++ {
 		for i := 0; i < s.CoordsPerRegion; i++ {
 			out = append(out, simnet.Region(r))
 		}
 	}
 	for i := 0; i < s.CoordsRemote; i++ {
-		out = append(out, simnet.RegionHongKong)
+		out = append(out, topo.RemoteCoordRegion)
 	}
 	return out
 }
 
 func (s ClusterSpec) serverRegion(shard, replica int) simnet.Region {
+	n := s.topology().ServerRegions
 	if s.Rotated {
-		return simnet.Region((replica + shard) % 3)
+		return simnet.Region((replica + shard) % n)
 	}
-	return simnet.Region(replica)
+	return simnet.Region(replica % n)
 }
 
 // Base CPU cost units: the per-piece execution budget and the auxiliary tick
@@ -138,20 +199,25 @@ const (
 )
 
 // Build constructs the deployment for the spec by dispatching through the
-// protocol registry. It panics on an unregistered protocol name.
+// protocol, topology, and workload registries. It panics on an unregistered
+// name. Callers that rely on a named workload (Spec.Workload) and drive the
+// load themselves should call EnsureGen first so they hold the same
+// generator instance that seeded the stores; the sweep driver (RunSpecs)
+// does this automatically.
 func Build(spec ClusterSpec) *Deployment {
 	if spec.Horizon == 0 {
 		spec.Horizon = time.Minute
 	}
-	if spec.Jitter == 0 {
-		spec.Jitter = 500 * time.Microsecond
+	if err := spec.EnsureGen(); err != nil {
+		panic(err)
 	}
 	scale := spec.CostScale
 	if scale <= 0 {
 		scale = 1
 	}
+	topo := spec.topology()
 	sim := simnet.NewSim(spec.Seed)
-	netCfg := simnet.GeoConfig(spec.Jitter, spec.Loss)
+	netCfg := topo.Config(spec.Jitter, spec.Loss)
 	netCfg.DefaultCost = time.Duration(scale) * time.Microsecond
 	net := simnet.NewNetwork(sim, netCfg)
 	coords := spec.CoordRegionList()
@@ -160,7 +226,7 @@ func Build(spec ClusterSpec) *Deployment {
 		Net:          net,
 		Shards:       spec.Shards,
 		F:            spec.F,
-		Regions:      3,
+		Regions:      topo.ServerRegions,
 		Rotated:      spec.Rotated,
 		CoordRegions: coords,
 		ServerRegion: spec.serverRegion,
@@ -177,7 +243,7 @@ func Build(spec ClusterSpec) *Deployment {
 	if err != nil {
 		panic(err)
 	}
-	return &Deployment{Sim: sim, Net: net, Sys: sys, CoordRegions: coords}
+	return &Deployment{Sim: sim, Net: net, Sys: sys, CoordRegions: coords, Topology: topo}
 }
 
 // LoadSpec drives the open-loop workload.
@@ -237,7 +303,7 @@ func RunLoad(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResult {
 	interval := time.Duration(float64(time.Second) / spec.RatePerCoord)
 	for ci := 0; ci < d.Sys.NumCoords(); ci++ {
 		ci := ci
-		region := simnet.RegionName(d.CoordRegions[ci])
+		region := d.Topology.RegionName(d.CoordRegions[ci])
 		rng := rand.New(rand.NewSource(spec.Seed + int64(ci)*7919))
 		outstanding := 0
 		var tick func()

@@ -3,7 +3,6 @@ package harness
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 )
 
 // SpecRun is one independent experiment point for the parallel sweep driver:
@@ -12,7 +11,8 @@ import (
 // by this run: generators may be stateful (e.g. tpcc.Gen allocates unique
 // order ids), so sharing one across points races under parallel workers and
 // breaks the serial-identical guarantee. The Options helpers (microSpec,
-// tpccSpec) already construct one per point.
+// tpccSpec) already construct one per point, and a named workload
+// (Spec.Workload) is resolved into a private generator per point.
 type SpecRun struct {
 	Spec ClusterSpec
 	Load LoadSpec
@@ -26,13 +26,96 @@ type SpecRun struct {
 	KeepDeployment bool
 }
 
-// RunSpecs executes independent experiment points on a worker pool and
-// returns their results in input order. Every point owns a private simulator
-// seeded from its spec, so the results are identical to running the points
-// serially — scheduling only changes wall-clock time, not output. workers <= 0
-// uses all available cores. Peak memory scales with the worker count (each
-// in-flight point holds a full deployment: stores on every replica, lock
-// tables, logs); pass a smaller pool on memory-constrained machines.
+// runOne executes one experiment point end to end. It resolves a named
+// workload first so the generator that seeds the stores is the one that
+// drives the load.
+func (r *SpecRun) runOne() *RunResult {
+	if err := r.Spec.EnsureGen(); err != nil {
+		panic(err)
+	}
+	d := Build(r.Spec)
+	if r.Setup != nil {
+		r.Setup(d)
+	}
+	res := RunLoad(d, r.Spec.Gen, r.Load)
+	if !r.KeepDeployment {
+		res.Deployment = nil // let the point's simulator be collected
+	}
+	return res
+}
+
+// The shared pool: every RunSpecs call feeds one process-wide set of workers
+// instead of spawning its own. Concurrent RunSpecs callers (tigabench -exp
+// all runs the experiments concurrently) therefore work-steal from each
+// other — while one experiment's tail point finishes, idle workers pull the
+// next experiment's points — without the total in-flight deployment count
+// ever exceeding the largest single cap requested (the -workers memory
+// bound holds globally, not per call).
+type poolBatch struct {
+	runs []SpecRun
+	out  []*RunResult
+	next int // next un-started index
+	live int // in-flight points
+	cap  int // max concurrent points for this batch
+	done int // finished points
+	wg   sync.WaitGroup
+}
+
+var (
+	poolMu      sync.Mutex
+	poolCond    = sync.NewCond(&poolMu)
+	poolBatches []*poolBatch
+	poolWorkers int
+)
+
+// poolWorker scans the active batches in submission order and runs the first
+// available point; it parks when every batch is either drained or at its
+// concurrency cap. Workers are spawned on demand and live for the process.
+func poolWorker() {
+	poolMu.Lock()
+	for {
+		var b *poolBatch
+		for _, cand := range poolBatches {
+			if cand.next < len(cand.runs) && cand.live < cand.cap {
+				b = cand
+				break
+			}
+		}
+		if b == nil {
+			poolCond.Wait()
+			continue
+		}
+		i := b.next
+		b.next++
+		b.live++
+		poolMu.Unlock()
+		b.out[i] = (&b.runs[i]).runOne()
+		poolMu.Lock()
+		b.live--
+		b.done++
+		if b.done == len(b.runs) {
+			for j, cand := range poolBatches {
+				if cand == b {
+					poolBatches = append(poolBatches[:j], poolBatches[j+1:]...)
+					break
+				}
+			}
+		}
+		b.wg.Done()
+	}
+}
+
+// RunSpecs executes independent experiment points on the shared worker pool
+// and returns their results in input order. Every point owns a private
+// simulator seeded from its spec, so the results are identical to running
+// the points serially — scheduling only changes wall-clock time, not output.
+// workers <= 0 uses all available cores; workers == 1 runs the points one at
+// a time (the old serial behavior). At most `workers` points of this call
+// are in flight at once — and because the pool never grows past the largest
+// cap requested, that bound holds globally even when several experiments'
+// batches are in flight (tigabench -exp all): each in-flight point holds a
+// full deployment (stores on every replica, lock tables, logs), so pass a
+// smaller -workers on memory-constrained machines.
 func RunSpecs(runs []SpecRun, workers int) []*RunResult {
 	out := make([]*RunResult, len(runs))
 	if len(runs) == 0 {
@@ -44,39 +127,19 @@ func RunSpecs(runs []SpecRun, workers int) []*RunResult {
 	if workers > len(runs) {
 		workers = len(runs)
 	}
-	runOne := func(i int) {
-		r := runs[i]
-		d := Build(r.Spec)
-		if r.Setup != nil {
-			r.Setup(d)
-		}
-		out[i] = RunLoad(d, r.Spec.Gen, r.Load)
-		if !r.KeepDeployment {
-			out[i].Deployment = nil // let the point's simulator be collected
-		}
+	b := &poolBatch{runs: runs, out: out, cap: workers}
+	b.wg.Add(len(runs))
+	poolMu.Lock()
+	poolBatches = append(poolBatches, b)
+	// Grow the pool to the largest cap ever requested — never the sum of
+	// concurrent caps, so the -workers memory bound holds across
+	// concurrently running experiments.
+	for poolWorkers < workers {
+		poolWorkers++
+		go poolWorker()
 	}
-	if workers == 1 {
-		for i := range runs {
-			runOne(i)
-		}
-		return out
-	}
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= len(runs) {
-					return
-				}
-				runOne(i)
-			}
-		}()
-	}
-	wg.Wait()
+	poolCond.Broadcast()
+	poolMu.Unlock()
+	b.wg.Wait()
 	return out
 }

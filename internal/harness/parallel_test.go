@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -46,6 +47,49 @@ func TestRunSpecsSerialParallelIdentical(t *testing.T) {
 		for _, pct := range []float64{50, 90, 99} {
 			if sl, pl := s.Lat.Percentile(pct), p.Lat.Percentile(pct); sl != pl {
 				t.Errorf("point %d: p%.0f diverges: %v vs %v", i, pct, sl, pl)
+			}
+		}
+	}
+}
+
+// TestRunSpecsConcurrentBatchesShareThePool pins the shared-pool contract:
+// multiple RunSpecs calls in flight at once (the -exp all shape, where every
+// experiment submits its own batch and the workers steal across them)
+// return the same input-ordered, byte-identical results as serial runs.
+func TestRunSpecsConcurrentBatchesShareThePool(t *testing.T) {
+	mkRuns := func(seed int64) []SpecRun {
+		var runs []SpecRun
+		for _, p := range []string{"Tiga", "Janus", "Calvin+"} {
+			runs = append(runs, SpecRun{
+				Spec: ClusterSpec{
+					Protocol: p, Shards: 3, F: 1, Clock: clocks.ModelChrony,
+					CoordsPerRegion: 1, Seed: seed,
+					Gen: workload.NewMicroBench(3, 500, 0.5),
+				},
+				Load: LoadSpec{RatePerCoord: 30, Warmup: 300 * time.Millisecond,
+					Duration: time.Second, Seed: seed + 1},
+			})
+		}
+		return runs
+	}
+	serial := [][]*RunResult{RunSpecs(mkRuns(3), 1), RunSpecs(mkRuns(4), 1)}
+	var wg sync.WaitGroup
+	concurrent := make([][]*RunResult, 2)
+	for b := 0; b < 2; b++ {
+		b := b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			concurrent[b] = RunSpecs(mkRuns(int64(3+b)), 2)
+		}()
+	}
+	wg.Wait()
+	for b := 0; b < 2; b++ {
+		for i := range serial[b] {
+			s, c := serial[b][i].Run, concurrent[b][i].Run
+			if s.Counters != c.Counters || s.Throughput() != c.Throughput() {
+				t.Errorf("batch %d point %d diverges: serial %+v concurrent %+v",
+					b, i, s.Counters, c.Counters)
 			}
 		}
 	}

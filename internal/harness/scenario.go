@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tiga/internal/clocks"
+	"tiga/internal/simnet"
+	"tiga/internal/workload"
+)
+
+// This file holds the scenario-matrix experiment: the paper evaluates one
+// WAN (geo4) and two workloads, but protocol rankings are known to flip as
+// the WAN geometry, link quality, and mix change. With topologies and
+// workloads lifted into registries, the matrix sweeps protocol × topology ×
+// workload and reports one row per cell.
+
+// MatrixRow is one protocol × topology × workload cell.
+type MatrixRow struct {
+	Protocol string
+	Topology string
+	Workload string
+	Thpt     float64
+	Commit   float64
+	P50      time.Duration
+	P99      time.Duration
+}
+
+// scenarioTopologies resolves the matrix's topology axis, panicking on
+// unregistered names (the CLI validates first and exits 2; programmatic
+// callers get the same fail-fast behavior as unknown protocols).
+func (o Options) scenarioTopologies() []string {
+	if len(o.Topologies) == 0 {
+		return simnet.TopologyNames()
+	}
+	for _, name := range o.Topologies {
+		if _, ok := simnet.LookupTopology(name); !ok {
+			panic(fmt.Sprintf("unknown topology %q (registered: %v)", name, simnet.TopologyNames()))
+		}
+	}
+	return o.Topologies
+}
+
+// scenarioWorkloads resolves the matrix's workload axis. The default mix is
+// MicroBench (the anchor against the classic experiments) plus the two
+// scenario-layer generators; tpcc and uniform stay selectable via
+// Options.Workloads / -workload.
+func (o Options) scenarioWorkloads() []string {
+	if len(o.Workloads) == 0 {
+		return []string{"micro", "ycsbt", "hotwrite"}
+	}
+	for _, name := range o.Workloads {
+		if _, ok := workload.Lookup(name); !ok {
+			panic(fmt.Sprintf("unknown workload %q (registered: %v)", name, workload.Names()))
+		}
+	}
+	return o.Workloads
+}
+
+// scenarioSpec prepares one matrix cell's deployment spec. The generator is
+// resolved by name through the workload registry (EnsureGen, on the sweep
+// driver), so each cell owns a private generator.
+func (o Options) scenarioSpec(proto, topo, wl string) ClusterSpec {
+	return ClusterSpec{
+		Protocol: proto, Topology: topo, Workload: wl, WorkloadKeys: o.keys(),
+		Shards: 3, F: 1, Clock: clocks.ModelChrony,
+		CoordsPerRegion: 1, CoordsRemote: 2, Seed: o.Seed,
+		CostScale: CPUScale, Knobs: copyKnobs(o.Knobs),
+	}
+}
+
+func (o Options) scenarioRate() float64 {
+	if o.Quick {
+		return 250
+	}
+	return 400
+}
+
+// ScenarioMatrix sweeps every selected protocol across the selected
+// topologies and workloads at a fixed moderate rate, reporting per-cell
+// throughput, commit rate, and p50/p99 latency. All cells are independent
+// points on the shared sweep driver, so the matrix parallelizes like any
+// other experiment and is byte-identical across worker counts.
+func ScenarioMatrix(w io.Writer, o Options) []MatrixRow {
+	topos := o.scenarioTopologies()
+	wls := o.scenarioWorkloads()
+	names := o.sweepProtocols(w)
+	rate := o.scenarioRate()
+	fmt.Fprintf(w, "\nScenario matrix — %d protocols × %d topologies × %d workloads, %v/coord\n",
+		len(names), len(topos), len(wls), rate)
+	var runs []SpecRun
+	for _, topo := range topos {
+		for _, wl := range wls {
+			for _, p := range names {
+				runs = append(runs, o.point(o.scenarioSpec(p, topo, wl), rate, 12))
+			}
+		}
+	}
+	results := RunSpecs(runs, o.Workers)
+	var rows []MatrixRow
+	i := 0
+	for _, topo := range topos {
+		for _, wl := range wls {
+			fmt.Fprintf(w, "\n[topology=%s workload=%s]\n", topo, wl)
+			fmt.Fprintf(w, "%-12s %12s %9s %12s %12s\n", "Protocol", "Thpt(txn/s)", "Commit%", "p50", "p99")
+			for _, p := range names {
+				run := results[i].Run
+				i++
+				row := MatrixRow{
+					Protocol: p, Topology: topo, Workload: wl,
+					Thpt: run.Throughput(), Commit: run.Counters.CommitRate(),
+					P50: run.Lat.Percentile(50), P99: run.Lat.Percentile(99),
+				}
+				rows = append(rows, row)
+				fmt.Fprintf(w, "%-12s %12.0f %9.1f %12v %12v\n", p, row.Thpt, row.Commit,
+					row.P50.Round(time.Millisecond), row.P99.Round(time.Millisecond))
+			}
+		}
+	}
+	return rows
+}

@@ -47,20 +47,22 @@ type Knob struct {
 // factory. Order is presentation order; names must be unique.
 type Schema []Knob
 
-// validate panics on malformed schemas — Register runs it at init time so a
-// protocol cannot come up with an inconsistent knob declaration.
-func (s Schema) validate(protocol string) {
+// Validate panics on malformed schemas — Register runs it at init time so a
+// protocol cannot come up with an inconsistent knob declaration. `owner`
+// names the registrant in the panic message; other registries reusing the
+// schema machinery (the workload registry) run it with their own prefix.
+func (s Schema) Validate(owner string) {
 	seen := make(map[string]bool, len(s))
 	for _, k := range s {
 		if k.Name == "" {
-			panic(fmt.Sprintf("protocol %s: knob with empty name", protocol))
+			panic(fmt.Sprintf("%s: knob with empty name", owner))
 		}
 		if seen[k.Name] {
-			panic(fmt.Sprintf("protocol %s: duplicate knob %q", protocol, k.Name))
+			panic(fmt.Sprintf("%s: duplicate knob %q", owner, k.Name))
 		}
 		seen[k.Name] = true
 		if _, err := coerce(k.Type, k.Default); err != nil {
-			panic(fmt.Sprintf("protocol %s: knob %q default %v: %v", protocol, k.Name, k.Default, err))
+			panic(fmt.Sprintf("%s: knob %q default %v: %v", owner, k.Name, k.Default, err))
 		}
 	}
 }

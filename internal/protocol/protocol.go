@@ -153,7 +153,7 @@ func Register(name string, cost CostProfile, knobs Schema, build Factory) {
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("protocol: duplicate registration of %q", name))
 	}
-	knobs.validate(name)
+	knobs.Validate("protocol " + name)
 	registry[name] = entry{cost: cost, knobs: knobs, build: build}
 }
 

@@ -392,15 +392,20 @@ func (co *coordinator) onPreacceptRep(m preacceptRep) {
 			return
 		}
 		counts := make(map[string]int)
-		var bestKey string
+		fastQuorum := false
 		for _, v := range votes {
 			k := depsKey(v.Deps)
 			counts[k]++
 			if counts[k] >= sq {
-				bestKey = k
+				// A super quorum reported identical dependencies — including
+				// the legitimate EMPTY dependency list, whose key is "". (An
+				// earlier version used a `bestKey == ""` sentinel here, which
+				// collided with that empty-deps key: dependency-free
+				// transactions always paid the accept round, +1 WRTT.)
+				fastQuorum = true
 			}
 		}
-		if bestKey == "" {
+		if !fastQuorum {
 			if len(votes) < n {
 				return // more votes may still form a fast quorum
 			}

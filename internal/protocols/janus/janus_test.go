@@ -91,6 +91,38 @@ func TestTwoWRTTLatency(t *testing.T) {
 	}
 }
 
+// TestEmptyDepsFastPath is the fast-quorum sentinel regression: a
+// dependency-free transaction (fresh keys, no prior conflicts) gathers a
+// super quorum of identical EMPTY dependency lists, whose deps-key is "" —
+// the same value the old code used as its "no fast quorum" sentinel. It must
+// commit on the 2-WRTT fast path, not pay the accept round.
+func TestEmptyDepsFastPath(t *testing.T) {
+	sim, sys := build(t, 4)
+	var res txn.Result
+	var lat time.Duration
+	sim.At(50*time.Millisecond, func() {
+		s := sim.Now()
+		tx := &txn.Txn{Pieces: map[int]*txn.Piece{
+			0: txn.IncrementPiece("j0-7"),
+			1: txn.IncrementPiece("j1-7"),
+		}}
+		sys.Submit(0, tx, func(r txn.Result) { res, lat = r, sim.Now()-s })
+	})
+	sim.Run(3 * time.Second)
+	if !res.OK {
+		t.Fatal("dependency-free transaction did not commit")
+	}
+	if !res.FastPath {
+		t.Fatalf("dependency-free transaction missed the fast path (latency %v)", lat)
+	}
+	// Fast path: pre-accept (farthest replica Brazil, ~124 ms RTT) + commit
+	// 0.5 + co-located leader result 0.5 ≈ 190 ms. The accept round would
+	// add another full WRTT (~124 ms) on top.
+	if lat > 250*time.Millisecond {
+		t.Fatalf("fast-path latency %v looks like it paid the accept round", lat)
+	}
+}
+
 // TestReplicasExecuteIdentically: every replica's store converges despite
 // concurrent conflicts — the deterministic SCC order is replica-independent.
 func TestReplicasExecuteIdentically(t *testing.T) {

@@ -54,6 +54,18 @@ type execRep struct {
 
 type commitNote struct{ ID txn.ID }
 
+// recoverReq asks a surviving NCC+ replica for its Paxos state; recoverRep
+// answers. A rebooted server merges the replies (every committed slot is on
+// at least one survivor) and adopts them via paxos.InstallLog, re-executing
+// the logged transactions to rebuild its store.
+type recoverReq struct{}
+
+type recoverRep struct {
+	Replica  int
+	Log      []paxos.Command
+	CommitTo int
+}
+
 type pendingSrv struct {
 	t     *txn.Txn
 	coord simnet.NodeID
@@ -76,13 +88,36 @@ type server struct {
 	pending map[txn.ID]*pendingSrv
 	pax     *paxos.Replica
 	onSlot  map[int]txn.ID
+	// recovering gates all processing while a rebooted server is merging
+	// survivor logs; recovered collects the replies by replica.
+	recovering bool
+	recovered  map[int]recoverRep
+}
+
+// follower is an NCC+ Paxos group member: it only participates in
+// replication and answers recovery snapshot requests.
+type follower struct {
+	idx  int
+	node *simnet.Node
+	pax  *paxos.Replica
+}
+
+func (f *follower) handle(from simnet.NodeID, msg simnet.Message) {
+	if _, ok := msg.(recoverReq); ok {
+		log, commitTo := f.pax.Snapshot()
+		f.node.Send(from, recoverRep{Replica: f.idx, Log: log, CommitTo: commitTo})
+		return
+	}
+	f.pax.Handle(from, msg)
 }
 
 // System is a running NCC or NCC+ deployment.
 type System struct {
-	spec    Spec
-	servers []*server
-	coords  []*coordinator
+	spec      Spec
+	nodes     [][]simnet.NodeID // [shard][replica]; replica 0 is the server
+	servers   []*server
+	followers [][]*follower // [shard][replica]; index 0 unused (NCC+ only)
+	coords    []*coordinator
 }
 
 // New builds the deployment.
@@ -105,23 +140,16 @@ func New(spec Spec) *System {
 			}
 			nodes = append(nodes, spec.Net.AddNode(reg, nil).ID())
 		}
-		srv := &server{sys: sys, shard: sh, node: spec.Net.Node(nodes[0]),
-			st: store.New(), lastKey: make(map[string]txn.ID),
-			pending: make(map[txn.ID]*pendingSrv), onSlot: make(map[int]txn.ID)}
-		if spec.Seed != nil {
-			spec.Seed(sh, srv.st)
+		sys.nodes = append(sys.nodes, nodes)
+		sys.servers = append(sys.servers, newServer(sys, sh))
+		fs := make([]*follower, n)
+		for r := 1; r < n; r++ {
+			f := &follower{idx: r, node: spec.Net.Node(nodes[r]),
+				pax: paxos.NewReplica("ncc", spec.Net.Node(nodes[r]), nodes, r, 0, spec.F)}
+			f.node.SetHandler(f.handle)
+			fs[r] = f
 		}
-		if spec.Replicated {
-			srv.pax = paxos.NewReplica("ncc", srv.node, nodes, 0, 0, spec.F)
-			srv.pax.OnCommit = srv.onPaxosCommit
-			for r := 1; r < n; r++ {
-				rep := paxos.NewReplica("ncc", spec.Net.Node(nodes[r]), nodes, r, 0, spec.F)
-				node := spec.Net.Node(nodes[r])
-				node.SetHandler(func(from simnet.NodeID, msg simnet.Message) { rep.Handle(from, msg) })
-			}
-		}
-		srv.node.SetHandler(srv.handle)
-		sys.servers = append(sys.servers, srv)
+		sys.followers = append(sys.followers, fs)
 	}
 	for _, reg := range spec.CoordRegions {
 		node := spec.Net.AddNode(reg, nil)
@@ -133,6 +161,25 @@ func New(spec Spec) *System {
 	return sys
 }
 
+// newServer assembles one shard's server on its (already-added) network
+// node, with a freshly seeded store and an empty Paxos replica. It is used
+// both at construction and to rebuild a crashed server on restart.
+func newServer(sys *System, sh int) *server {
+	nodes := sys.nodes[sh]
+	srv := &server{sys: sys, shard: sh, node: sys.spec.Net.Node(nodes[0]),
+		st: store.New(), lastKey: make(map[string]txn.ID),
+		pending: make(map[txn.ID]*pendingSrv), onSlot: make(map[int]txn.ID)}
+	if sys.spec.Seed != nil {
+		sys.spec.Seed(sh, srv.st)
+	}
+	if sys.spec.Replicated {
+		srv.pax = paxos.NewReplica("ncc", srv.node, nodes, 0, 0, sys.spec.F)
+		srv.pax.OnCommit = srv.onPaxosCommit
+	}
+	srv.node.SetHandler(srv.handle)
+	return srv
+}
+
 // Start is a no-op.
 func (sys *System) Start() {}
 
@@ -142,9 +189,87 @@ func (sys *System) NumCoords() int { return len(sys.coords) }
 // Store exposes a shard store (tests).
 func (sys *System) Store(shard int) *store.Store { return sys.servers[shard].st }
 
+// KillServer crashes a replica: all queued and future deliveries and timers
+// are dropped until RestartServer (protocol.Faultable). Replica 0 is the
+// shard's serving node; higher replicas are NCC+ Paxos followers. Replicas
+// the deployment does not have (plain NCC runs exactly one per shard) are a
+// no-op, so generic fault experiments can enumerate 0..2F on any protocol.
+func (sys *System) KillServer(shard, replica int) {
+	if replica == 0 {
+		sys.servers[shard].node.Crash()
+		return
+	}
+	if replica < 0 || replica >= len(sys.followers[shard]) {
+		return
+	}
+	sys.followers[shard][replica].node.Crash()
+}
+
+// RestartServer reboots a crashed replica. A follower resumes with its Paxos
+// state intact (only its node was down; lost slots are refilled by the
+// leader's retransmission). The serving replica reboots with empty state:
+// under NCC+ it re-seeds its store, asks the surviving followers for their
+// Paxos logs, and — once every survivor has answered — adopts the merged log
+// via paxos.InstallLog, re-executing the committed transactions in slot
+// order to rebuild the store (each exactly once; the pre-crash store is
+// discarded whole) and re-sending their replies. Plain NCC has no
+// replication to recover from: the store reboots seeded-but-empty of every
+// pre-crash effect, which is the unreplicated design's documented exposure.
+func (sys *System) RestartServer(shard, replica int) {
+	if replica != 0 {
+		if replica >= 0 && replica < len(sys.followers[shard]) {
+			sys.followers[shard][replica].node.Restart()
+		}
+		return
+	}
+	old := sys.servers[shard]
+	old.node.Restart()
+	srv := newServer(sys, shard)
+	sys.servers[shard] = srv
+	if !sys.spec.Replicated {
+		return
+	}
+	srv.recovering = true
+	srv.recovered = make(map[int]recoverRep)
+	ask := func() {
+		for r, id := range sys.nodes[shard] {
+			if r != 0 {
+				if _, have := srv.recovered[r]; !have {
+					srv.node.Send(id, recoverReq{})
+				}
+			}
+		}
+	}
+	ask()
+	// Re-request until enough survivors answered: a lost recoverReq/Rep (the
+	// degraded topologies drop messages) must delay recovery, not wedge the
+	// shard forever.
+	srv.node.Every(500*time.Millisecond, func() bool {
+		if !srv.recovering {
+			return false
+		}
+		ask()
+		return true
+	})
+}
+
 // ---- server ----
 
 func (s *server) handle(from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case recoverReq:
+		if s.pax != nil {
+			log, commitTo := s.pax.Snapshot()
+			s.node.Send(from, recoverRep{Replica: 0, Log: log, CommitTo: commitTo})
+		}
+		return
+	case recoverRep:
+		s.onRecoverRep(m)
+		return
+	}
+	if s.recovering {
+		return // not serving until the survivor logs are merged
+	}
 	if s.pax != nil && s.pax.Handle(from, msg) {
 		return
 	}
@@ -154,6 +279,47 @@ func (s *server) handle(from simnet.NodeID, msg simnet.Message) {
 	case commitNote:
 		s.onCommitNote(m)
 	}
+}
+
+// onRecoverRep collects survivor snapshots; once a quorum of f+1 followers
+// has answered, the merged log is installed. Any slot committed before the
+// crash gathered f+1 acks — f of them on followers — so every committed
+// slot intersects any f+1 of the 2f followers: the merge is gap-free up to
+// the true commit point, and InstallLog replays it through onPaxosCommit
+// (the recovery path there re-executes each logged transaction against the
+// fresh store). Waiting for all 2f would let one crashed follower wedge
+// recovery forever; a higher commit point known only to a non-replying
+// follower is harmless — those slots are adopted as tail entries and
+// re-proposed, and the replay path deduplicates.
+func (s *server) onRecoverRep(m recoverRep) {
+	if !s.recovering {
+		return
+	}
+	s.recovered[m.Replica] = m
+	if len(s.recovered) < s.sys.spec.F+1 {
+		return
+	}
+	var merged []paxos.Command
+	commitTo := 0
+	for r := 1; r < len(s.sys.nodes[s.shard]); r++ {
+		rep, ok := s.recovered[r]
+		if !ok {
+			continue
+		}
+		if rep.CommitTo > commitTo {
+			commitTo = rep.CommitTo
+		}
+		for i, c := range rep.Log {
+			if i >= len(merged) {
+				merged = append(merged, c)
+			} else if merged[i] == nil {
+				merged[i] = c
+			}
+		}
+	}
+	s.recovering = false
+	s.recovered = nil
+	s.pax.InstallLog(merged, commitTo)
 }
 
 // onExec executes in arrival order and applies RTC gating.
@@ -189,7 +355,9 @@ func (s *server) onExec(m execReq) {
 	p.ret = s.st.Execute(id, txn.Timestamp{}, piece)
 	s.st.Commit(id)
 	if s.pax != nil {
-		slot := s.pax.Propose(execReq{T: m.T})
+		// The replicated command carries the coordinator so a rebooted
+		// server can re-answer replayed slots during recovery.
+		slot := s.pax.Propose(execReq{T: m.T, Coord: m.Coord})
 		s.onSlot[slot] = id
 	}
 	s.maybeReply(p)
@@ -210,7 +378,34 @@ func (s *server) onPaxosCommit(slot int, cmd paxos.Command) {
 			p.replicated = true
 			s.maybeReply(p)
 		}
+		return
 	}
+	// A slot this server did not propose in its current life: recovery
+	// replay (InstallLog replaying the merged survivor log, or a recovered
+	// tail slot committing later). Re-execute the logged transaction against
+	// the fresh store — the pre-crash store was discarded whole, so each
+	// logged slot applies exactly once — and re-send the reply; a
+	// coordinator that already completed ignores it. The entry is recorded
+	// as committed so RTC gates new transactions correctly and duplicate
+	// commit notes stay idempotent.
+	m := cmd.(execReq)
+	id := m.T.ID
+	if _, dup := s.pending[id]; dup {
+		return
+	}
+	piece := m.T.Pieces[s.shard]
+	s.node.Work(s.sys.spec.ExecCost)
+	ret := s.st.Execute(id, txn.Timestamp{}, piece)
+	s.st.Commit(id)
+	s.pending[id] = &pendingSrv{t: m.T, coord: m.Coord, ret: ret,
+		replicated: true, sent: true, committed: true}
+	for _, k := range piece.WriteSet {
+		s.lastKey[k] = id
+	}
+	for _, k := range piece.ReadSet {
+		s.lastKey[k] = id
+	}
+	s.node.Send(m.Coord, execRep{Shard: s.shard, ID: id, Ret: ret})
 }
 
 // onCommitNote releases RTC-gated successors.

@@ -13,6 +13,14 @@ func init() {
 	register("NCC+", true, protocol.CostProfile{Exec: 13, Rank: 70})
 }
 
+// NCC+ supports server crash/reboot recovery through its Paxos layer
+// (Snapshot/InstallLog, the same path the lockocc baselines use): the
+// rebooted server rebuilds its store by re-executing the merged survivor
+// log. Plain NCC accepts the fault hooks too, but with nothing replicated a
+// reboot loses every pre-crash effect — the unreplicated design's exposure,
+// not a recovery.
+var _ protocol.Faultable = (*System)(nil)
+
 func register(name string, replicated bool, cost protocol.CostProfile) {
 	protocol.Register(name, cost,
 		protocol.Schema{

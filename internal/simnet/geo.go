@@ -56,3 +56,15 @@ func GeoOWD(jitter time.Duration) [][]Latency {
 func GeoConfig(jitter time.Duration, loss float64) Config {
 	return Config{OWD: GeoOWD(jitter), LossRate: loss, DefaultCost: time.Microsecond}
 }
+
+func init() {
+	RegisterTopology(Topology{
+		Name:              DefaultTopology, // "geo4"
+		Doc:               "the paper's §5.1 GCP WAN: South Carolina, Finland, Brazil servers; Hong Kong remote coordinators (60–150 ms OWDs)",
+		RegionNames:       []string{"South Carolina", "Finland", "Brazil", "Hong Kong"},
+		ServerRegions:     3,
+		RemoteCoordRegion: RegionHongKong,
+		OWD:               GeoOWD,
+		DefaultJitter:     500 * time.Microsecond,
+	})
+}

@@ -1,0 +1,88 @@
+package simnet
+
+import "time"
+
+// The non-default topologies: real geo-distributed systems are evaluated
+// across heterogeneous region counts, link asymmetries, and WAN quality, and
+// protocol rankings are known to flip with the geometry. Each layout below
+// registers the same contract as geo4 (OWD matrix, region roster, default
+// coordinator placement) so every experiment can select it by name.
+
+// usEU3OWD is a 3-region US/EU triangle: two US coasts plus Frankfurt. The
+// delays are calibrated to public inter-region RTT measurements (~60 ms
+// coast-to-coast, ~90 ms Virginia–Frankfurt, ~150 ms Oregon–Frankfurt).
+func usEU3OWD(jitter time.Duration) [][]Latency {
+	ms := func(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+	owd := make([][]time.Duration, 3)
+	for i := range owd {
+		owd[i] = make([]time.Duration, 3)
+		owd[i][i] = LANDelay
+	}
+	set := func(a, b int, d time.Duration) { owd[a][b], owd[b][a] = d, d }
+	set(0, 1, ms(30)) // Virginia–Oregon: ~60 ms RTT
+	set(0, 2, ms(45)) // Virginia–Frankfurt: ~90 ms RTT
+	set(1, 2, ms(75)) // Oregon–Frankfurt: ~150 ms RTT
+	return SymmetricOWD(owd, jitter)
+}
+
+// planet5OWD is a 5-region planet-scale layout with ASYMMETRIC links: the
+// return direction runs ~15% longer than the forward direction, modeling
+// routes that traverse different cables each way. Servers live in Virginia,
+// Frankfurt, and Tokyo; São Paulo and Sydney host only coordinators.
+func planet5OWD(jitter time.Duration) [][]Latency {
+	ms := func(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+	const n = 5
+	owd := make([][]Latency, n)
+	for i := range owd {
+		owd[i] = make([]Latency, n)
+		owd[i][i] = Latency{Base: LANDelay, Jitter: jitter}
+	}
+	// set records an asymmetric pair: a→b at the forward delay, b→a 15% longer.
+	set := func(a, b int, d time.Duration) {
+		owd[a][b] = Latency{Base: d, Jitter: jitter}
+		owd[b][a] = Latency{Base: d * 115 / 100, Jitter: jitter}
+	}
+	va, fr, tk, sp, sy := 0, 1, 2, 3, 4
+	set(va, fr, ms(42))  // Virginia–Frankfurt
+	set(va, tk, ms(75))  // Virginia–Tokyo
+	set(va, sp, ms(60))  // Virginia–São Paulo
+	set(va, sy, ms(100)) // Virginia–Sydney
+	set(fr, tk, ms(115)) // Frankfurt–Tokyo
+	set(fr, sp, ms(95))  // Frankfurt–São Paulo
+	set(fr, sy, ms(140)) // Frankfurt–Sydney
+	set(tk, sp, ms(135)) // Tokyo–São Paulo
+	set(tk, sy, ms(55))  // Tokyo–Sydney
+	set(sp, sy, ms(160)) // São Paulo–Sydney
+	return owd
+}
+
+func init() {
+	RegisterTopology(Topology{
+		Name:              "us-eu3",
+		Doc:               "3-region US/EU triangle (Virginia, Oregon, Frankfurt); all regions host servers, remote coordinators in Frankfurt",
+		RegionNames:       []string{"Virginia", "Oregon", "Frankfurt"},
+		ServerRegions:     3,
+		RemoteCoordRegion: 2, // Frankfurt
+		OWD:               usEU3OWD,
+		DefaultJitter:     500 * time.Microsecond,
+	})
+	RegisterTopology(Topology{
+		Name:              "planet5",
+		Doc:               "5-region planet-scale layout with asymmetric links (return paths ~15% longer); servers in Virginia/Frankfurt/Tokyo, remote coordinators in Sydney",
+		RegionNames:       []string{"Virginia", "Frankfurt", "Tokyo", "São Paulo", "Sydney"},
+		ServerRegions:     3,
+		RemoteCoordRegion: 4, // Sydney
+		OWD:               planet5OWD,
+		DefaultJitter:     time.Millisecond,
+	})
+	RegisterTopology(Topology{
+		Name:              "geo4-degraded",
+		Doc:               "the geo4 WAN under degraded conditions: 5 ms link jitter and 1% message loss by default",
+		RegionNames:       []string{"South Carolina", "Finland", "Brazil", "Hong Kong"},
+		ServerRegions:     3,
+		RemoteCoordRegion: RegionHongKong,
+		OWD:               GeoOWD,
+		DefaultJitter:     5 * time.Millisecond,
+		DefaultLoss:       0.01,
+	})
+}

@@ -1,0 +1,123 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Topology is a named WAN layout: the region roster, the one-way-delay
+// matrix builder, how many of the leading regions host server replicas, and
+// where remote coordinators are placed by default. Topologies register
+// themselves by name (mirroring the protocol registry in internal/protocol),
+// so experiments select a WAN by name instead of wiring a Config by hand —
+// protocol rankings are known to flip as the WAN geometry changes, which is
+// exactly what the scenario-matrix experiment sweeps.
+type Topology struct {
+	// Name is the registry key (see TopologyNames).
+	Name string
+	// Doc is a one-line description surfaced by discovery tooling
+	// (cmd/tigabench -topo list).
+	Doc string
+	// RegionNames names every region; Region r indexes into it.
+	RegionNames []string
+	// ServerRegions is how many of the leading regions host server
+	// replicas (shard leaders rotate among these under §5.5 rotation); any
+	// remaining regions host only coordinators.
+	ServerRegions int
+	// RemoteCoordRegion is the default placement for remote coordinators
+	// (ClusterSpec.CoordsRemote) — the paper's Hong Kong analogue.
+	RemoteCoordRegion Region
+	// OWD builds the one-way-delay matrix with the given per-link jitter.
+	OWD func(jitter time.Duration) [][]Latency
+	// DefaultJitter and DefaultLoss apply when the deployment spec leaves
+	// jitter/loss at zero; the degraded-WAN variants carry elevated values
+	// here so selecting them by name is enough.
+	DefaultJitter time.Duration
+	DefaultLoss   float64
+}
+
+// NumRegions returns the total region count.
+func (t *Topology) NumRegions() int { return len(t.RegionNames) }
+
+// RegionName returns the topology's human-readable name for r.
+func (t *Topology) RegionName(r Region) string {
+	if int(r) < 0 || int(r) >= len(t.RegionNames) {
+		return "Unknown"
+	}
+	return t.RegionNames[r]
+}
+
+// Config materializes the simulated-network configuration. Zero jitter/loss
+// select the topology's defaults, so the caller only overrides what an
+// experiment actually sweeps.
+func (t *Topology) Config(jitter time.Duration, loss float64) Config {
+	if jitter == 0 {
+		jitter = t.DefaultJitter
+	}
+	if loss == 0 {
+		loss = t.DefaultLoss
+	}
+	return Config{OWD: t.OWD(jitter), LossRate: loss, DefaultCost: time.Microsecond}
+}
+
+// DefaultTopology names the paper's 4-region GCP WAN, the registry's default.
+const DefaultTopology = "geo4"
+
+var topologies = map[string]*Topology{}
+
+// RegisterTopology makes a topology available under its name. It is intended
+// to be called from package init functions and panics on duplicate names or
+// malformed layouts (so a topology cannot come up inconsistent, mirroring
+// protocol.Register).
+func RegisterTopology(t Topology) {
+	if t.Name == "" || t.OWD == nil {
+		panic("simnet: RegisterTopology requires a name and an OWD builder")
+	}
+	if _, dup := topologies[t.Name]; dup {
+		panic(fmt.Sprintf("simnet: duplicate topology registration of %q", t.Name))
+	}
+	n := len(t.RegionNames)
+	if n == 0 {
+		panic(fmt.Sprintf("simnet: topology %q has no regions", t.Name))
+	}
+	if t.ServerRegions < 1 || t.ServerRegions > n {
+		panic(fmt.Sprintf("simnet: topology %q: ServerRegions %d out of range [1, %d]", t.Name, t.ServerRegions, n))
+	}
+	if int(t.RemoteCoordRegion) < 0 || int(t.RemoteCoordRegion) >= n {
+		panic(fmt.Sprintf("simnet: topology %q: RemoteCoordRegion %d out of range", t.Name, t.RemoteCoordRegion))
+	}
+	owd := t.OWD(0)
+	if len(owd) != n {
+		panic(fmt.Sprintf("simnet: topology %q: OWD matrix has %d rows for %d regions", t.Name, len(owd), n))
+	}
+	for i, row := range owd {
+		if len(row) != n {
+			panic(fmt.Sprintf("simnet: topology %q: OWD row %d has %d columns for %d regions", t.Name, i, len(row), n))
+		}
+	}
+	cp := t
+	topologies[t.Name] = &cp
+}
+
+// TopologyNames returns every registered topology name, the default first,
+// then alphabetically — a stable order for discovery listings and errors.
+func TopologyNames() []string {
+	out := make([]string, 0, len(topologies))
+	for name := range topologies {
+		if name != DefaultTopology {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	if _, ok := topologies[DefaultTopology]; ok {
+		out = append([]string{DefaultTopology}, out...)
+	}
+	return out
+}
+
+// LookupTopology returns the registered topology for name.
+func LookupTopology(name string) (*Topology, bool) {
+	t, ok := topologies[name]
+	return t, ok
+}

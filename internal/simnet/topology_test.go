@@ -1,0 +1,133 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTopologyRegistryComplete pins the canonical topology set: a layout
+// missing here was either renamed or lost its init-time registration. The
+// default comes first so discovery listings lead with the paper's WAN.
+func TestTopologyRegistryComplete(t *testing.T) {
+	want := []string{"geo4", "geo4-degraded", "planet5", "us-eu3"}
+	got := TopologyNames()
+	if len(got) != len(want) {
+		t.Fatalf("registered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopologyNames()[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	for _, name := range want {
+		topo, ok := LookupTopology(name)
+		if !ok {
+			t.Fatalf("LookupTopology(%q) = false", name)
+		}
+		if topo.NumRegions() < 3 || topo.ServerRegions < 1 || topo.ServerRegions > topo.NumRegions() {
+			t.Fatalf("%s: implausible shape: %d regions, %d server regions", name, topo.NumRegions(), topo.ServerRegions)
+		}
+		if topo.RegionName(Region(topo.NumRegions())) != "Unknown" {
+			t.Fatalf("%s: out-of-range region did not map to Unknown", name)
+		}
+	}
+	if _, ok := LookupTopology("nosuch"); ok {
+		t.Fatal("LookupTopology accepted an unregistered name")
+	}
+}
+
+// TestGeo4TopologyMatchesGeoConfig guards the byte-for-byte default: the
+// registered geo4 topology must materialize exactly the Config every
+// pre-registry experiment built via GeoConfig, including the 500 µs jitter
+// default the harness used to apply by hand.
+func TestGeo4TopologyMatchesGeoConfig(t *testing.T) {
+	topo, _ := LookupTopology(DefaultTopology)
+	got := topo.Config(0, 0)
+	want := GeoConfig(500*time.Microsecond, 0)
+	if got.LossRate != want.LossRate || got.DefaultCost != want.DefaultCost {
+		t.Fatalf("geo4 config differs: %+v vs %+v", got, want)
+	}
+	for i := range want.OWD {
+		for j := range want.OWD[i] {
+			if got.OWD[i][j] != want.OWD[i][j] {
+				t.Fatalf("geo4 OWD[%d][%d] = %+v, want %+v", i, j, got.OWD[i][j], want.OWD[i][j])
+			}
+		}
+	}
+	for r := 0; r < topo.NumRegions(); r++ {
+		if topo.RegionName(Region(r)) != RegionName(Region(r)) {
+			t.Fatalf("geo4 region %d named %q, want %q", r, topo.RegionName(Region(r)), RegionName(Region(r)))
+		}
+	}
+}
+
+// TestPlanet5Asymmetry pins the planet5 layout's defining property: the
+// return direction of every inter-region link is slower than the forward
+// direction.
+func TestPlanet5Asymmetry(t *testing.T) {
+	topo, _ := LookupTopology("planet5")
+	owd := topo.OWD(0)
+	asym := 0
+	for a := 0; a < topo.NumRegions(); a++ {
+		for b := a + 1; b < topo.NumRegions(); b++ {
+			if owd[a][b].Base != owd[b][a].Base {
+				asym++
+			}
+		}
+	}
+	if asym == 0 {
+		t.Fatal("planet5 has no asymmetric links")
+	}
+}
+
+// TestDegradedTopologyDefaults verifies selecting the degraded WAN by name is
+// enough to get elevated jitter and loss — no per-spec overrides needed.
+func TestDegradedTopologyDefaults(t *testing.T) {
+	topo, _ := LookupTopology("geo4-degraded")
+	cfg := topo.Config(0, 0)
+	if cfg.LossRate == 0 {
+		t.Fatal("degraded WAN has no default loss")
+	}
+	if cfg.OWD[0][1].Jitter < time.Millisecond {
+		t.Fatalf("degraded WAN jitter %v not elevated", cfg.OWD[0][1].Jitter)
+	}
+	// An explicit override still wins.
+	cfg = topo.Config(100*time.Microsecond, 0.2)
+	if cfg.LossRate != 0.2 || cfg.OWD[0][1].Jitter != 100*time.Microsecond {
+		t.Fatalf("explicit jitter/loss did not override the defaults: %+v", cfg.OWD[0][1])
+	}
+}
+
+// TestRegisterTopologyValidation pins the registration failure modes.
+func TestRegisterTopologyValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		topo Topology
+		want string
+	}{
+		{"missing owd", Topology{Name: "x", RegionNames: []string{"a"}, ServerRegions: 1}, "OWD builder"},
+		{"duplicate", Topology{Name: "geo4", RegionNames: []string{"a"}, ServerRegions: 1,
+			OWD: func(j time.Duration) [][]Latency { return [][]Latency{{{}}} }}, "duplicate"},
+		{"bad server regions", Topology{Name: "x", RegionNames: []string{"a"}, ServerRegions: 2,
+			OWD: func(j time.Duration) [][]Latency { return [][]Latency{{{}}} }}, "ServerRegions"},
+		{"bad coord region", Topology{Name: "x", RegionNames: []string{"a"}, ServerRegions: 1, RemoteCoordRegion: 5,
+			OWD: func(j time.Duration) [][]Latency { return [][]Latency{{{}}} }}, "RemoteCoordRegion"},
+		{"bad matrix", Topology{Name: "x", RegionNames: []string{"a", "b"}, ServerRegions: 1,
+			OWD: func(j time.Duration) [][]Latency { return [][]Latency{{{}}} }}, "OWD matrix"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("RegisterTopology accepted %q", tc.name)
+				}
+				if s, _ := r.(string); !strings.Contains(s, tc.want) {
+					t.Fatalf("panic %q does not mention %q", r, tc.want)
+				}
+			}()
+			RegisterTopology(tc.topo)
+		})
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"tiga/internal/protocol"
 	"tiga/internal/store"
 	"tiga/internal/txn"
 	"tiga/internal/workload"
@@ -49,6 +50,26 @@ func New(cfg Config) *Gen {
 		cfg.Warehouses = cfg.Shards
 	}
 	return &Gen{cfg: cfg}
+}
+
+func init() {
+	workload.Register(workload.Def{
+		Name:   "tpcc",
+		Doc:    "TPC-C interactive mix (all five transaction types; Payment/Order-Status/Delivery run multi-shot); keys scales Customers (keys/10, floor 50) and Items (keys, floor 500)",
+		Params: nil, // scaled through the shared per-shard keys parameter
+		New: func(shards, keys int, _ protocol.Values) workload.Generator {
+			cfg := DefaultConfig(shards)
+			cfg.Customers = keys / 10
+			if cfg.Customers < 50 {
+				cfg.Customers = 50
+			}
+			cfg.Items = keys
+			if cfg.Items < 500 {
+				cfg.Items = 500
+			}
+			return New(cfg)
+		},
+	})
 }
 
 // ShardOf maps a warehouse (1-based) to its shard.

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"tiga/internal/protocol"
+)
+
+// Def describes one registered workload: a name, a doc line for discovery
+// tooling, a typed parameter schema, and a factory. The schema reuses the
+// protocol knob machinery (protocol.Schema/Values), so workload parameters
+// get the same validation, defaults, and CLI parsing as protocol knobs.
+type Def struct {
+	// Name is the registry key (see Names).
+	Name string
+	// Doc is a one-line description (cmd/tigabench -workload list).
+	Doc string
+	// Params declares the workload's typed parameters.
+	Params protocol.Schema
+	// New builds a fresh generator for a deployment of `shards` shards with
+	// a per-shard keyspace of `keys` (interpreted workload-specifically;
+	// TPC-C scales its Customers/Items tables from it). Every experiment
+	// point must own a private generator — generators may be stateful, and
+	// sharing one across points breaks the parallel driver's
+	// serial-identical guarantee.
+	New func(shards, keys int, p protocol.Values) Generator
+}
+
+var registry = map[string]Def{}
+
+// Register makes a workload available under its name. It is intended to be
+// called from package init functions and panics on duplicate names, missing
+// factories, or malformed parameter schemas (mirroring protocol.Register).
+func Register(def Def) {
+	if def.Name == "" || def.New == nil {
+		panic("workload: Register requires a name and a factory")
+	}
+	if _, dup := registry[def.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate registration of %q", def.Name))
+	}
+	def.Params.Validate("workload " + def.Name)
+	registry[def.Name] = def
+}
+
+// Names returns every registered workload name in alphabetical order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the registered definition for name (discovery: the CLI's
+// -workload listing and parameter validation).
+func Lookup(name string) (Def, bool) {
+	d, ok := registry[name]
+	return d, ok
+}
+
+// Build resolves a named workload: it validates raw parameter overrides
+// against the registered schema (unknown names and type mismatches are
+// errors, defaults fill in) and invokes the factory. It returns an error
+// naming the valid workloads when name is unknown.
+func Build(name string, shards, keys int, raw map[string]any) (Generator, error) {
+	def, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q (registered: %v)", name, Names())
+	}
+	vals, err := def.Params.Resolve(raw)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", name, err)
+	}
+	return def.New(shards, keys, vals), nil
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 
+	"tiga/internal/protocol"
 	"tiga/internal/store"
 	"tiga/internal/txn"
 )
@@ -138,4 +139,29 @@ func (u *Uniform) Next(rng *rand.Rand) Job {
 		t.Pieces[sh] = txn.IncrementPiece(k)
 	}
 	return Job{T: t, Label: "uniform"}
+}
+
+func init() {
+	Register(Def{
+		Name: "micro",
+		Doc:  "the paper's MicroBench (§5.1): 3-key cross-shard read-modify-writes, Zipfian-skewed key selection",
+		Params: protocol.Schema{
+			{Name: "skew", Type: protocol.KnobFloat, Default: 0.5,
+				Doc: "Zipfian skew factor θ in [0, 1); the paper sweeps 0.5–0.99"},
+		},
+		New: func(shards, keys int, p protocol.Values) Generator {
+			return NewMicroBench(shards, keys, p.Float("skew"))
+		},
+	})
+	Register(Def{
+		Name: "uniform",
+		Doc:  "uniformly-distributed single-key read/write mix (quickstart and unit tests)",
+		Params: protocol.Schema{
+			{Name: "read-ratio", Type: protocol.KnobFloat, Default: 0.5,
+				Doc: "fraction of transactions that are single-key reads"},
+		},
+		New: func(shards, keys int, p protocol.Values) Generator {
+			return &Uniform{Shards: shards, Keys: keys, ReadRatio: p.Float("read-ratio")}
+		},
+	})
 }
