@@ -13,7 +13,6 @@ package tigabench_test
 
 import (
 	"fmt"
-	"io"
 	"testing"
 	"time"
 
@@ -142,7 +141,7 @@ func BenchmarkFig10TPCC(b *testing.B) {
 	for _, p := range []string{"Tiga", "Janus", "Calvin+"} {
 		b.Run(p, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rows := harness.Fig10ForProtocol(io.Discard, o, p, 400)
+				rows := harness.Fig10ForProtocol(o, p, 400)
 				if len(rows) > 0 {
 					b.ReportMetric(rows[len(rows)-1].Thpt, "txns/s")
 					b.ReportMetric(float64(rows[len(rows)-1].P50)/1e6, "p50-ms")
@@ -157,7 +156,7 @@ func BenchmarkFig10TPCC(b *testing.B) {
 func BenchmarkFig11FailureRecovery(b *testing.B) {
 	o := quickOpts(42)
 	for i := 0; i < b.N; i++ {
-		res := harness.Fig11(io.Discard, o)
+		_, res := harness.Fig11(o)
 		b.ReportMetric(res.RecoverySec, "recovery-s")
 	}
 }
@@ -191,7 +190,7 @@ func BenchmarkFig12ColocateVsSeparate(b *testing.B) {
 func BenchmarkFig13Headroom(b *testing.B) {
 	o := quickOpts(42)
 	for i := 0; i < b.N; i++ {
-		rows := harness.Fig13(io.Discard, o)
+		_, rows := harness.Fig13(o)
 		for _, r := range rows {
 			if r.DeltaMs == 0 {
 				b.ReportMetric(r.Rollback, "rollback-%")
@@ -232,7 +231,7 @@ func BenchmarkScenarioMatrix(b *testing.B) {
 			o.Workloads = []string{bc.wl}
 			o.Protocols = []string{"Tiga", "Janus", "2PL+Paxos"}
 			for i := 0; i < b.N; i++ {
-				rows := harness.ScenarioMatrix(io.Discard, o)
+				_, rows := harness.ScenarioMatrix(o)
 				var thpt float64
 				for _, r := range rows {
 					thpt += r.Thpt
@@ -248,13 +247,13 @@ func BenchmarkScenarioMatrix(b *testing.B) {
 func BenchmarkAblationEpsilonMode(b *testing.B) {
 	o := quickOpts(42)
 	for i := 0; i < b.N; i++ {
-		harness.AblationEpsilon(io.Discard, o)
+		harness.AblationEpsilon(o)
 	}
 }
 
 func BenchmarkAblationBatchedSlowReplies(b *testing.B) {
 	o := quickOpts(42)
 	for i := 0; i < b.N; i++ {
-		harness.AblationSlowReply(io.Discard, o)
+		harness.AblationSlowReply(o)
 	}
 }

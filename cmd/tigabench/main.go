@@ -9,6 +9,7 @@
 //	tigabench -exp fig10             # Fig 10: TPC-C rate sweep
 //	tigabench -exp fig11             # Fig 11: leader failure recovery
 //	tigabench -exp fig11b            # Fig 11 analogue: 2PL+Paxos leader crash + reboot
+//	tigabench -exp fig11c            # Fig 11 analogue: NCC+ crash + reboot (outage txns hang)
 //	tigabench -exp table2            # Table 2: server rotation
 //	tigabench -exp fig12             # Fig 12: colocate vs separate
 //	tigabench -exp fig13             # Fig 13: headroom sensitivity
@@ -17,6 +18,17 @@
 //	tigabench -exp ablations         # extra ablations (ε-mode, Appendix E)
 //	tigabench -exp scenarios         # protocol × topology × workload matrix
 //	tigabench -exp all               # everything
+//	tigabench -exp list              # list the registered experiments
+//
+// Output:
+//
+//	Every experiment builds a typed report (internal/report); -format picks
+//	the renderer:
+//
+//	tigabench -exp fig7                        # text, the paper's layout (default)
+//	tigabench -exp all -format json            # one self-describing JSON document
+//	tigabench -exp table1 -format csv          # flattened CSV blocks
+//	tigabench -exp all -format json -out BENCH.json   # write the artifact to a file
 //
 // Tuning:
 //
@@ -25,12 +37,17 @@
 //	tigabench -op 2PL+Paxos=1500,200 -exp table1
 //	                                 # per-protocol operating point:
 //	                                 # saturation rate[,outstanding cap]
+//	tigabench -op Tiga@us-eu3=2000 -exp scenarios
+//	                                 # per-cell operating point for the
+//	                                 # scenario matrix (protocol × topology)
 //
 // Scenarios:
 //
 //	tigabench -topo list             # list the registered WAN topologies
 //	tigabench -workload list         # list the registered workloads
 //	tigabench -exp scenarios -topo us-eu3,planet5 -workload ycsbt,hotwrite
+//	tigabench -exp fig7 -topo us-eu3 # classic experiment on another WAN
+//	                                 # (region labels follow the topology)
 //
 // Add -quick for a reduced sweep (seconds instead of minutes per figure).
 // Independent sweep points run on the parallel driver; -workers bounds the
@@ -57,39 +74,19 @@ import (
 
 	"tiga/internal/harness"
 	"tiga/internal/protocol"
+	"tiga/internal/report"
 	"tiga/internal/simnet"
 	"tiga/internal/workload"
 )
 
-// experiments lists every runnable experiment in presentation order. fig8 is
-// an alias: the harness records both regions in the fig7 pass.
-var experiments = []struct {
-	name string
-	run  func(w io.Writer, o harness.Options)
-}{
-	{"table1", func(w io.Writer, o harness.Options) { harness.Table1(w, o) }},
-	{"fig7", func(w io.Writer, o harness.Options) { harness.Fig7And8(w, o) }},
-	{"fig9", func(w io.Writer, o harness.Options) { harness.Fig9(w, o) }},
-	{"fig10", func(w io.Writer, o harness.Options) { harness.Fig10(w, o) }},
-	{"fig11", func(w io.Writer, o harness.Options) { harness.Fig11(w, o) }},
-	{"fig11b", func(w io.Writer, o harness.Options) { harness.Fig11Baseline(w, o) }},
-	{"table2", func(w io.Writer, o harness.Options) { harness.Table2(w, o) }},
-	{"fig12", func(w io.Writer, o harness.Options) { harness.Fig12(w, o) }},
-	{"fig13", func(w io.Writer, o harness.Options) { harness.Fig13(w, o) }},
-	{"table3", func(w io.Writer, o harness.Options) { harness.Table3(w, o) }},
-	{"fig14", func(w io.Writer, o harness.Options) { harness.Fig14(w, o) }},
-	{"ablations", func(w io.Writer, o harness.Options) {
-		harness.AblationEpsilon(w, o)
-		harness.AblationSlowReply(w, o)
-	}},
-	{"scenarios", func(w io.Writer, o harness.Options) { harness.ScenarioMatrix(w, o) }},
-}
-
+// experimentNames returns the registry's names plus the CLI-level extras:
+// the fig8 alias (the harness records both regions in the fig7 pass) and
+// "all".
 func experimentNames() []string {
-	names := make([]string, 0, len(experiments)+2)
-	for _, e := range experiments {
-		names = append(names, e.name)
-		if e.name == "fig7" {
+	names := make([]string, 0, 16)
+	for _, n := range harness.ExperimentNames() {
+		names = append(names, n)
+		if n == "fig7" {
 			names = append(names, "fig8")
 		}
 	}
@@ -135,6 +132,16 @@ func (m *multiFlag) Set(s string) error {
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "tigabench: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+// printExperiments lists every registered experiment (-exp list).
+func printExperiments(w io.Writer) {
+	for _, e := range harness.Experiments() {
+		fmt.Fprintf(w, "%-10s %s\n", e.Name, e.Doc)
+		if e.Name == "fig7" {
+			fmt.Fprintf(w, "%-10s (alias of fig7: both regions are recorded in one pass)\n", "fig8")
+		}
+	}
 }
 
 // printTopologies lists every registered WAN topology (-topo list).
@@ -248,8 +255,10 @@ func parseSets(sets []string) map[string]map[string]any {
 	return out
 }
 
-// parseOps turns repeated -op proto=rate[,outstanding] flags into the
-// per-protocol operating-point map.
+// parseOps turns repeated -op proto[@topo]=rate[,outstanding] flags into the
+// operating-point map. A @topo suffix keys the point to one protocol ×
+// topology cell of the scenario matrix; the bare protocol key applies
+// everywhere else.
 func parseOps(ops []string) map[string]harness.OpPoint {
 	if len(ops) == 0 {
 		return nil
@@ -258,16 +267,29 @@ func parseOps(ops []string) map[string]harness.OpPoint {
 	for _, s := range ops {
 		assign := strings.SplitN(s, "=", 2)
 		if len(assign) != 2 {
-			fail("-op %q: want proto=rate[,outstanding]", s)
+			fail("-op %q: want proto[@topo]=rate[,outstanding]", s)
 		}
-		proto := assign[0]
+		key := assign[0]
+		proto, topo := key, ""
+		if at := strings.IndexByte(key, '@'); at >= 0 {
+			proto, topo = key[:at], key[at+1:]
+			if topo == "" {
+				fail("-op %q: empty topology after '@' (want proto[@topo]=rate[,outstanding])", s)
+			}
+		}
 		if !protocol.Registered(proto) {
 			fail("-op %q: unknown protocol %q\nregistered protocols: %s",
 				s, proto, strings.Join(protocol.Names(), ", "))
 		}
+		if topo != "" {
+			if _, ok := simnet.LookupTopology(topo); !ok {
+				fail("-op %q: unknown topology %q\nregistered topologies: %s",
+					s, topo, strings.Join(simnet.TopologyNames(), ", "))
+			}
+		}
 		parts := strings.Split(assign[1], ",")
 		if len(parts) > 2 {
-			fail("-op %q: want proto=rate[,outstanding]", s)
+			fail("-op %q: want proto[@topo]=rate[,outstanding]", s)
 		}
 		var op harness.OpPoint
 		rate, err := strconv.ParseFloat(parts[0], 64)
@@ -282,32 +304,38 @@ func parseOps(ops []string) map[string]harness.OpPoint {
 			}
 			op.Outstanding = n
 		}
-		out[proto] = op
+		out[key] = op
 	}
 	return out
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: "+strings.Join(experimentNames(), "|"))
+	exp := flag.String("exp", "all", "experiment: "+strings.Join(experimentNames(), "|")+", or 'list' to enumerate")
 	quick := flag.Bool("quick", false, "reduced sweeps and durations")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	keys := flag.Int("keys", 0, "MicroBench keys per shard (0 = default)")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = all cores, 1 = serial)")
+	format := flag.String("format", "text", "output format: text|json|csv")
+	outPath := flag.String("out", "", "write the rendered output to a file instead of stdout")
 	protocols := flag.String("protocols", "",
 		"comma-separated protocol subset for the sweeps (default: all registered)")
 	topo := flag.String("topo", "",
-		"comma-separated topology subset for the scenario matrix, or 'list' to enumerate")
+		"comma-separated topology subset (classic experiments deploy on the first; the scenario matrix sweeps all), or 'list' to enumerate")
 	wl := flag.String("workload", "",
 		"comma-separated workload subset for the scenario matrix, or 'list' to enumerate")
 	listKnobs := flag.Bool("knobs", false, "list every protocol's knobs with defaults and exit")
 	var sets multiFlag
 	flag.Var(&sets, "set", "knob override proto.knob=value (repeatable; see -knobs)")
 	var ops multiFlag
-	flag.Var(&ops, "op", "operating-point override proto=rate[,outstanding] (repeatable)")
+	flag.Var(&ops, "op", "operating-point override proto[@topo]=rate[,outstanding] (repeatable)")
 	flag.Parse()
 
 	if *listKnobs {
 		printKnobs(os.Stdout)
+		return
+	}
+	if *exp == "list" {
+		printExperiments(os.Stdout)
 		return
 	}
 	if *topo == "list" {
@@ -331,6 +359,9 @@ func main() {
 			fail("unknown experiment %q\nvalid experiments: %s",
 				*exp, strings.Join(experimentNames(), ", "))
 		}
+	}
+	if *format != "text" && *format != "json" && *format != "csv" {
+		fail("unknown format %q\nvalid formats: text, json, csv", *format)
 	}
 
 	var subset []string
@@ -357,52 +388,109 @@ func main() {
 		return ok
 	}, workload.Names())
 
-	// -topo/-workload shape only the scenario matrix; the classic
-	// experiments reproduce the paper's fixed geo4 setup. Say so instead of
-	// silently ignoring the flags (mirroring the -protocols exclusion note).
-	if (len(topos) > 0 || len(wls) > 0) && *exp != "all" && *exp != "scenarios" {
+	// The classic experiments deploy on one WAN — the first -topo entry;
+	// only the scenario matrix sweeps the rest. Say so instead of silently
+	// using the first (mirroring the -protocols exclusion note).
+	if len(topos) > 1 && *exp != "all" && *exp != "scenarios" {
 		fmt.Fprintf(os.Stderr,
-			"tigabench: note: -topo/-workload only affect the scenario matrix (-exp scenarios); %s runs the paper's geo4 setup\n", *exp)
+			"tigabench: note: %s deploys on the first selected topology (%s); only -exp scenarios sweeps all of them\n",
+			*exp, topos[0])
+	}
+	// -workload shapes only the scenario matrix; the classic experiments
+	// run the paper's fixed workloads.
+	if len(wls) > 0 && *exp != "all" && *exp != "scenarios" {
+		fmt.Fprintf(os.Stderr,
+			"tigabench: note: -workload only affects the scenario matrix (-exp scenarios); %s runs the paper's workloads\n", *exp)
 	}
 
 	o := harness.Options{Seed: *seed, Quick: *quick, Keys: *keys,
 		Workers: *workers, Protocols: subset, Topologies: topos, Workloads: wls,
 		Knobs: parseSets(sets), Ops: parseOps(ops)}
-	w := os.Stdout
+
+	var selected []harness.Experiment
+	for _, e := range harness.Experiments() {
+		if *exp != "all" && *exp != e.Name && !(e.Name == "fig7" && *exp == "fig8") {
+			continue
+		}
+		selected = append(selected, e)
+	}
+
+	// Progress lines go to stdout for the classic text stream and to stderr
+	// when a machine-readable format would be corrupted by them.
+	progress := io.Writer(os.Stdout)
+	if *format != "text" || *outPath != "" {
+		progress = os.Stderr
+	}
 	start := time.Now()
 
 	// Selected experiments run concurrently on the harness's shared worker
 	// pool (one experiment's tail points no longer idle the cores while the
-	// next experiment waits). The head of the presentation order streams to
-	// stdout live — a single long experiment prints progressively, exactly
-	// as before — while later experiments buffer until promoted, so the
-	// output order never changes and finished output survives a panic in a
-	// later experiment.
+	// next experiment waits). For the default text stream the head of the
+	// presentation order renders to stdout as soon as it finishes while
+	// later experiments buffer until promoted, so the output order never
+	// changes and finished output survives a panic in a later experiment.
 	type job struct {
 		name    string
 		w       jobWriter
+		rep     *report.Report
 		done    chan struct{}
 		elapsed time.Duration
 	}
 	var jobs []*job
-	for _, e := range experiments {
-		if *exp != "all" && *exp != e.name && !(e.name == "fig7" && *exp == "fig8") {
-			continue
-		}
-		j := &job{name: e.name, done: make(chan struct{})}
+	for _, e := range selected {
+		j := &job{name: e.Name, done: make(chan struct{})}
 		jobs = append(jobs, j)
-		run := e.run
+		run := e.Run
 		go func() {
 			defer close(j.done)
 			t0 := time.Now()
-			run(&j.w, o)
+			j.rep = run(o)
+			if *format == "text" {
+				report.Render(&j.w, j.rep)
+			}
 			j.elapsed = time.Since(t0)
 		}()
 	}
-	for _, j := range jobs {
-		j.w.promote(w)
-		<-j.done
-		fmt.Fprintf(w, "[%s done in %v]\n", j.name, j.elapsed.Round(time.Millisecond))
+	var reports []*report.Report
+	textDst := io.Writer(os.Stdout)
+	var textBuf bytes.Buffer
+	if *format == "text" && *outPath != "" {
+		textDst = &textBuf
 	}
-	fmt.Fprintf(w, "total: %v\n", time.Since(start).Round(time.Millisecond))
+	for _, j := range jobs {
+		if *format == "text" {
+			j.w.promote(textDst)
+		}
+		<-j.done
+		reports = append(reports, j.rep)
+		fmt.Fprintf(progress, "[%s done in %v]\n", j.name, j.elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintf(progress, "total: %v\n", time.Since(start).Round(time.Millisecond))
+
+	var rendered bytes.Buffer
+	switch *format {
+	case "text":
+		rendered = textBuf // empty unless -out buffered the stream
+	case "json":
+		doc := &report.Document{
+			Generated:   report.Generated{Seed: *seed, Quick: *quick, CPUScale: harness.CPUScale},
+			Experiments: reports,
+		}
+		if err := doc.Encode(&rendered); err != nil {
+			fail("encoding JSON: %v", err)
+		}
+	case "csv":
+		if err := report.RenderCSV(&rendered, reports...); err != nil {
+			fail("encoding CSV: %v", err)
+		}
+	}
+	switch {
+	case *outPath != "":
+		if err := os.WriteFile(*outPath, rendered.Bytes(), 0o644); err != nil {
+			fail("writing %s: %v", *outPath, err)
+		}
+		fmt.Fprintf(progress, "wrote %s (%d bytes, %s)\n", *outPath, rendered.Len(), *format)
+	case *format != "text":
+		os.Stdout.Write(rendered.Bytes())
+	}
 }

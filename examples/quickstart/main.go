@@ -8,11 +8,13 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"tiga/internal/clocks"
 	"tiga/internal/harness"
 	"tiga/internal/protocol"
+	"tiga/internal/report"
 	"tiga/internal/simnet"
 	"tiga/internal/store"
 	"tiga/internal/tiga"
@@ -164,9 +166,38 @@ func main() {
 				Duration: 2 * time.Second, Seed: 9},
 		})
 	}
-	for i, res := range harness.RunSpecs(runs, 0) {
+	results := harness.RunSpecs(runs, 0)
+	for i, res := range results {
 		fmt.Printf("  %-12s thpt=%5.0f txn/s  commit=%5.1f%%  p50=%v\n",
 			runs[i].Spec.Protocol, res.Run.Throughput(),
 			res.Run.Counters.CommitRate(), res.Run.Lat.Percentile(50).Round(time.Millisecond))
+	}
+
+	// 9. The results pipeline: experiments never print — they build typed
+	//    reports (internal/report: named tables, unit-carrying columns,
+	//    typed cells) and renderers turn the model into the paper's text
+	//    layout, a self-describing JSON document (`tigabench -format json`,
+	//    the BENCH artifact CI archives), or CSV. The same §8 rows, once
+	//    through the model:
+	fmt.Println("\nresults pipeline: the same rows as a typed report")
+	rep := report.New("quickstart")
+	tab := rep.Add(&report.Table{
+		ID: "us-eu3/ycsbt", Title: "Tiga vs Janus — topology=us-eu3 workload=ycsbt",
+		Meta: map[string]string{"topology": "us-eu3", "workload": "ycsbt", "seed": "2"},
+		Columns: []report.Column{
+			report.Col("protocol", "Protocol", report.String, report.None, 12).AlignLeft(),
+			report.Col("thpt", "Thpt(txn/s)", report.Float, report.Rate, 12),
+			report.Col("commit", "Commit%", report.Float, report.Percent, 9).WithPrec(1),
+			report.Col("p50", "p50", report.Duration, report.Nanos, 12),
+		},
+	})
+	for i, res := range results {
+		tab.AddRow(report.Str(runs[i].Spec.Protocol), report.Num(res.Run.Throughput()),
+			report.Num(res.Run.Counters.CommitRate()), report.Dur(res.Run.Lat.Percentile(50)))
+	}
+	report.Render(os.Stdout, rep) // the text renderer: the paper's layout
+	fmt.Println("\nthe same report as CSV (durations in ns, units in the header):")
+	if err := report.RenderCSV(os.Stdout, rep); err != nil {
+		fmt.Println("csv:", err)
 	}
 }

@@ -2,14 +2,16 @@ package harness
 
 import (
 	"fmt"
-	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"tiga/internal/clocks"
 	"tiga/internal/metrics"
 	"tiga/internal/protocol"
+	"tiga/internal/report"
+	"tiga/internal/simnet"
 	"tiga/internal/tpcc"
 	"tiga/internal/workload"
 )
@@ -20,6 +22,13 @@ import (
 // which divides all throughput numbers by roughly the same factor while
 // preserving the protocols' relative ordering, the latency structure, and
 // the crossover points. EXPERIMENTS.md records the paper-vs-measured values.
+//
+// Every experiment BUILDS a report.Report — named tables of typed cells —
+// instead of printing: the text renderer reproduces the paper's presentation
+// byte-for-byte on defaults (pinned by the golden tests), while the JSON and
+// CSV emitters turn the same model into the machine-readable artifacts CI
+// archives. Region labels come from the deployment's topology, never from
+// literal geo4 names, so `-topo us-eu3 -exp fig7` reads naturally.
 //
 // Sweeps enumerate the protocol registry (protocol.Names()) and execute
 // their independent points on the parallel driver (RunSpecs): every point
@@ -44,8 +53,10 @@ type Options struct {
 	// Protocols restricts multi-protocol sweeps to a subset of
 	// protocol.Names() (nil = every registered protocol).
 	Protocols []string
-	// Topologies restricts the scenario matrix's topology axis to a subset
-	// of simnet.TopologyNames() (nil = every registered topology).
+	// Topologies selects the WAN(s): the classic experiments deploy on the
+	// first entry (default: geo4, the paper's WAN), with region labels
+	// resolved through the topology; the scenario matrix sweeps every entry
+	// (nil = every registered topology).
 	Topologies []string
 	// Workloads restricts the scenario matrix's workload axis to a subset
 	// of workload.Names() (nil = the default mix: micro plus the two
@@ -61,15 +72,18 @@ type Options struct {
 	// otherwise share one saturation rate and outstanding cap across every
 	// system, which under- or over-drives protocols whose capacity differs
 	// by an order of magnitude (geo-distributed operating points are
-	// inherently per-protocol).
+	// inherently per-protocol). A key may also name a protocol × topology
+	// pair ("Tiga@us-eu3"), which overlays the protocol-wide key on that
+	// topology field by field (zero fields inherit) — the scenario matrix
+	// uses this to drive each cell at its own saturation point.
 	Ops map[string]OpPoint
 }
 
 // OpPoint is one protocol's driving operating point.
 type OpPoint struct {
 	// SaturationRate replaces the shared per-coordinator rate in the
-	// maximum-throughput experiments (Tables 1 and 2). 0 keeps the shared
-	// rate.
+	// maximum-throughput experiments (Tables 1 and 2) and in scenario-matrix
+	// cells. 0 keeps the shared rate.
 	SaturationRate float64
 	// Outstanding replaces the shared in-flight cap per coordinator in
 	// every experiment. 0 keeps the shared cap.
@@ -111,6 +125,23 @@ func (o Options) durations() (warmup, dur time.Duration) {
 	return time.Second, 3 * time.Second
 }
 
+// classicTopology resolves the WAN the classic (paper) experiments deploy
+// on: the first selected topology, defaulting to the paper's geo4. Region
+// labels in titles, headers, and latency buckets all come from here, so a
+// classic experiment on us-eu3 reports Virginia/Frankfurt instead of empty
+// geo4 buckets.
+func (o Options) classicTopology() *simnet.Topology {
+	name := simnet.DefaultTopology
+	if len(o.Topologies) > 0 {
+		name = o.Topologies[0]
+	}
+	t, ok := simnet.LookupTopology(name)
+	if !ok {
+		panic(fmt.Sprintf("unknown topology %q (registered: %v)", name, simnet.TopologyNames()))
+	}
+	return t
+}
+
 // protocols returns the registered protocol names the sweeps enumerate, in
 // the registry's canonical order, filtered by Options.Protocols.
 func (o Options) protocols() []string {
@@ -143,22 +174,23 @@ func without(names []string, drop string) []string {
 }
 
 // sweepProtocols applies an experiment's by-design exclusions to the
-// selected protocol list and notes on w when nothing is left to run — e.g.
-// -protocols Detock against a table that excludes Detock would otherwise
-// print bare headers and exit 0 silently.
-func (o Options) sweepProtocols(w io.Writer, drop ...string) []string {
-	names := o.protocols()
+// selected protocol list. The returned remark is non-empty exactly when
+// nothing is left to run — e.g. -protocols Detock against a table that
+// excludes Detock would otherwise render bare headers with no explanation;
+// the experiment places it where the rows would have gone.
+func (o Options) sweepProtocols(drop ...string) (names []string, remark string) {
+	names = o.protocols()
 	for _, d := range drop {
 		names = without(names, d)
 	}
 	if len(names) == 0 {
-		fmt.Fprint(w, "(no rows: none of the selected protocols run in this experiment")
+		remark = "(no rows: none of the selected protocols run in this experiment"
 		if len(drop) > 0 {
-			fmt.Fprintf(w, "; excluded by design: %s", strings.Join(drop, ", "))
+			remark += "; excluded by design: " + strings.Join(drop, ", ")
 		}
-		fmt.Fprintln(w, ")")
+		remark += ")"
 	}
-	return names
+	return names, remark
 }
 
 // microSkew reads the skew factor back off a MicroBench spec, so sweep rows
@@ -170,7 +202,8 @@ func microSkew(spec ClusterSpec) float64 {
 func (o Options) microSpec(protocol string, skew float64, rotated bool, clock clocks.Model) (ClusterSpec, *workload.MicroBench) {
 	gen := workload.NewMicroBench(3, o.keys(), skew)
 	return ClusterSpec{
-		Protocol: protocol, Shards: 3, F: 1, Rotated: rotated, Clock: clock,
+		Protocol: protocol, Topology: o.classicTopology().Name,
+		Shards: 3, F: 1, Rotated: rotated, Clock: clock,
 		CoordsPerRegion: 2, CoordsRemote: 2, Seed: o.Seed, Gen: gen,
 		CostScale: CPUScale, Knobs: copyKnobs(o.Knobs),
 	}, gen
@@ -179,10 +212,38 @@ func (o Options) microSpec(protocol string, skew float64, rotated bool, clock cl
 func (o Options) tpccSpec(protocol string) ClusterSpec {
 	tg := tpcc.New(tpccConfig(o))
 	return ClusterSpec{
-		Protocol: protocol, Shards: 6, F: 1, Clock: clocks.ModelChrony,
+		Protocol: protocol, Topology: o.classicTopology().Name,
+		Shards: 6, F: 1, Clock: clocks.ModelChrony,
 		CoordsPerRegion: 2, CoordsRemote: 2, Seed: o.Seed, Gen: tg,
 		CostScale: CPUScale, Knobs: copyKnobs(o.Knobs),
 	}
+}
+
+// opFor resolves the operating point for proto deployed on topo. The
+// protocol × topology key ("Tiga@us-eu3") overlays the protocol-wide key
+// field by field: a zero field in the cell entry inherits the protocol-wide
+// value, so `-op 2PL+Paxos=250,200 -op 2PL+Paxos@us-eu3=300` keeps the 200
+// outstanding cap on us-eu3.
+func (o Options) opFor(proto, topo string) (OpPoint, bool) {
+	base, ok := o.Ops[proto]
+	cell, cok := o.Ops[proto+"@"+topo]
+	if !cok {
+		return base, ok
+	}
+	if cell.SaturationRate == 0 {
+		cell.SaturationRate = base.SaturationRate
+	}
+	if cell.Outstanding == 0 {
+		cell.Outstanding = base.Outstanding
+	}
+	return cell, true
+}
+
+func specTopoName(spec ClusterSpec) string {
+	if spec.Topology != "" {
+		return spec.Topology
+	}
+	return simnet.DefaultTopology
 }
 
 // saturate prepares one maximum-throughput point: the system is driven at a
@@ -194,7 +255,7 @@ func (o Options) saturate(spec ClusterSpec, perCoordRate float64) SpecRun {
 	spec.setKnobDefault("Tiga", "retry-timeout", 10*time.Second)
 	spec.CostScale = CPUScale
 	outstanding := 300
-	if op, ok := o.Ops[spec.Protocol]; ok {
+	if op, ok := o.opFor(spec.Protocol, specTopoName(spec)); ok {
 		if op.SaturationRate > 0 {
 			perCoordRate = op.SaturationRate
 		}
@@ -215,7 +276,7 @@ func (o Options) saturate(spec ClusterSpec, perCoordRate float64) SpecRun {
 func (o Options) point(spec ClusterSpec, rate float64, seedOffset int64) SpecRun {
 	spec.CostScale = CPUScale
 	outstanding := 400
-	if op, ok := o.Ops[spec.Protocol]; ok && op.Outstanding > 0 {
+	if op, ok := o.opFor(spec.Protocol, specTopoName(spec)); ok && op.Outstanding > 0 {
 		outstanding = op.Outstanding
 	}
 	warm, dur := o.durations()
@@ -225,14 +286,92 @@ func (o Options) point(spec ClusterSpec, rate float64, seedOffset int64) SpecRun
 	}}
 }
 
+// ---- report plumbing ----
+
+// stamp records the self-describing metadata every data table carries into
+// the JSON artifact: run seed, the WAN, the workload, experiment extras
+// (protocol, clock, rates), and the user's knob / operating-point overrides.
+func (o Options) stamp(t *report.Table, topo, workloadName string, kv ...string) *report.Table {
+	t.SetMeta("seed", strconv.FormatInt(o.Seed, 10))
+	t.SetMeta("topology", topo)
+	if workloadName != "" {
+		t.SetMeta("workload", workloadName)
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		t.SetMeta(kv[i], kv[i+1])
+	}
+	if s := flattenKnobs(o.Knobs); s != "" {
+		t.SetMeta("knobs", s)
+	}
+	if s := flattenOps(o.Ops); s != "" {
+		t.SetMeta("ops", s)
+	}
+	return t
+}
+
+// flattenKnobs renders the user's knob overrides as one sorted
+// "proto.knob=value" list for table metadata.
+func flattenKnobs(knobs map[string]map[string]any) string {
+	var parts []string
+	for p, m := range knobs {
+		for k, v := range m {
+			parts = append(parts, fmt.Sprintf("%s.%s=%v", p, k, v))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// flattenOps renders the operating-point overrides as one sorted
+// "key=rate/outstanding" list for table metadata.
+func flattenOps(ops map[string]OpPoint) string {
+	var parts []string
+	for k, op := range ops {
+		parts = append(parts, fmt.Sprintf("%s=%v/%d", k, op.SaturationRate, op.Outstanding))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// sweepColumns is the shared six-column layout of the rate/skew sweeps.
+func sweepColumns(xName, xHeader string, xUnit report.Unit) []report.Column {
+	return []report.Column{
+		report.Col("protocol", "Protocol", report.String, report.None, 12).AlignLeft(),
+		report.Col(xName, xHeader, report.Float, xUnit, 10).WithPrec(2),
+		report.Col("thpt", "Thpt(txn/s)", report.Float, report.Rate, 12),
+		report.Col("commit", "Commit%", report.Float, report.Percent, 9).WithPrec(1),
+		report.Col("p50", "p50", report.Duration, report.Nanos, 12),
+		report.Col("p90", "p90", report.Duration, report.Nanos, 12),
+	}
+}
+
+// addSweepRow appends one SweepRow to a sweep-column table.
+func addSweepRow(t *report.Table, r SweepRow) {
+	t.AddRow(report.Str(r.Protocol), report.Num(r.X), report.Num(r.Thpt),
+		report.Num(r.Commit), report.Dur(r.P50), report.Dur(r.P90))
+}
+
 // Table1 reproduces Table 1: maximum throughput under MicroBench (skew 0.5)
 // and TPC-C for every registered protocol.
-func Table1(w io.Writer, o Options) map[string]map[string]float64 {
+func Table1(o Options) (*report.Report, map[string]map[string]float64) {
 	out := map[string]map[string]float64{"MicroBench": {}, "TPC-C": {}}
-	fmt.Fprintf(w, "Table 1. Maximum throughput (txns/s, simulated testbed; paper numbers are ~%dx larger)\n", CPUScale)
-	fmt.Fprintf(w, "%-12s %12s %12s\n", "Protocol", "MicroBench", "TPC-C")
+	rep := report.New("table1")
+	topo := o.classicTopology()
+	tab := rep.Add(&report.Table{
+		ID:    "table1",
+		Title: fmt.Sprintf("Table 1. Maximum throughput (txns/s, simulated testbed; paper numbers are ~%dx larger)", CPUScale),
+		Columns: []report.Column{
+			report.Col("protocol", "Protocol", report.String, report.None, 12).AlignLeft(),
+			report.Col("micro", "MicroBench", report.Float, report.Rate, 12),
+			report.Col("tpcc", "TPC-C", report.Float, report.Rate, 12),
+		},
+	})
+	o.stamp(tab, topo.Name, "micro+tpcc", "skew", "0.5", "clock", clocks.ModelChrony.String())
 	// Table 1 reports NCC; NCC+ appears in Figs 7–8.
-	names := o.sweepProtocols(w, "NCC+")
+	names, remark := o.sweepProtocols("NCC+")
+	if remark != "" {
+		tab.Note("%s", remark)
+	}
 	runs := make([]SpecRun, 0, 2*len(names))
 	for _, p := range names {
 		spec, _ := o.microSpec(p, 0.5, false, clocks.ModelChrony)
@@ -246,9 +385,9 @@ func Table1(w io.Writer, o Options) map[string]map[string]float64 {
 		tpc := results[2*i+1].Run.Throughput()
 		out["MicroBench"][p] = micro
 		out["TPC-C"][p] = tpc
-		fmt.Fprintf(w, "%-12s %12.0f %12.0f\n", p, micro, tpc)
+		tab.AddRow(report.Str(p), report.Num(micro), report.Num(tpc))
 	}
-	return out
+	return rep, out
 }
 
 func tpccConfig(o Options) tpcc.Config {
@@ -273,14 +412,6 @@ type SweepRow struct {
 	P90      time.Duration
 }
 
-func sweepHeader(w io.Writer, xName string) {
-	fmt.Fprintf(w, "%-12s %10s %12s %9s %12s %12s\n", "Protocol", xName, "Thpt(txn/s)", "Commit%", "p50", "p90")
-}
-
-func (r SweepRow) print(w io.Writer) {
-	fmt.Fprintf(w, "%-12s %10.2f %12.0f %9.1f %12v %12v\n", r.Protocol, r.X, r.Thpt, r.Commit, r.P50.Round(time.Millisecond), r.P90.Round(time.Millisecond))
-}
-
 func (o Options) rates() []float64 {
 	if o.Quick {
 		return []float64{250, 1000, 2500}
@@ -296,18 +427,34 @@ func regionLatency(run *metrics.Run, region string) *metrics.Latency {
 }
 
 // Fig7And8 reproduces Figures 7 and 8: MicroBench (skew 0.5) with varying
-// per-coordinator rates; latency reported separately for the local region
-// (South Carolina, Fig 7) and the remote region (Hong Kong, Fig 8).
-func Fig7And8(w io.Writer, o Options) (local, remote []SweepRow) {
-	for _, region := range []string{"South Carolina", "Hong Kong"} {
-		fig := "Fig 7 (local region: South Carolina)"
-		if region == "Hong Kong" {
-			fig = "Fig 8 (remote region: Hong Kong)"
+// per-coordinator rates; latency reported separately for the topology's
+// local region (geo4: South Carolina, Fig 7) and its remote-coordinator
+// region (geo4: Hong Kong, Fig 8).
+func Fig7And8(o Options) (rep *report.Report, local, remote []SweepRow) {
+	rep = report.New("fig7")
+	topo := o.classicTopology()
+	localName := topo.RegionName(0)
+	remoteName := topo.RegionName(topo.RemoteCoordRegion)
+	regions := []string{localName, remoteName}
+	var banner *report.Table
+	for _, region := range regions {
+		fig := fmt.Sprintf("Fig 7 (local region: %s)", localName)
+		if region == remoteName {
+			fig = fmt.Sprintf("Fig 8 (remote region: %s)", remoteName)
 		}
-		fmt.Fprintf(w, "\n%s — MicroBench skew 0.5, varying per-coordinator rate\n", fig)
-		sweepHeader(w, "rate/coord")
+		banner = rep.Add(&report.Table{
+			ID: "fig7-banner", Gap: true,
+			Title:   fmt.Sprintf("%s — MicroBench skew 0.5, varying per-coordinator rate", fig),
+			Columns: sweepColumns("rate", "rate/coord", report.Rate),
+		})
+		if region == remoteName {
+			banner.ID = "fig8-banner"
+		}
 	}
-	names := o.sweepProtocols(w)
+	names, remark := o.sweepProtocols()
+	if remark != "" {
+		banner.Note("%s", remark)
+	}
 	rates := o.rates()
 	var runs []SpecRun
 	for _, p := range names {
@@ -321,28 +468,33 @@ func Fig7And8(w io.Writer, o Options) (local, remote []SweepRow) {
 		run := res.Run
 		p := runs[i].Spec.Protocol
 		rate := runs[i].Load.RatePerCoord
-		for _, region := range []string{"South Carolina", "Hong Kong"} {
+		for _, region := range regions {
 			lat := regionLatency(run, region)
 			row := SweepRow{Protocol: p, X: rate, Thpt: run.Throughput(),
 				Commit: run.Counters.CommitRate(), P50: lat.Percentile(50), P90: lat.Percentile(90)}
-			if region == "South Carolina" {
+			if region == localName {
 				local = append(local, row)
 			} else {
 				remote = append(remote, row)
 			}
 		}
 	}
-	fmt.Fprintln(w, "\nFig 7 rows (South Carolina):")
-	sweepHeader(w, "rate/coord")
-	for _, r := range local {
-		r.print(w)
+	for fi, rows := range [][]SweepRow{local, remote} {
+		id, region := "fig7", localName
+		if fi == 1 {
+			id, region = "fig8", remoteName
+		}
+		tab := rep.Add(&report.Table{
+			ID: id, Gap: true,
+			Title:   fmt.Sprintf("Fig %d rows (%s):", 7+fi, region),
+			Columns: sweepColumns("rate", "rate/coord", report.Rate),
+		})
+		o.stamp(tab, topo.Name, "micro", "skew", "0.5", "clock", clocks.ModelChrony.String(), "region", region)
+		for _, r := range rows {
+			addSweepRow(tab, r)
+		}
 	}
-	fmt.Fprintln(w, "\nFig 8 rows (Hong Kong):")
-	sweepHeader(w, "rate/coord")
-	for _, r := range remote {
-		r.print(w)
-	}
-	return local, remote
+	return rep, local, remote
 }
 
 func (o Options) skews() []float64 {
@@ -353,14 +505,23 @@ func (o Options) skews() []float64 {
 }
 
 // Fig9 reproduces Figure 9: MicroBench with fixed rate and varying skew.
-func Fig9(w io.Writer, o Options) []SweepRow {
-	fmt.Fprintln(w, "\nFig 9 — MicroBench, fixed rate, varying skew factor (all regions)")
-	sweepHeader(w, "skew")
+func Fig9(o Options) (*report.Report, []SweepRow) {
+	rep := report.New("fig9")
+	topo := o.classicTopology()
 	rate := 800.0
 	if o.Quick {
 		rate = 600
 	}
-	names := o.sweepProtocols(w)
+	tab := rep.Add(&report.Table{
+		ID: "fig9", Gap: true,
+		Title:   "Fig 9 — MicroBench, fixed rate, varying skew factor (all regions)",
+		Columns: sweepColumns("skew", "skew", report.None),
+	})
+	o.stamp(tab, topo.Name, "micro", "rate", fmt.Sprintf("%v", rate), "clock", clocks.ModelChrony.String())
+	names, remark := o.sweepProtocols()
+	if remark != "" {
+		tab.Note("%s", remark)
+	}
 	skews := o.skews()
 	var runs []SpecRun
 	for _, p := range names {
@@ -376,21 +537,30 @@ func Fig9(w io.Writer, o Options) []SweepRow {
 		row := SweepRow{Protocol: runs[i].Spec.Protocol, X: microSkew(runs[i].Spec),
 			Thpt: run.Throughput(), Commit: run.Counters.CommitRate(),
 			P50: run.Lat.Percentile(50), P90: run.Lat.Percentile(90)}
-		row.print(w)
+		addSweepRow(tab, row)
 		rows = append(rows, row)
 	}
-	return rows
+	return rep, rows
 }
 
 // Fig10 reproduces Figure 10: TPC-C with varying rates (all regions).
-func Fig10(w io.Writer, o Options) []SweepRow {
-	fmt.Fprintln(w, "\nFig 10 — TPC-C, varying per-coordinator rate (all regions)")
-	sweepHeader(w, "rate/coord")
+func Fig10(o Options) (*report.Report, []SweepRow) {
+	rep := report.New("fig10")
+	topo := o.classicTopology()
+	tab := rep.Add(&report.Table{
+		ID: "fig10", Gap: true,
+		Title:   "Fig 10 — TPC-C, varying per-coordinator rate (all regions)",
+		Columns: sweepColumns("rate", "rate/coord", report.Rate),
+	})
+	o.stamp(tab, topo.Name, "tpcc", "clock", clocks.ModelChrony.String())
 	rates := []float64{50, 125, 250, 500}
 	if o.Quick {
 		rates = []float64{100, 400}
 	}
-	names := o.sweepProtocols(w, "NCC+")
+	names, remark := o.sweepProtocols("NCC+")
+	if remark != "" {
+		tab.Note("%s", remark)
+	}
 	var runs []SpecRun
 	for _, p := range names {
 		for _, rate := range rates {
@@ -404,35 +574,45 @@ func Fig10(w io.Writer, o Options) []SweepRow {
 		row := SweepRow{Protocol: runs[i].Spec.Protocol, X: runs[i].Load.RatePerCoord,
 			Thpt: run.Throughput(), Commit: run.Counters.CommitRate(),
 			P50: run.Lat.Percentile(50), P90: run.Lat.Percentile(90)}
-		row.print(w)
+		addSweepRow(tab, row)
 		rows = append(rows, row)
 	}
-	return rows
+	return rep, rows
 }
 
 // Fig11Result carries the failure-recovery timeline.
 type Fig11Result struct {
 	ThptPerSec  []float64
-	HKP50       []time.Duration // per-second p50 in Hong Kong
+	HKP50       []time.Duration // per-second p50 in the remote region
 	RecoverySec float64
 }
 
-// Fig11 reproduces Figure 11: Tiga's throughput and Hong Kong median latency
-// before and after killing one shard leader mid-run; the paper reports a
-// ~3.8 s gap until throughput recovers. The crash is injected through the
-// protocol.Faultable capability, so any protocol registering fault hooks can
-// reuse this experiment.
-func Fig11(w io.Writer, o Options) Fig11Result {
+// Fig11 reproduces Figure 11: Tiga's throughput and remote-region median
+// latency before and after killing one shard leader mid-run; the paper
+// reports a ~3.8 s gap until throughput recovers. The crash is injected
+// through the protocol.Faultable capability, so any protocol registering
+// fault hooks can reuse this experiment.
+func Fig11(o Options) (*report.Report, Fig11Result) {
+	rep := report.New("fig11")
 	spec, _ := o.microSpec("Tiga", 0.5, false, clocks.ModelChrony)
 	total := 16 * time.Second
 	if o.Quick {
 		total = 12 * time.Second
 	}
 	killAt := 5 * time.Second
+	rate, outstanding := 1000.0, 600
+	if op, ok := o.opFor("Tiga", specTopoName(spec)); ok {
+		if op.SaturationRate > 0 {
+			rate = op.SaturationRate
+		}
+		if op.Outstanding > 0 {
+			outstanding = op.Outstanding
+		}
+	}
 	res := RunSpecs([]SpecRun{{
 		Spec: spec,
 		Load: LoadSpec{
-			RatePerCoord: 1000, Outstanding: 600, Warmup: 0, Duration: total,
+			RatePerCoord: rate, Outstanding: outstanding, Warmup: 0, Duration: total,
 			Seed: o.Seed + 5, TrackSamples: true,
 		},
 		Setup: func(d *Deployment) {
@@ -441,14 +621,21 @@ func Fig11(w io.Writer, o Options) Fig11Result {
 		},
 	}}, 1)[0]
 	title := fmt.Sprintf("Fig 11 — Tiga leader failure at t=%v (paper: ~3.8 s recovery)", killAt)
-	return recoveryTimeline(w, title, res, total, killAt)
+	tab, out := o.recoveryTimeline("fig11", title, res, total, killAt)
+	o.stamp(tab, o.classicTopology().Name, "micro", "protocol", "Tiga", "rate", fmt.Sprintf("%v", rate))
+	rep.Add(tab)
+	return rep, out
 }
 
 // recoveryTimeline folds a sample stream into the Fig 11 presentation:
-// per-second throughput, per-second Hong Kong median latency, and the
+// per-second throughput, per-second remote-region median latency, and the
 // recovery time (first bucket after the kill back at >= 80% of the
-// pre-failure average).
-func recoveryTimeline(w io.Writer, title string, res *RunResult, total, killAt time.Duration) Fig11Result {
+// pre-failure average). The remote region — geo4's Hong Kong — is resolved
+// from the run's topology.
+func (o Options) recoveryTimeline(id, title string, res *RunResult, total, killAt time.Duration) (*report.Table, Fig11Result) {
+	topo := o.classicTopology()
+	remoteName := topo.RegionName(topo.RemoteCoordRegion)
+	remoteCode := topo.RegionCode(topo.RemoteCoordRegion)
 	secs := int(total/time.Second) + 1
 	thpt := make([]float64, secs)
 	hk := make([][]time.Duration, secs)
@@ -458,7 +645,7 @@ func recoveryTimeline(w io.Writer, title string, res *RunResult, total, killAt t
 			continue
 		}
 		thpt[i]++
-		if s.Region == "Hong Kong" {
+		if s.Region == remoteName {
 			hk[i] = append(hk[i], s.Lat)
 		}
 	}
@@ -484,36 +671,35 @@ func recoveryTimeline(w io.Writer, title string, res *RunResult, total, killAt t
 		}
 	}
 	out.RecoverySec = rec
-	fmt.Fprintf(w, "\n%s\n", title)
-	fmt.Fprintf(w, "%5s %12s %12s\n", "sec", "thpt(txn/s)", "HK p50")
-	for i := 0; i < secs; i++ {
-		fmt.Fprintf(w, "%5d %12.0f %12v\n", i, thpt[i], out.HKP50[i].Round(time.Millisecond))
+	tab := &report.Table{
+		ID: id, Gap: true, Title: title,
+		Columns: []report.Column{
+			report.Col("sec", "sec", report.Int, report.Seconds, 5),
+			report.Col("thpt", "thpt(txn/s)", report.Float, report.Rate, 12),
+			report.Col("remote_p50", remoteCode+" p50", report.Duration, report.Nanos, 12),
+		},
 	}
-	fmt.Fprintf(w, "recovery time: %.1f s\n", out.RecoverySec)
-	return out
+	for i := 0; i < secs; i++ {
+		tab.AddRow(report.CountOf(int64(i)), report.Num(thpt[i]), report.Dur(out.HKP50[i]))
+	}
+	tab.Note("recovery time: %.1f s", out.RecoverySec)
+	return tab, out
 }
 
-// Fig11Baseline runs the Fig 11 failure scenario against a Paxos-backed
-// baseline — the first non-Tiga recovery curve. The 2PL+Paxos shard-1 leader
-// is crashed mid-run and rebooted 4 s later (rebuilding its log from the
-// surviving replicas); the vote-timeout knob is dialed down from its inert
-// 10 s default so transactions caught in the outage presume-abort and retry
-// instead of hanging, and undelivered commit decisions are re-sent to the
-// rebooted leader. Unlike Tiga (whose view change elects a co-located
-// replacement in ~3.8 s), the baseline has no leader election: throughput
-// on transactions touching the dead shard stays depressed until the reboot.
-func Fig11Baseline(w io.Writer, o Options) Fig11Result {
-	const proto = "2PL+Paxos"
+// baselineFailover runs the Fig 11 crash/reboot scenario against a baseline
+// protocol through the protocol.Faultable capability: the shard-1 serving
+// replica is crashed mid-run and rebooted 4 s later.
+func (o Options) baselineFailover(proto string, rate float64, outstanding int, total time.Duration,
+	killAt, restartAt time.Duration) *RunResult {
 	spec, _ := o.microSpec(proto, 0.5, false, clocks.ModelChrony)
-	spec.setKnobDefault(proto, "vote-timeout", time.Second)
-	total := 16 * time.Second
-	if o.Quick {
-		total = 12 * time.Second
+	if proto == "2PL+Paxos" {
+		// Dial the vote-timeout knob down from its inert 10 s default so
+		// transactions caught in the outage presume-abort and retry instead
+		// of hanging, and undelivered commit decisions are re-sent to the
+		// rebooted leader.
+		spec.setKnobDefault(proto, "vote-timeout", time.Second)
 	}
-	killAt := 5 * time.Second
-	restartAt := killAt + 4*time.Second
-	rate, outstanding := 300.0, 600
-	if op, ok := o.Ops[proto]; ok {
+	if op, ok := o.opFor(proto, specTopoName(spec)); ok {
 		if op.SaturationRate > 0 {
 			rate = op.SaturationRate
 		}
@@ -521,7 +707,7 @@ func Fig11Baseline(w io.Writer, o Options) Fig11Result {
 			outstanding = op.Outstanding
 		}
 	}
-	res := RunSpecs([]SpecRun{{
+	return RunSpecs([]SpecRun{{
 		Spec: spec,
 		Load: LoadSpec{
 			RatePerCoord: rate, Outstanding: outstanding, Warmup: 0, Duration: total,
@@ -533,20 +719,89 @@ func Fig11Baseline(w io.Writer, o Options) Fig11Result {
 			d.Sim.At(restartAt, func() { faulty.RestartServer(1, 0) })
 		},
 	}}, 1)[0]
+}
+
+func (o Options) failoverWindow() (total, killAt, restartAt time.Duration) {
+	total = 16 * time.Second
+	if o.Quick {
+		total = 12 * time.Second
+	}
+	killAt = 5 * time.Second
+	return total, killAt, killAt + 4*time.Second
+}
+
+// Fig11Baseline runs the Fig 11 failure scenario against a Paxos-backed
+// baseline — the first non-Tiga recovery curve. The 2PL+Paxos shard-1 leader
+// is crashed mid-run and rebooted 4 s later (rebuilding its log from the
+// surviving replicas); the vote-timeout knob is dialed down from its inert
+// 10 s default so transactions caught in the outage presume-abort and retry
+// instead of hanging, and undelivered commit decisions are re-sent to the
+// rebooted leader. Unlike Tiga (whose view change elects a co-located
+// replacement in ~3.8 s), the baseline has no leader election: throughput
+// on transactions touching the dead shard stays depressed until the reboot.
+func Fig11Baseline(o Options) (*report.Report, Fig11Result) {
+	const proto = "2PL+Paxos"
+	rep := report.New("fig11b")
+	total, killAt, restartAt := o.failoverWindow()
+	res := o.baselineFailover(proto, 300, 600, total, killAt, restartAt)
 	title := fmt.Sprintf("Fig 11b — %s leader failure at t=%v, reboot at t=%v (no election: outage lasts until the reboot)",
 		proto, killAt, restartAt)
-	return recoveryTimeline(w, title, res, total, killAt)
+	tab, out := o.recoveryTimeline("fig11b", title, res, total, killAt)
+	o.stamp(tab, o.classicTopology().Name, "micro", "protocol", proto)
+	rep.Add(tab)
+	return rep, out
+}
+
+// Fig11NCC runs the Fig 11 failure scenario against NCC+ — the third
+// recovery curve. The shard-1 serving replica is crashed and rebooted 4 s
+// later, rebuilding its store from the surviving Paxos followers' logs. NCC
+// coordinators have no retry timer, so the curve differs from both Tiga
+// (fig11) and 2PL+Paxos (fig11b): throughput hits a hard zero plateau once
+// the in-flight window drains, pre-crash requests replayed from the
+// survivor log re-reply at reboot with multi-second latencies, and
+// transactions swallowed inside the outage window hang forever — each one
+// permanently pinning an outstanding slot at its coordinator. That hang is
+// the documented cost of the no-retry design, not a bug in the recovery
+// path.
+func Fig11NCC(o Options) (*report.Report, Fig11Result) {
+	const proto = "NCC+"
+	rep := report.New("fig11c")
+	total, killAt, restartAt := o.failoverWindow()
+	res := o.baselineFailover(proto, 300, 600, total, killAt, restartAt)
+	title := fmt.Sprintf("Fig 11c — %s serving-replica failure at t=%v, reboot at t=%v (no retry timer: outage-window transactions hang)",
+		proto, killAt, restartAt)
+	tab, out := o.recoveryTimeline("fig11c", title, res, total, killAt)
+	o.stamp(tab, o.classicTopology().Name, "micro", "protocol", proto)
+	rep.Add(tab)
+	if out.RecoverySec < 0 {
+		tab.Note("(no recovery to 80%% of the pre-crash rate: hung outage-window transactions pin their coordinators' outstanding slots)")
+	}
+	return rep, out
 }
 
 // Table2 reproduces Table 2: maximum throughput and p50 latency after server
 // rotation (leaders separated across regions), with deltas vs co-location.
 // Detock is excluded as in the paper (its home directories are already
 // spread across regions); NCC+ as in Table 1.
-func Table2(w io.Writer, o Options) map[string][4]float64 {
-	fmt.Fprintln(w, "\nTable 2 — server rotation (leaders separated)")
-	fmt.Fprintf(w, "%-12s %12s %8s %10s %8s\n", "Protocol", "Thpt(txn/s)", "Δthpt%", "p50(ms)", "Δp50%")
+func Table2(o Options) (*report.Report, map[string][4]float64) {
+	rep := report.New("table2")
+	tab := rep.Add(&report.Table{
+		ID: "table2", Gap: true,
+		Title: "Table 2 — server rotation (leaders separated)",
+		Columns: []report.Column{
+			report.Col("protocol", "Protocol", report.String, report.None, 12).AlignLeft(),
+			report.Col("thpt", "Thpt(txn/s)", report.Float, report.Rate, 12),
+			report.Col("dthpt", "Δthpt%", report.Float, report.Percent, 8).WithPrec(1).WithSign(),
+			report.Col("p50", "p50(ms)", report.Float, report.Millis, 10),
+			report.Col("dp50", "Δp50%", report.Float, report.Percent, 8).WithPrec(1).WithSign(),
+		},
+	})
+	o.stamp(tab, o.classicTopology().Name, "micro", "skew", "0.5", "rotated", "true")
 	out := make(map[string][4]float64)
-	names := o.sweepProtocols(w, "NCC+", "Detock")
+	names, remark := o.sweepProtocols("NCC+", "Detock")
+	if remark != "" {
+		tab.Note("%s", remark)
+	}
 	runs := make([]SpecRun, 0, 2*len(names))
 	for _, p := range names {
 		spec0, _ := o.microSpec(p, 0.5, false, clocks.ModelChrony)
@@ -562,16 +817,29 @@ func Table2(w io.Writer, o Options) map[string][4]float64 {
 		p50r := float64(rot.Lat.Percentile(50)) / float64(time.Millisecond)
 		dLat := 100 * (p50r - p50b) / p50b
 		out[p] = [4]float64{rot.Throughput(), dThpt, p50r, dLat}
-		fmt.Fprintf(w, "%-12s %12.0f %+8.1f %10.0f %+8.1f\n", p, rot.Throughput(), dThpt, p50r, dLat)
+		tab.AddRow(report.Str(p), report.Num(rot.Throughput()), report.Num(dThpt),
+			report.Num(p50r), report.Num(dLat))
 	}
-	return out
+	return rep, out
 }
 
 // Fig12 reproduces Figure 12: Tiga-Colocate vs Tiga-Separate p50 latency with
-// varying skew, in South Carolina and Hong Kong.
-func Fig12(w io.Writer, o Options) []SweepRow {
-	fmt.Fprintln(w, "\nFig 12 — Tiga-Colocate vs Tiga-Separate, p50 vs skew")
-	fmt.Fprintf(w, "%-16s %6s %16s %16s\n", "Variant", "skew", "SC p50", "HK p50")
+// varying skew, in the local and remote regions.
+func Fig12(o Options) (*report.Report, []SweepRow) {
+	rep := report.New("fig12")
+	topo := o.classicTopology()
+	localName, remoteName := topo.RegionName(0), topo.RegionName(topo.RemoteCoordRegion)
+	tab := rep.Add(&report.Table{
+		ID: "fig12", Gap: true,
+		Title: "Fig 12 — Tiga-Colocate vs Tiga-Separate, p50 vs skew",
+		Columns: []report.Column{
+			report.Col("variant", "Variant", report.String, report.None, 16).AlignLeft(),
+			report.Col("skew", "skew", report.Float, report.None, 6).WithPrec(2),
+			report.Col("local_p50", topo.RegionCode(0)+" p50", report.Duration, report.Nanos, 16),
+			report.Col("remote_p50", topo.RegionCode(topo.RemoteCoordRegion)+" p50", report.Duration, report.Nanos, 16),
+		},
+	})
+	o.stamp(tab, topo.Name, "micro", "protocol", "Tiga", "rate", "80")
 	skews := o.skews()
 	var runs []SpecRun
 	for _, rotated := range []bool{false, true} {
@@ -591,12 +859,12 @@ func Fig12(w io.Writer, o Options) []SweepRow {
 		}
 		run := res.Run
 		skew := microSkew(runs[i].Spec)
-		sc, hk := regionLatency(run, "South Carolina"), regionLatency(run, "Hong Kong")
-		fmt.Fprintf(w, "%-16s %6.2f %16v %16v\n", name, skew,
-			sc.Percentile(50).Round(time.Millisecond), hk.Percentile(50).Round(time.Millisecond))
+		sc, hk := regionLatency(run, localName), regionLatency(run, remoteName)
+		tab.AddRow(report.Str(name), report.Num(skew),
+			report.Dur(sc.Percentile(50)), report.Dur(hk.Percentile(50)))
 		rows = append(rows, SweepRow{Protocol: name, X: skew, P50: sc.Percentile(50), P90: hk.Percentile(50)})
 	}
-	return rows
+	return rep, rows
 }
 
 // Fig13Row is one headroom-delta point.
@@ -610,9 +878,20 @@ type Fig13Row struct {
 // Fig13 reproduces Figure 13: Tiga's latency and rollback rate with varying
 // headroom deltas (plus the 0-Hdrm baseline), skew 0.99, leaders separated.
 // The rollback counts come from the protocol.RollbackReporter capability.
-func Fig13(w io.Writer, o Options) []Fig13Row {
-	fmt.Fprintln(w, "\nFig 13 — headroom sensitivity (skew 0.99, leaders separated)")
-	fmt.Fprintf(w, "%-10s %14s %14s %12s\n", "delta(ms)", "SC p50", "HK p50", "rollback%")
+func Fig13(o Options) (*report.Report, []Fig13Row) {
+	rep := report.New("fig13")
+	topo := o.classicTopology()
+	tab := rep.Add(&report.Table{
+		ID: "fig13", Gap: true,
+		Title: "Fig 13 — headroom sensitivity (skew 0.99, leaders separated)",
+		Columns: []report.Column{
+			report.Col("delta", "delta(ms)", report.String, report.None, 10).AlignLeft(),
+			report.Col("local_p50", topo.RegionCode(0)+" p50", report.Duration, report.Nanos, 14),
+			report.Col("remote_p50", topo.RegionCode(topo.RemoteCoordRegion)+" p50", report.Duration, report.Nanos, 14),
+			report.Col("rollback", "rollback%", report.Float, report.Percent, 12).WithPrec(1),
+		},
+	})
+	o.stamp(tab, topo.Name, "micro", "protocol", "Tiga", "skew", "0.99", "rotated", "true")
 	deltas := []float64{-50, -25, 0, 25, 50}
 	if o.Quick {
 		deltas = []float64{-25, 0, 25}
@@ -637,11 +916,12 @@ func Fig13(w io.Writer, o Options) []Fig13Row {
 		runs = append(runs, pt)
 	}
 	results := RunSpecs(runs, o.Workers)
+	localName, remoteName := topo.RegionName(0), topo.RegionName(topo.RemoteCoordRegion)
 	var rows []Fig13Row
 	for i, v := range variants {
 		res := results[i]
 		runm := res.Run
-		sc, hk := regionLatency(runm, "South Carolina"), regionLatency(runm, "Hong Kong")
+		sc, hk := regionLatency(runm, localName), regionLatency(runm, remoteName)
 		rb := 0.0
 		if rr, ok := res.Deployment.Sys.(protocol.RollbackReporter); ok && runm.Counters.Committed > 0 {
 			rb = 100 * float64(rr.TotalRollbacks()) / float64(runm.Counters.Committed)
@@ -651,17 +931,25 @@ func Fig13(w io.Writer, o Options) []Fig13Row {
 			row.DeltaMs = -1e9
 		}
 		rows = append(rows, row)
-		fmt.Fprintf(w, "%-10s %14v %14v %12.1f\n", v.label,
-			row.SCP50.Round(time.Millisecond), row.HKP50.Round(time.Millisecond), rb)
+		tab.AddRow(report.Str(v.label), report.Dur(row.SCP50), report.Dur(row.HKP50), report.Num(rb))
 	}
-	return rows
+	return rep, rows
 }
 
 // Table3 reproduces Table 3: Tiga throughput and measured clock error under
 // ntpd, chrony, Huygens, and an unstable "bad clock" (skew 0.99).
-func Table3(w io.Writer, o Options) map[string][2]float64 {
-	fmt.Fprintln(w, "\nTable 3 — Tiga with different clocks (skew 0.99)")
-	fmt.Fprintf(w, "%-10s %14s %16s\n", "Clock", "Thpt(txn/s)", "clock err (ms)")
+func Table3(o Options) (*report.Report, map[string][2]float64) {
+	rep := report.New("table3")
+	tab := rep.Add(&report.Table{
+		ID: "table3", Gap: true,
+		Title: "Table 3 — Tiga with different clocks (skew 0.99)",
+		Columns: []report.Column{
+			report.Col("clock", "Clock", report.String, report.None, 10).AlignLeft(),
+			report.Col("thpt", "Thpt(txn/s)", report.Float, report.Rate, 14),
+			report.Col("err", "clock err (ms)", report.Float, report.Millis, 16).WithPrec(3),
+		},
+	})
+	o.stamp(tab, o.classicTopology().Name, "micro", "protocol", "Tiga", "skew", "0.99")
 	out := make(map[string][2]float64)
 	models := []clocks.Model{clocks.ModelNtpd, clocks.ModelChrony, clocks.ModelHuygens, clocks.ModelBad}
 	runs := make([]SpecRun, 0, len(models))
@@ -681,16 +969,28 @@ func Table3(w io.Writer, o Options) map[string][2]float64 {
 		}
 		errMs := float64(clocks.MeasureError(cs, time.Minute, 64)) / float64(time.Millisecond)
 		out[m.String()] = [2]float64{run.Throughput(), errMs}
-		fmt.Fprintf(w, "%-10s %14.0f %16.3f\n", m.String(), run.Throughput(), errMs)
+		tab.AddRow(report.Str(m.String()), report.Num(run.Throughput()), report.Num(errMs))
 	}
-	return out
+	return rep, out
 }
 
 // Fig14 reproduces Figure 14: Tiga p50 latency vs rate for each clock model,
-// in South Carolina and Hong Kong.
-func Fig14(w io.Writer, o Options) []SweepRow {
-	fmt.Fprintln(w, "\nFig 14 — Tiga latency with different clocks")
-	fmt.Fprintf(w, "%-10s %10s %14s %14s\n", "Clock", "rate", "SC p50", "HK p50")
+// in the local and remote regions.
+func Fig14(o Options) (*report.Report, []SweepRow) {
+	rep := report.New("fig14")
+	topo := o.classicTopology()
+	localName, remoteName := topo.RegionName(0), topo.RegionName(topo.RemoteCoordRegion)
+	tab := rep.Add(&report.Table{
+		ID: "fig14", Gap: true,
+		Title: "Fig 14 — Tiga latency with different clocks",
+		Columns: []report.Column{
+			report.Col("clock", "Clock", report.String, report.None, 10).AlignLeft(),
+			report.Col("rate", "rate", report.Float, report.Rate, 10),
+			report.Col("local_p50", topo.RegionCode(0)+" p50", report.Duration, report.Nanos, 14),
+			report.Col("remote_p50", topo.RegionCode(topo.RemoteCoordRegion)+" p50", report.Duration, report.Nanos, 14),
+		},
+	})
+	o.stamp(tab, topo.Name, "micro", "protocol", "Tiga", "skew", "0.99")
 	models := []clocks.Model{clocks.ModelNtpd, clocks.ModelChrony, clocks.ModelBad, clocks.ModelHuygens}
 	rates := o.rates()
 	var runs []SpecRun
@@ -706,20 +1006,30 @@ func Fig14(w io.Writer, o Options) []SweepRow {
 		m := runs[i].Spec.Clock
 		rate := runs[i].Load.RatePerCoord
 		run := res.Run
-		sc, hk := regionLatency(run, "South Carolina"), regionLatency(run, "Hong Kong")
-		fmt.Fprintf(w, "%-10s %10.0f %14v %14v\n", m.String(), rate,
-			sc.Percentile(50).Round(time.Millisecond), hk.Percentile(50).Round(time.Millisecond))
+		sc, hk := regionLatency(run, localName), regionLatency(run, remoteName)
+		tab.AddRow(report.Str(m.String()), report.Num(rate),
+			report.Dur(sc.Percentile(50)), report.Dur(hk.Percentile(50)))
 		rows = append(rows, SweepRow{Protocol: m.String(), X: rate, P50: sc.Percentile(50), P90: hk.Percentile(50)})
 	}
-	return rows
+	return rep, rows
 }
 
 // AblationEpsilon exercises the §6 coordination-free mode: with a trusted
 // error bound ε, leaders skip timestamp agreement and hold transactions for
 // ts+ε instead.
-func AblationEpsilon(w io.Writer, o Options) {
-	fmt.Fprintln(w, "\nAblation — coordination-free ε-bound mode (§6) vs timestamp agreement")
-	fmt.Fprintf(w, "%-22s %12s %9s %12s\n", "Variant", "Thpt(txn/s)", "Commit%", "p50")
+func AblationEpsilon(o Options) *report.Report {
+	rep := report.New("ablations")
+	tab := rep.Add(&report.Table{
+		ID: "ablation-epsilon", Gap: true,
+		Title: "Ablation — coordination-free ε-bound mode (§6) vs timestamp agreement",
+		Columns: []report.Column{
+			report.Col("variant", "Variant", report.String, report.None, 22).AlignLeft(),
+			report.Col("thpt", "Thpt(txn/s)", report.Float, report.Rate, 12),
+			report.Col("commit", "Commit%", report.Float, report.Percent, 9).WithPrec(1),
+			report.Col("p50", "p50", report.Duration, report.Nanos, 12),
+		},
+	})
+	o.stamp(tab, o.classicTopology().Name, "micro", "protocol", "Tiga", "clock", clocks.ModelHuygens.String())
 	epsilons := []time.Duration{0, 10 * time.Millisecond, 50 * time.Millisecond}
 	runs := make([]SpecRun, 0, len(epsilons))
 	for _, eps := range epsilons {
@@ -734,16 +1044,27 @@ func AblationEpsilon(w io.Writer, o Options) {
 		if eps > 0 {
 			name = fmt.Sprintf("coordination-free ε=%v", eps)
 		}
-		fmt.Fprintf(w, "%-22s %12.0f %9.1f %12v\n", name, res.Run.Throughput(),
-			res.Run.Counters.CommitRate(), res.Run.Lat.Percentile(50).Round(time.Millisecond))
+		tab.AddRow(report.Str(name), report.Num(res.Run.Throughput()),
+			report.Num(res.Run.Counters.CommitRate()), report.Dur(res.Run.Lat.Percentile(50)))
 	}
+	return rep
 }
 
 // AblationSlowReply compares per-entry slow replies against the Appendix E
 // batched periodic-inquiry optimization.
-func AblationSlowReply(w io.Writer, o Options) {
-	fmt.Fprintln(w, "\nAblation — per-entry slow replies vs Appendix E batched inquiries")
-	fmt.Fprintf(w, "%-12s %12s %12s %14s\n", "Variant", "Thpt(txn/s)", "p50", "msgs sent")
+func AblationSlowReply(o Options) *report.Report {
+	rep := report.New("ablations")
+	tab := rep.Add(&report.Table{
+		ID: "ablation-slowreply", Gap: true,
+		Title: "Ablation — per-entry slow replies vs Appendix E batched inquiries",
+		Columns: []report.Column{
+			report.Col("variant", "Variant", report.String, report.None, 12).AlignLeft(),
+			report.Col("thpt", "Thpt(txn/s)", report.Float, report.Rate, 12),
+			report.Col("p50", "p50", report.Duration, report.Nanos, 12),
+			report.Col("msgs", "msgs sent", report.Int, report.Count, 14),
+		},
+	})
+	o.stamp(tab, o.classicTopology().Name, "micro", "protocol", "Tiga")
 	variants := []bool{false, true}
 	runs := make([]SpecRun, 0, len(variants))
 	for _, batch := range variants {
@@ -760,17 +1081,23 @@ func AblationSlowReply(w io.Writer, o Options) {
 		if batch {
 			name = "batched"
 		}
-		fmt.Fprintf(w, "%-12s %12.0f %12v %14d\n", name, res.Run.Throughput(),
-			res.Run.Lat.Percentile(50).Round(time.Millisecond), res.Deployment.Net.Sent)
+		tab.AddRow(report.Str(name), report.Num(res.Run.Throughput()),
+			report.Dur(res.Run.Lat.Percentile(50)), report.CountOf(res.Deployment.Net.Sent))
 	}
+	return rep
+}
+
+// Ablations bundles the extra ablations into one experiment report.
+func Ablations(o Options) *report.Report {
+	rep := AblationEpsilon(o)
+	rep.Tables = append(rep.Tables, AblationSlowReply(o).Tables...)
+	return rep
 }
 
 // Fig10ForProtocol runs one protocol's TPC-C point (bench harness helper).
-func Fig10ForProtocol(w io.Writer, o Options, protocol string, rate float64) []SweepRow {
+func Fig10ForProtocol(o Options, protocol string, rate float64) []SweepRow {
 	res := RunSpecs([]SpecRun{o.point(o.tpccSpec(protocol), rate, 4)}, 1)[0]
 	run := res.Run
-	row := SweepRow{Protocol: protocol, X: rate, Thpt: run.Throughput(),
-		Commit: run.Counters.CommitRate(), P50: run.Lat.Percentile(50), P90: run.Lat.Percentile(90)}
-	row.print(w)
-	return []SweepRow{row}
+	return []SweepRow{{Protocol: protocol, X: rate, Thpt: run.Throughput(),
+		Commit: run.Counters.CommitRate(), P50: run.Lat.Percentile(50), P90: run.Lat.Percentile(90)}}
 }

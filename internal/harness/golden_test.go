@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tiga/internal/report"
+)
+
+// The golden files under testdata/ were captured from the pre-report-model
+// experiment code (PR 3), which fmt.Fprintf'd its presentation directly, at
+// the cheap fixed configurations below. These tests replay the same
+// configurations through the report model + text renderer and require
+// byte-identical output: the refactor moved every experiment onto typed
+// tables without changing a single rendered byte on defaults.
+//
+// The configurations restrict protocols/axes to keep the replay affordable
+// on one core; the formats they exercise cover every column layout the
+// experiments use (the remaining layouts are pinned cell-by-cell in
+// internal/report's unit tests).
+
+func goldenOpts() Options {
+	return Options{Quick: true, Keys: 800, Seed: 42, Workers: 1}
+}
+
+func checkGolden(t *testing.T, name string, rep *report.Report) {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("testdata", name+".golden"))
+	if err != nil {
+		t.Fatalf("missing golden: %v", err)
+	}
+	var buf bytes.Buffer
+	report.Render(&buf, rep)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("%s: rendered text differs from the pre-refactor golden\n--- got ---\n%s\n--- want ---\n%s",
+			name, buf.String(), want)
+	}
+}
+
+// TestGoldenTextRenderer is the byte-identical pin for the report-model
+// refactor. Each sub-test rebuilds one experiment at the captured
+// configuration and compares the rendered text against the PR 3 bytes.
+func TestGoldenTextRenderer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replays run full (quick-mode) experiments; skipped under -short")
+	}
+	cases := []struct {
+		name string
+		run  func(t *testing.T) *report.Report
+	}{
+		{"table1", func(t *testing.T) *report.Report {
+			o := goldenOpts()
+			o.Protocols = []string{"Janus"}
+			rep, _ := Table1(o)
+			return rep
+		}},
+		{"fig7", func(t *testing.T) *report.Report {
+			o := goldenOpts()
+			o.Protocols = []string{"Janus"}
+			rep, _, _ := Fig7And8(o)
+			return rep
+		}},
+		{"fig9", func(t *testing.T) *report.Report {
+			o := goldenOpts()
+			o.Protocols = []string{"Tiga", "Janus"}
+			rep, _ := Fig9(o)
+			return rep
+		}},
+		{"fig11b", func(t *testing.T) *report.Report {
+			rep, _ := Fig11Baseline(goldenOpts())
+			return rep
+		}},
+		{"fig12", func(t *testing.T) *report.Report {
+			rep, _ := Fig12(goldenOpts())
+			return rep
+		}},
+		{"fig13", func(t *testing.T) *report.Report {
+			rep, _ := Fig13(goldenOpts())
+			return rep
+		}},
+		{"ablations", func(t *testing.T) *report.Report {
+			return Ablations(goldenOpts())
+		}},
+		{"scenarios", func(t *testing.T) *report.Report {
+			o := goldenOpts()
+			o.Protocols = []string{"Tiga", "Janus"}
+			o.Topologies = []string{"us-eu3", "geo4-degraded"}
+			o.Workloads = []string{"micro", "ycsbt"}
+			rep, _ := ScenarioMatrix(o)
+			return rep
+		}},
+		{"emptysel", func(t *testing.T) *report.Report {
+			// The by-design exclusion remark: Detock-only against Table 2
+			// renders the title, the header, and the explanatory note.
+			o := goldenOpts()
+			o.Protocols = []string{"Detock"}
+			rep, _ := Table2(o)
+			return rep
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			checkGolden(t, tc.name, tc.run(t))
+		})
+	}
+}
+
+// TestGoldenJSONRoundTrip re-renders a decoded artifact: one real experiment
+// is built, emitted as a JSON document, decoded back, and its re-rendered
+// text must equal both the direct render and the pre-refactor golden. This
+// is the end-to-end guarantee that the archived BENCH artifact carries the
+// full presentation, not a lossy summary.
+func TestGoldenJSONRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full (quick-mode) experiment; skipped under -short")
+	}
+	rep, _ := Fig12(goldenOpts())
+	doc := &report.Document{
+		Generated:   report.Generated{Seed: 42, Quick: true, CPUScale: CPUScale},
+		Experiments: []*report.Report{rep},
+	}
+	var enc bytes.Buffer
+	if err := doc.Encode(&enc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := report.Decode(bytes.NewReader(enc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Experiments) != 1 || back.Experiments[0].Name != "fig12" {
+		t.Fatalf("decoded document lost the experiment: %+v", back.Experiments)
+	}
+	checkGolden(t, "fig12", back.Experiments[0])
+	// The decoded table keeps its metadata (self-describing artifact).
+	tab := back.Experiments[0].Find("fig12")
+	if tab == nil || tab.Meta["topology"] != "geo4" || tab.Meta["seed"] != "42" {
+		t.Fatalf("decoded table lost its metadata: %+v", tab)
+	}
+}

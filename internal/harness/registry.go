@@ -1,0 +1,93 @@
+package harness
+
+import "tiga/internal/report"
+
+// Experiment is one runnable, named experiment: the unit the CLI selects
+// with -exp, the JSON artifact indexes by name, and the CI smoke check
+// enumerates. Run builds the experiment's full report; rendering is the
+// caller's choice (text, JSON, CSV — see internal/report).
+type Experiment struct {
+	// Name is the -exp selector ("table1", "fig7", ...).
+	Name string
+	// Doc is a one-line description surfaced by discovery tooling
+	// (cmd/tigabench -exp list).
+	Doc string
+	// Run executes the experiment and returns its report.
+	Run func(o Options) *report.Report
+}
+
+// experimentList enumerates every experiment in presentation order — the
+// order `-exp all` renders. fig8 is an alias handled by the CLI: the harness
+// records both regions in the fig7 pass.
+var experimentList = []Experiment{
+	{"table1", "Table 1: maximum throughput (MicroBench + TPC-C)", func(o Options) *report.Report {
+		r, _ := Table1(o)
+		return r
+	}},
+	{"fig7", "Figs 7+8: rate sweep, local + remote region latency", func(o Options) *report.Report {
+		r, _, _ := Fig7And8(o)
+		return r
+	}},
+	{"fig9", "Fig 9: skew sweep", func(o Options) *report.Report {
+		r, _ := Fig9(o)
+		return r
+	}},
+	{"fig10", "Fig 10: TPC-C rate sweep", func(o Options) *report.Report {
+		r, _ := Fig10(o)
+		return r
+	}},
+	{"fig11", "Fig 11: Tiga leader failure recovery", func(o Options) *report.Report {
+		r, _ := Fig11(o)
+		return r
+	}},
+	{"fig11b", "Fig 11 analogue: 2PL+Paxos leader crash + reboot", func(o Options) *report.Report {
+		r, _ := Fig11Baseline(o)
+		return r
+	}},
+	{"fig11c", "Fig 11 analogue: NCC+ crash + reboot (no retry timer: outage txns hang)", func(o Options) *report.Report {
+		r, _ := Fig11NCC(o)
+		return r
+	}},
+	{"table2", "Table 2: server rotation", func(o Options) *report.Report {
+		r, _ := Table2(o)
+		return r
+	}},
+	{"fig12", "Fig 12: colocate vs separate", func(o Options) *report.Report {
+		r, _ := Fig12(o)
+		return r
+	}},
+	{"fig13", "Fig 13: headroom sensitivity", func(o Options) *report.Report {
+		r, _ := Fig13(o)
+		return r
+	}},
+	{"table3", "Table 3: clock ablation", func(o Options) *report.Report {
+		r, _ := Table3(o)
+		return r
+	}},
+	{"fig14", "Fig 14: latency per clock model", func(o Options) *report.Report {
+		r, _ := Fig14(o)
+		return r
+	}},
+	{"ablations", "extra ablations (ε-mode, Appendix E)", Ablations},
+	{"scenarios", "protocol × topology × workload matrix", func(o Options) *report.Report {
+		r, _ := ScenarioMatrix(o)
+		return r
+	}},
+}
+
+// Experiments returns every registered experiment in presentation order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(experimentList))
+	copy(out, experimentList)
+	return out
+}
+
+// ExperimentNames returns the registered experiment names in presentation
+// order.
+func ExperimentNames() []string {
+	out := make([]string, len(experimentList))
+	for i, e := range experimentList {
+		out[i] = e.Name
+	}
+	return out
+}

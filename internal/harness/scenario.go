@@ -2,10 +2,11 @@ package harness
 
 import (
 	"fmt"
-	"io"
+	"strings"
 	"time"
 
 	"tiga/internal/clocks"
+	"tiga/internal/report"
 	"tiga/internal/simnet"
 	"tiga/internal/workload"
 )
@@ -15,12 +16,21 @@ import (
 // the WAN geometry, link quality, and mix change. With topologies and
 // workloads lifted into registries, the matrix sweeps protocol × topology ×
 // workload and reports one row per cell.
+//
+// Every cell defaults to one shared moderate rate, which under-drives the
+// fast designs and over-drives the slow ones; the Options.Ops machinery
+// (keyed protocol or protocol × topology, e.g. -op Tiga@us-eu3=2000) drives
+// a cell at its own saturation operating point instead, so the matrix can
+// report saturation rather than a compromise rate. Cells whose driving rate
+// deviates from the shared rate are called out in a per-section note and in
+// the table metadata.
 
 // MatrixRow is one protocol × topology × workload cell.
 type MatrixRow struct {
 	Protocol string
 	Topology string
 	Workload string
+	Rate     float64 // driving rate per coordinator (shared, unless an operating point overrode it)
 	Thpt     float64
 	Commit   float64
 	P50      time.Duration
@@ -77,23 +87,41 @@ func (o Options) scenarioRate() float64 {
 	return 400
 }
 
+// cellPoint prepares one matrix cell's run at its resolved operating point:
+// the protocol × topology key wins over the protocol-wide key, and the
+// shared moderate rate is the fallback.
+func (o Options) cellPoint(proto, topo, wl string, shared float64) SpecRun {
+	pt := o.point(o.scenarioSpec(proto, topo, wl), shared, 12)
+	if op, ok := o.opFor(proto, topo); ok && op.SaturationRate > 0 {
+		pt.Load.RatePerCoord = op.SaturationRate
+	}
+	return pt
+}
+
 // ScenarioMatrix sweeps every selected protocol across the selected
-// topologies and workloads at a fixed moderate rate, reporting per-cell
-// throughput, commit rate, and p50/p99 latency. All cells are independent
-// points on the shared sweep driver, so the matrix parallelizes like any
-// other experiment and is byte-identical across worker counts.
-func ScenarioMatrix(w io.Writer, o Options) []MatrixRow {
+// topologies and workloads, reporting per-cell throughput, commit rate, and
+// p50/p99 latency. All cells are independent points on the shared sweep
+// driver, so the matrix parallelizes like any other experiment and is
+// byte-identical across worker counts.
+func ScenarioMatrix(o Options) (*report.Report, []MatrixRow) {
+	rep := report.New("scenarios")
 	topos := o.scenarioTopologies()
 	wls := o.scenarioWorkloads()
-	names := o.sweepProtocols(w)
+	names, remark := o.sweepProtocols()
+	if remark != "" {
+		rep.AddNote(remark)
+	}
 	rate := o.scenarioRate()
-	fmt.Fprintf(w, "\nScenario matrix — %d protocols × %d topologies × %d workloads, %v/coord\n",
-		len(names), len(topos), len(wls), rate)
+	rep.Add(&report.Table{
+		ID: "scenarios-banner", Gap: true,
+		Title: fmt.Sprintf("Scenario matrix — %d protocols × %d topologies × %d workloads, %v/coord",
+			len(names), len(topos), len(wls), rate),
+	})
 	var runs []SpecRun
 	for _, topo := range topos {
 		for _, wl := range wls {
 			for _, p := range names {
-				runs = append(runs, o.point(o.scenarioSpec(p, topo, wl), rate, 12))
+				runs = append(runs, o.cellPoint(p, topo, wl, rate))
 			}
 		}
 	}
@@ -102,21 +130,40 @@ func ScenarioMatrix(w io.Writer, o Options) []MatrixRow {
 	i := 0
 	for _, topo := range topos {
 		for _, wl := range wls {
-			fmt.Fprintf(w, "\n[topology=%s workload=%s]\n", topo, wl)
-			fmt.Fprintf(w, "%-12s %12s %9s %12s %12s\n", "Protocol", "Thpt(txn/s)", "Commit%", "p50", "p99")
+			tab := rep.Add(&report.Table{
+				ID: fmt.Sprintf("scenarios/%s/%s", topo, wl), Gap: true,
+				Title: fmt.Sprintf("[topology=%s workload=%s]", topo, wl),
+				Columns: []report.Column{
+					report.Col("protocol", "Protocol", report.String, report.None, 12).AlignLeft(),
+					report.Col("thpt", "Thpt(txn/s)", report.Float, report.Rate, 12),
+					report.Col("commit", "Commit%", report.Float, report.Percent, 9).WithPrec(1),
+					report.Col("p50", "p50", report.Duration, report.Nanos, 12),
+					report.Col("p99", "p99", report.Duration, report.Nanos, 12),
+				},
+			})
+			o.stamp(tab, topo, wl, "rate", fmt.Sprintf("%v", rate))
+			var opNotes []string
 			for _, p := range names {
+				cellRate := runs[i].Load.RatePerCoord
 				run := results[i].Run
 				i++
 				row := MatrixRow{
-					Protocol: p, Topology: topo, Workload: wl,
+					Protocol: p, Topology: topo, Workload: wl, Rate: cellRate,
 					Thpt: run.Throughput(), Commit: run.Counters.CommitRate(),
 					P50: run.Lat.Percentile(50), P99: run.Lat.Percentile(99),
 				}
 				rows = append(rows, row)
-				fmt.Fprintf(w, "%-12s %12.0f %9.1f %12v %12v\n", p, row.Thpt, row.Commit,
-					row.P50.Round(time.Millisecond), row.P99.Round(time.Millisecond))
+				tab.AddRow(report.Str(p), report.Num(row.Thpt), report.Num(row.Commit),
+					report.Dur(row.P50), report.Dur(row.P99))
+				if cellRate != rate {
+					opNotes = append(opNotes, fmt.Sprintf("%s=%v/coord", p, cellRate))
+				}
+			}
+			if len(opNotes) > 0 {
+				tab.Note("(per-cell operating points: %s)", strings.Join(opNotes, ", "))
+				tab.SetMeta("cell_rates", strings.Join(opNotes, ","))
 			}
 		}
 	}
-	return rows
+	return rep, rows
 }

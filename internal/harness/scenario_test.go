@@ -1,7 +1,6 @@
 package harness
 
 import (
-	"io"
 	"strings"
 	"testing"
 	"time"
@@ -128,7 +127,8 @@ func TestScenarioMatrixDeterministic(t *testing.T) {
 	run := func(workers int) []MatrixRow {
 		oo := o
 		oo.Workers = workers
-		return ScenarioMatrix(io.Discard, oo)
+		_, rows := ScenarioMatrix(oo)
+		return rows
 	}
 	a, b := run(1), run(4) // two runs, different -workers settings
 	if len(a) != 8 {
@@ -161,7 +161,58 @@ func TestScenarioMatrixPanicsOnUnknownAxis(t *testing.T) {
 					t.Fatal("ScenarioMatrix accepted an unknown axis name")
 				}
 			}()
-			ScenarioMatrix(io.Discard, o)
+			ScenarioMatrix(o)
 		}()
+	}
+}
+
+// TestCellOperatingPointResolution pins the matrix operating-point lookup
+// order without running any simulation: the protocol × topology key wins
+// over the protocol-wide key, which wins over the shared rate; outstanding
+// caps resolve the same way through o.point.
+func TestCellOperatingPointResolution(t *testing.T) {
+	o := Options{Quick: true, Keys: 500, Seed: 42, Ops: map[string]OpPoint{
+		"Tiga":          {SaturationRate: 900, Outstanding: 150},
+		"Tiga@us-eu3":   {SaturationRate: 2000},
+		"Janus@planet5": {SaturationRate: 700, Outstanding: 50},
+	}}
+	cases := []struct {
+		proto, topo string
+		wantRate    float64
+		wantOut     int
+	}{
+		{"Tiga", "us-eu3", 2000, 150}, // cell key overlays: rate from the cell, cap inherited from the protocol-wide key
+		{"Tiga", "planet5", 900, 150}, // falls back to the protocol-wide key
+		{"Janus", "planet5", 700, 50}, // cell key, both fields
+		{"Janus", "us-eu3", 250, 400}, // no key at all: shared quick rate + default cap
+		{"Detock", "geo4", 250, 400},  // untouched protocol
+	}
+	for _, tc := range cases {
+		pt := o.cellPoint(tc.proto, tc.topo, "micro", o.scenarioRate())
+		if pt.Load.RatePerCoord != tc.wantRate || pt.Load.Outstanding != tc.wantOut {
+			t.Errorf("%s@%s: rate/outstanding = %v/%d, want %v/%d",
+				tc.proto, tc.topo, pt.Load.RatePerCoord, pt.Load.Outstanding, tc.wantRate, tc.wantOut)
+		}
+	}
+}
+
+// TestClassicTopologySelection pins the classic experiments' WAN choice: the
+// first selected topology wins, the default is geo4, and the region labels
+// the experiments print come from the topology.
+func TestClassicTopologySelection(t *testing.T) {
+	if got := (Options{}).classicTopology().Name; got != simnet.DefaultTopology {
+		t.Fatalf("default classic topology = %q", got)
+	}
+	o := Options{Topologies: []string{"us-eu3", "planet5"}}
+	topo := o.classicTopology()
+	if topo.Name != "us-eu3" {
+		t.Fatalf("classic topology = %q, want us-eu3 (first selected)", topo.Name)
+	}
+	if topo.RegionName(0) != "Virginia" || topo.RegionCode(topo.RemoteCoordRegion) != "FR" {
+		t.Fatalf("labels did not resolve: %q / %q", topo.RegionName(0), topo.RegionCode(topo.RemoteCoordRegion))
+	}
+	spec, _ := o.microSpec("Tiga", 0.5, false, clocks.ModelChrony)
+	if spec.Topology != "us-eu3" {
+		t.Fatalf("microSpec topology = %q, want us-eu3", spec.Topology)
 	}
 }

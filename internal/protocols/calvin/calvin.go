@@ -30,6 +30,16 @@ type Spec struct {
 	Seed         func(shard int, st *store.Store)
 	ExecCost     time.Duration
 	Epoch        time.Duration
+	// Resend arms the sequencer retransmission path: an executor stuck at
+	// the merge barrier re-requests the missing region batches after this
+	// timeout, and sequencers retain flushed batches to answer. 0 disables
+	// it (the original behavior — correct on reliable links, but a single
+	// dropped epochBatch under loss stalls the barrier, and every epoch
+	// after it, forever). Calvin proper reaches the same guarantee by
+	// running its sequencers through Paxos; a retransmission timer is the
+	// Nezha-style equivalent for the 1-WRTT batch replication this
+	// baseline models.
+	Resend time.Duration
 }
 
 type submitMsg struct {
@@ -51,6 +61,12 @@ type resultMsg struct {
 	Ret   []byte
 }
 
+// fetchMsg asks a region's sequencer to retransmit one flushed epoch batch
+// to the requesting executor (merge-barrier gap repair under loss).
+type fetchMsg struct {
+	Epoch int
+}
+
 // sequencer batches submissions per region.
 type sequencer struct {
 	sys    *System
@@ -58,6 +74,9 @@ type sequencer struct {
 	node   *simnet.Node
 	buf    []submitMsg
 	epoch  int
+	// history retains flushed batches for retransmission when Spec.Resend
+	// is armed (runs are bounded, so retention is too).
+	history map[int]epochBatch
 }
 
 // executor executes one shard's pieces at one region, in global epoch order.
@@ -91,6 +110,9 @@ func New(spec Spec) *System {
 	for reg := 0; reg < spec.Regions; reg++ {
 		node := spec.Net.AddNode(simnet.Region(reg), nil)
 		sq := &sequencer{sys: sys, region: reg, node: node}
+		if spec.Resend > 0 {
+			sq.history = make(map[int]epochBatch)
+		}
 		node.SetHandler(sq.handle)
 		sys.seqs = append(sys.seqs, sq)
 	}
@@ -130,7 +152,8 @@ func nearestRegion(net *simnet.Network, from simnet.Region, regions int) int {
 	return best
 }
 
-// Start launches the epoch tickers.
+// Start launches the epoch tickers, and — when retransmission is armed —
+// the executors' merge-barrier gap detectors.
 func (sys *System) Start() {
 	for _, sq := range sys.seqs {
 		sq := sq
@@ -138,6 +161,18 @@ func (sys *System) Start() {
 			sq.flush()
 			return true
 		})
+	}
+	if sys.spec.Resend <= 0 {
+		return
+	}
+	for _, regExecs := range sys.execs {
+		for _, ex := range regExecs {
+			ex := ex
+			ex.node.Every(sys.spec.Resend, func() bool {
+				ex.fetchMissing()
+				return true
+			})
+		}
 	}
 }
 
@@ -150,8 +185,16 @@ func (sys *System) Store(region, shard int) *store.Store { return sys.execs[regi
 // ---- sequencer ----
 
 func (sq *sequencer) handle(from simnet.NodeID, msg simnet.Message) {
-	if m, ok := msg.(submitMsg); ok {
+	switch m := msg.(type) {
+	case submitMsg:
 		sq.buf = append(sq.buf, m)
+	case fetchMsg:
+		// Gap repair: retransmit a flushed batch to the stuck executor.
+		// An epoch not yet flushed is not a gap — the executor's next tick
+		// re-asks if the regular broadcast is lost too.
+		if b, ok := sq.history[m.Epoch]; ok {
+			sq.node.Send(from, b)
+		}
 	}
 }
 
@@ -162,6 +205,9 @@ func (sq *sequencer) flush() {
 	b := epochBatch{Region: sq.region, Epoch: sq.epoch, Txns: sq.buf}
 	sq.epoch++
 	sq.buf = nil
+	if sq.history != nil {
+		sq.history[b.Epoch] = b
+	}
 	for reg := 0; reg < sq.sys.spec.Regions; reg++ {
 		for sh := 0; sh < sq.sys.spec.Shards; sh++ {
 			sq.node.Send(sq.sys.execs[reg][sh].node.ID(), b)
@@ -171,9 +217,28 @@ func (sq *sequencer) flush() {
 
 // ---- executor ----
 
+// fetchMissing asks the sequencers of the regions whose batch for the next
+// epoch has not arrived to retransmit it. Harmless when the epoch simply has
+// not been flushed yet: the sequencer ignores unknown epochs and the next
+// tick re-asks.
+func (ex *executor) fetchMissing() {
+	byRegion := ex.batches[ex.next]
+	for reg := 0; reg < ex.sys.spec.Regions; reg++ {
+		if _, ok := byRegion[reg]; !ok {
+			ex.node.Send(ex.sys.seqs[reg].node.ID(), fetchMsg{Epoch: ex.next})
+		}
+	}
+}
+
 func (ex *executor) handle(from simnet.NodeID, msg simnet.Message) {
 	m, ok := msg.(epochBatch)
 	if !ok {
+		return
+	}
+	if m.Epoch < ex.next {
+		// A retransmission raced the original delivery; the epoch already
+		// ran. (Never reached on reliable links: an epoch below next has
+		// been merged, so its batches were all delivered exactly once.)
 		return
 	}
 	byRegion := ex.batches[m.Epoch]

@@ -14,12 +14,15 @@ func init() {
 		protocol.Schema{
 			{Name: "epoch", Type: protocol.KnobDuration, Default: 10 * time.Millisecond,
 				Doc: "sequencer epoch length: shorter cuts batching latency, longer amortizes the merge barrier"},
+			{Name: "resend-timeout", Type: protocol.KnobDuration, Default: 0 * time.Millisecond,
+				Doc: "sequencer batch retransmission: executors stuck at the merge barrier re-request missing region batches after this timeout (0 disables — faithful to the lossless-link model, but geo4-degraded's 1% loss then stalls the sequencer at the first dropped batch)"},
 		},
 		func(ctx *protocol.BuildContext) protocol.System {
 			return New(Spec{
 				Shards: ctx.Shards, Regions: ctx.Regions, Net: ctx.Net,
 				CoordRegions: ctx.CoordRegions, Seed: ctx.SeedStore,
 				ExecCost: ctx.ExecCost, Epoch: ctx.Knobs.Duration("epoch"),
+				Resend: ctx.Knobs.Duration("resend-timeout"),
 			})
 		})
 }

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The CSV emitter flattens every row-bearing table into one stream for
+// spreadsheet tooling: each table becomes a block led by a header row of
+// `experiment,table` plus the column names (with units), one record per data
+// row, blocks separated by a blank line. Tables without data rows — banners
+// (with or without declared columns), remarks, empty selections — are
+// skipped.
+
+// RenderCSV writes every table with data rows across the given reports.
+func RenderCSV(w io.Writer, reports ...*Report) error {
+	cw := csv.NewWriter(w)
+	first := true
+	for _, r := range reports {
+		for _, t := range r.Tables {
+			if len(t.Columns) == 0 || len(t.Rows) == 0 {
+				continue
+			}
+			if !first {
+				// Blank separator line between blocks.
+				if _, err := io.WriteString(w, "\n"); err != nil {
+					return err
+				}
+			}
+			first = false
+			header := []string{"experiment", "table"}
+			for _, col := range t.Columns {
+				name := col.Name
+				if col.Unit != None {
+					name = fmt.Sprintf("%s(%s)", name, col.Unit)
+				}
+				header = append(header, name)
+			}
+			if err := cw.Write(header); err != nil {
+				return err
+			}
+			for _, row := range t.Rows {
+				rec := []string{r.Name, t.ID}
+				for _, c := range row {
+					rec = append(rec, c.csv())
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// csv renders the cell's bare value, mirroring the JSON emitter (durations
+// as integer nanoseconds).
+func (c Cell) csv() string {
+	switch c.Kind {
+	case String:
+		return c.Str
+	case Int:
+		return strconv.FormatInt(c.Int, 10)
+	case Float:
+		return strconv.FormatFloat(c.Float, 'g', -1, 64)
+	case Duration:
+		return strconv.FormatInt(int64(c.Dur), 10)
+	}
+	return ""
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// The text renderer reproduces the paper's fixed-width presentation — the
+// exact bytes the experiments used to fmt.Fprintf directly. Layout is fully
+// determined by the column declarations (width, precision, alignment, sign),
+// so a report decoded from the JSON artifact re-renders byte-identically.
+
+// Render writes the report's canonical text form to w.
+func Render(w io.Writer, r *Report) {
+	for _, t := range r.Tables {
+		t.render(w)
+	}
+}
+
+func (t *Table) render(w io.Writer) {
+	if t.Gap {
+		fmt.Fprintln(w)
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	if len(t.Columns) > 0 {
+		cells := make([]string, len(t.Columns))
+		for i, col := range t.Columns {
+			cells[i] = pad(col.Header, col.Width, col.Left)
+		}
+		fmt.Fprintln(w, strings.Join(cells, " "))
+	}
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = c.text(t.Columns[i])
+		}
+		fmt.Fprintln(w, strings.Join(cells, " "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintln(w, n)
+	}
+}
+
+func pad(s string, width int, left bool) string {
+	if left {
+		return fmt.Sprintf("%-*s", width, s)
+	}
+	return fmt.Sprintf("%*s", width, s)
+}
+
+// text formats one cell under its column's fixed-width spec.
+func (c Cell) text(col Column) string {
+	switch c.Kind {
+	case String:
+		return pad(c.Str, col.Width, col.Left)
+	case Int:
+		return fmt.Sprintf("%*d", col.Width, c.Int)
+	case Float:
+		if col.Sign {
+			return fmt.Sprintf("%+*.*f", col.Width, col.Prec, c.Float)
+		}
+		return fmt.Sprintf("%*.*f", col.Width, col.Prec, c.Float)
+	case Duration:
+		return fmt.Sprintf("%*v", col.Width, c.Dur.Round(time.Millisecond))
+	}
+	return pad(fmt.Sprintf("%v", c), col.Width, col.Left)
+}

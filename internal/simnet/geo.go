@@ -62,6 +62,7 @@ func init() {
 		Name:              DefaultTopology, // "geo4"
 		Doc:               "the paper's §5.1 GCP WAN: South Carolina, Finland, Brazil servers; Hong Kong remote coordinators (60–150 ms OWDs)",
 		RegionNames:       []string{"South Carolina", "Finland", "Brazil", "Hong Kong"},
+		RegionCodes:       []string{"SC", "FI", "BR", "HK"},
 		ServerRegions:     3,
 		RemoteCoordRegion: RegionHongKong,
 		OWD:               GeoOWD,

@@ -61,6 +61,7 @@ func init() {
 		Name:              "us-eu3",
 		Doc:               "3-region US/EU triangle (Virginia, Oregon, Frankfurt); all regions host servers, remote coordinators in Frankfurt",
 		RegionNames:       []string{"Virginia", "Oregon", "Frankfurt"},
+		RegionCodes:       []string{"VA", "OR", "FR"},
 		ServerRegions:     3,
 		RemoteCoordRegion: 2, // Frankfurt
 		OWD:               usEU3OWD,
@@ -70,6 +71,7 @@ func init() {
 		Name:              "planet5",
 		Doc:               "5-region planet-scale layout with asymmetric links (return paths ~15% longer); servers in Virginia/Frankfurt/Tokyo, remote coordinators in Sydney",
 		RegionNames:       []string{"Virginia", "Frankfurt", "Tokyo", "São Paulo", "Sydney"},
+		RegionCodes:       []string{"VA", "FR", "TK", "SP", "SY"},
 		ServerRegions:     3,
 		RemoteCoordRegion: 4, // Sydney
 		OWD:               planet5OWD,
@@ -79,6 +81,7 @@ func init() {
 		Name:              "geo4-degraded",
 		Doc:               "the geo4 WAN under degraded conditions: 5 ms link jitter and 1% message loss by default",
 		RegionNames:       []string{"South Carolina", "Finland", "Brazil", "Hong Kong"},
+		RegionCodes:       []string{"SC", "FI", "BR", "HK"},
 		ServerRegions:     3,
 		RemoteCoordRegion: RegionHongKong,
 		OWD:               GeoOWD,

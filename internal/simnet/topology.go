@@ -3,7 +3,9 @@ package simnet
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
+	"unicode"
 )
 
 // Topology is a named WAN layout: the region roster, the one-way-delay
@@ -21,6 +23,10 @@ type Topology struct {
 	Doc string
 	// RegionNames names every region; Region r indexes into it.
 	RegionNames []string
+	// RegionCodes are short labels for column headers ("SC p50"); when nil,
+	// codes are derived from the region names' word initials. When set, the
+	// registry requires one code per region.
+	RegionCodes []string
 	// ServerRegions is how many of the leading regions host server
 	// replicas (shard leaders rotate among these under §5.5 rotation); any
 	// remaining regions host only coordinators.
@@ -46,6 +52,26 @@ func (t *Topology) RegionName(r Region) string {
 		return "Unknown"
 	}
 	return t.RegionNames[r]
+}
+
+// RegionCode returns the short column-header label for r ("SC", "HK"):
+// the registered code, or the region name's word initials when none was
+// declared.
+func (t *Topology) RegionCode(r Region) string {
+	if int(r) < 0 || int(r) >= len(t.RegionNames) {
+		return "??"
+	}
+	if len(t.RegionCodes) == len(t.RegionNames) {
+		return t.RegionCodes[r]
+	}
+	var code []rune
+	for _, word := range strings.Fields(t.RegionNames[r]) {
+		for _, c := range word {
+			code = append(code, unicode.ToUpper(c))
+			break
+		}
+	}
+	return string(code)
 }
 
 // Config materializes the simulated-network configuration. Zero jitter/loss
@@ -86,6 +112,9 @@ func RegisterTopology(t Topology) {
 	}
 	if int(t.RemoteCoordRegion) < 0 || int(t.RemoteCoordRegion) >= n {
 		panic(fmt.Sprintf("simnet: topology %q: RemoteCoordRegion %d out of range", t.Name, t.RemoteCoordRegion))
+	}
+	if len(t.RegionCodes) != 0 && len(t.RegionCodes) != n {
+		panic(fmt.Sprintf("simnet: topology %q has %d region codes for %d regions", t.Name, len(t.RegionCodes), n))
 	}
 	owd := t.OWD(0)
 	if len(owd) != n {

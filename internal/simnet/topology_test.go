@@ -131,3 +131,29 @@ func TestRegisterTopologyValidation(t *testing.T) {
 		})
 	}
 }
+
+// TestRegionCodes pins the short column-header labels: registered codes win,
+// the paper's WAN keeps its SC/HK initials, and topologies without declared
+// codes fall back to word initials.
+func TestRegionCodes(t *testing.T) {
+	geo4, _ := LookupTopology(DefaultTopology)
+	if geo4.RegionCode(0) != "SC" || geo4.RegionCode(geo4.RemoteCoordRegion) != "HK" {
+		t.Fatalf("geo4 codes = %q/%q, want SC/HK",
+			geo4.RegionCode(0), geo4.RegionCode(geo4.RemoteCoordRegion))
+	}
+	useu, _ := LookupTopology("us-eu3")
+	if useu.RegionCode(2) != "FR" {
+		t.Fatalf("us-eu3 Frankfurt code = %q, want FR", useu.RegionCode(2))
+	}
+	// Fallback derivation: no declared codes → word initials, upper-cased.
+	anon := Topology{RegionNames: []string{"South Carolina", "tokyo"}}
+	if got := anon.RegionCode(0); got != "SC" {
+		t.Fatalf("derived code = %q, want SC", got)
+	}
+	if got := anon.RegionCode(1); got != "T" {
+		t.Fatalf("derived code = %q, want T", got)
+	}
+	if got := anon.RegionCode(9); got != "??" {
+		t.Fatalf("out-of-range code = %q, want ??", got)
+	}
+}
