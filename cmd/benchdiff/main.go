@@ -1,0 +1,108 @@
+// Command benchdiff compares two archived benchmark artifacts
+// (tigabench -format json -out BENCH_*.json) and reports every numeric cell
+// that moved beyond a noise threshold, turning the per-PR artifacts into a
+// regression gate.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json             # deltas beyond 5% (the default)
+//	benchdiff -threshold 10 OLD.json NEW.json
+//	benchdiff -notes OLD.json NEW.json      # also print structural notes
+//
+// Documents are joined experiment-by-name, table-by-id, row-by-label-column
+// (repeated labels join by occurrence, so sweep tables line up point by
+// point). Each unit carries a good direction — throughput and commit rate
+// up, latency down — and a beyond-threshold move against it is a REGRESSION.
+//
+// Exit status: 0 when no regressions were found, 1 when at least one was,
+// 2 on usage or decode errors — so a CI step can gate on it directly (or
+// record it informationally with `|| true` while thresholds are being
+// calibrated).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"tiga/internal/report"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func load(path string) *report.Document {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	doc, err := report.Decode(f)
+	if err != nil {
+		fail("%s: %v", path, err)
+	}
+	return doc
+}
+
+// fmtValue renders a numeric cell value in its unit's natural presentation.
+func fmtValue(v float64, u report.Unit) string {
+	switch u {
+	case report.Nanos:
+		return time.Duration(int64(v)).Round(time.Millisecond).String()
+	case report.Percent:
+		return fmt.Sprintf("%.1f%%", v)
+	case report.Millis:
+		return fmt.Sprintf("%.3fms", v)
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+func fmtPct(pct float64) string {
+	if math.IsInf(pct, 1) {
+		return "+inf%"
+	}
+	if math.IsInf(pct, -1) {
+		return "-inf%"
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 5, "noise floor: ignore relative changes below this percent")
+	notes := flag.Bool("notes", false, "also print structural notes (experiments/tables/rows on one side only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fail("want exactly two artifacts: benchdiff [-threshold pct] OLD.json NEW.json")
+	}
+	if *threshold < 0 {
+		fail("-threshold must be >= 0")
+	}
+	oldDoc, newDoc := load(flag.Arg(0)), load(flag.Arg(1))
+	res := report.DiffDocuments(oldDoc, newDoc, *threshold)
+
+	if *notes {
+		for _, n := range res.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+	}
+	for _, d := range res.Deltas {
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+		}
+		fmt.Printf("%s/%s [%s] %s: %s -> %s (%s)%s\n",
+			d.Experiment, d.Table, d.Row, d.Column,
+			fmtValue(d.Old, d.Unit), fmtValue(d.New, d.Unit), fmtPct(d.Pct), mark)
+	}
+	reg := res.Regressions()
+	fmt.Printf("%d deltas beyond %.1f%% (%d regressions, %d structural notes)\n",
+		len(res.Deltas), *threshold, reg, len(res.Notes))
+	if reg > 0 {
+		os.Exit(1)
+	}
+}

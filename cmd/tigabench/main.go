@@ -17,6 +17,7 @@
 //	tigabench -exp fig14             # Fig 14: latency per clock model
 //	tigabench -exp ablations         # extra ablations (ε-mode, Appendix E)
 //	tigabench -exp scenarios         # protocol × topology × workload matrix
+//	tigabench -exp chaos             # protocol × fault-plan matrix
 //	tigabench -exp all               # everything
 //	tigabench -exp list              # list the registered experiments
 //
@@ -49,6 +50,12 @@
 //	tigabench -exp fig7 -topo us-eu3 # classic experiment on another WAN
 //	                                 # (region labels follow the topology)
 //
+// Chaos:
+//
+//	tigabench -chaos list            # list the registered fault plans
+//	tigabench -exp chaos -chaos leader-crash,clock-step
+//	                                 # fault-plan subset for the chaos matrix
+//
 // Add -quick for a reduced sweep (seconds instead of minutes per figure).
 // Independent sweep points run on the parallel driver; -workers bounds the
 // in-flight points per experiment (0 = all cores, 1 = the old serial
@@ -72,6 +79,7 @@ import (
 	"sync"
 	"time"
 
+	"tiga/internal/chaos"
 	"tiga/internal/harness"
 	"tiga/internal/protocol"
 	"tiga/internal/report"
@@ -155,6 +163,18 @@ func printTopologies(w io.Writer) {
 		fmt.Fprintf(w, "%s%s\n  %s\n  regions: %s (servers in the first %d; remote coordinators in %s)\n",
 			name, def, topo.Doc, strings.Join(topo.RegionNames, ", "),
 			topo.ServerRegions, topo.RegionName(topo.RemoteCoordRegion))
+	}
+}
+
+// printChaosPlans lists every registered fault plan (-chaos list).
+func printChaosPlans(w io.Writer) {
+	for _, name := range chaos.Names() {
+		p, _ := chaos.Lookup(name)
+		kind := ""
+		if p.Crashes {
+			kind = "  (crash plan: runs only against protocols with fault hooks)"
+		}
+		fmt.Fprintf(w, "%s%s\n  %s\n  fault window: %v-%v\n", name, kind, p.Doc, p.Window.Start, p.Window.End)
 	}
 }
 
@@ -323,6 +343,8 @@ func main() {
 		"comma-separated topology subset (classic experiments deploy on the first; the scenario matrix sweeps all), or 'list' to enumerate")
 	wl := flag.String("workload", "",
 		"comma-separated workload subset for the scenario matrix, or 'list' to enumerate")
+	chaosPlans := flag.String("chaos", "",
+		"comma-separated fault-plan subset for the chaos matrix, or 'list' to enumerate")
 	listKnobs := flag.Bool("knobs", false, "list every protocol's knobs with defaults and exit")
 	var sets multiFlag
 	flag.Var(&sets, "set", "knob override proto.knob=value (repeatable; see -knobs)")
@@ -344,6 +366,10 @@ func main() {
 	}
 	if *wl == "list" {
 		printWorkloads(os.Stdout)
+		return
+	}
+	if *chaosPlans == "list" {
+		printChaosPlans(os.Stdout)
 		return
 	}
 
@@ -387,6 +413,10 @@ func main() {
 		_, ok := workload.Lookup(n)
 		return ok
 	}, workload.Names())
+	plans := parseNameList("chaos plan", "chaos plans", *chaosPlans, func(n string) bool {
+		_, ok := chaos.Lookup(n)
+		return ok
+	}, chaos.Names())
 
 	// The classic experiments deploy on one WAN — the first -topo entry;
 	// only the scenario matrix sweeps the rest. Say so instead of silently
@@ -402,10 +432,16 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"tigabench: note: -workload only affects the scenario matrix (-exp scenarios); %s runs the paper's workloads\n", *exp)
 	}
+	// -chaos shapes only the chaos matrix; the Fig 11 figures run their
+	// fixed plans.
+	if len(plans) > 0 && *exp != "all" && *exp != "chaos" {
+		fmt.Fprintf(os.Stderr,
+			"tigabench: note: -chaos only affects the chaos matrix (-exp chaos); %s runs its fixed fault plan\n", *exp)
+	}
 
 	o := harness.Options{Seed: *seed, Quick: *quick, Keys: *keys,
 		Workers: *workers, Protocols: subset, Topologies: topos, Workloads: wls,
-		Knobs: parseSets(sets), Ops: parseOps(ops)}
+		Plans: plans, Knobs: parseSets(sets), Ops: parseOps(ops)}
 
 	var selected []harness.Experiment
 	for _, e := range harness.Experiments() {

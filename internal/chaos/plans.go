@@ -1,0 +1,131 @@
+package chaos
+
+import "time"
+
+// The canned plan library. Every plan shares the Fig 11 family's timing —
+// the fault strikes at 5 s and clears at 9 s — so runs of the chaos matrix
+// report the same pre/fault/post phases for every scenario, and the
+// leader-crash plan reproduces fig11b/c's crash-plus-reboot schedule
+// exactly.
+const (
+	faultAt = 5 * time.Second
+	healAt  = 9 * time.Second
+)
+
+func window() Window { return Window{Start: faultAt, End: healAt} }
+
+// crashShard picks the shard the single-server crash plans target: shard 1
+// (the Fig 11 victim), clamped for single-shard deployments.
+func crashShard(env Env) int {
+	if env.Shards > 1 {
+		return 1
+	}
+	return 0
+}
+
+func init() {
+	Register(Plan{
+		Name:    "leader-crash",
+		Doc:     "crash shard 1's serving replica at 5s, reboot it at 9s (the fig11b/c schedule: recovery is the protocol's problem)",
+		Window:  window(),
+		Crashes: true,
+		Events: func(env Env) []Event {
+			s := crashShard(env)
+			return []Event{
+				{At: faultAt, Op: OpCrash, Shard: s, Replica: 0},
+				{At: healAt, Op: OpReboot, Shard: s, Replica: 0},
+			}
+		},
+	})
+	Register(Plan{
+		Name:    "leader-kill",
+		Doc:     "crash shard 1's serving replica at 5s and never reboot it (the fig11 schedule: only a view change can restore service)",
+		Window:  window(),
+		Crashes: true,
+		Events: func(env Env) []Event {
+			return []Event{{At: faultAt, Op: OpCrash, Shard: crashShard(env), Replica: 0}}
+		},
+	})
+	Register(Plan{
+		Name:    "region-outage",
+		Doc:     "crash every server replica in region 0 at 5s (all co-located leaders at once), reboot them at 9s",
+		Window:  window(),
+		Crashes: true,
+		Events: func(env Env) []Event {
+			var evs []Event
+			for s := 0; s < env.Shards; s++ {
+				for r := 0; r < env.Replicas; r++ {
+					if env.ServerRegion(s, r) != 0 {
+						continue
+					}
+					evs = append(evs,
+						Event{At: faultAt, Op: OpCrash, Shard: s, Replica: r},
+						Event{At: healAt, Op: OpReboot, Shard: s, Replica: r})
+				}
+			}
+			return evs
+		},
+	})
+	Register(Plan{
+		Name:   "wan-partition",
+		Doc:    "cut all traffic between server regions 0 and 1 at 5s, heal at 9s (replication reroutes through the surviving region)",
+		Window: window(),
+		Events: func(env Env) []Event {
+			if env.ServerRegions < 2 {
+				return nil
+			}
+			a, b := []int{0}, []int{1}
+			return []Event{
+				{At: faultAt, Op: OpPartition, GroupA: a, GroupB: b},
+				{At: healAt, Op: OpHeal, GroupA: a, GroupB: b},
+			}
+		},
+	})
+	Register(Plan{
+		Name:   "flaky-link",
+		Doc:    "degrade the region 0<->1 link at 5s (+20ms OWD, 10ms jitter, 5% loss), restore at 9s",
+		Window: window(),
+		Events: func(env Env) []Event {
+			if env.ServerRegions < 2 {
+				return nil
+			}
+			return []Event{
+				{At: faultAt, Op: OpDegradeLink, LinkA: 0, LinkB: 1,
+					ExtraOWD: 20 * time.Millisecond, ExtraJitter: 10 * time.Millisecond, Loss: 0.05},
+				{At: healAt, Op: OpRestoreLink, LinkA: 0, LinkB: 1},
+			}
+		},
+	})
+	Register(Plan{
+		Name:   "clock-step",
+		Doc:    "step the first server's clock +60ms at 5s and -60ms at 9s (the back-step plateaus at the monotonic high-water mark)",
+		Window: window(),
+		Events: func(env Env) []Event {
+			return []Event{
+				{At: faultAt, Op: OpClockStep, Clock: 0, Step: 60 * time.Millisecond},
+				{At: healAt, Op: OpClockStep, Clock: 0, Step: -60 * time.Millisecond},
+			}
+		},
+	})
+	Register(Plan{
+		Name:   "ntp-insanity",
+		Doc:    "freeze one clock and step a random clock by up to ±75ms every 250ms for the whole fault window (seed-deterministic)",
+		Window: window(),
+		Events: func(env Env) []Event {
+			clocks := env.Clocks
+			if clocks < 1 {
+				clocks = 1 // still emit the schedule; clockless systems no-op
+			}
+			frozen := 1 % clocks
+			evs := []Event{{At: faultAt, Op: OpClockFreeze, Clock: frozen}}
+			for at := faultAt + 250*time.Millisecond; at < healAt; at += 250 * time.Millisecond {
+				step := time.Duration(env.Rand.Int63n(int64(150*time.Millisecond))) - 75*time.Millisecond
+				evs = append(evs, Event{
+					At: at, Op: OpClockStep,
+					Clock: env.Rand.Intn(clocks), Step: step,
+				})
+			}
+			return append(evs, Event{At: healAt, Op: OpClockUnfreeze, Clock: frozen})
+		},
+	})
+}

@@ -112,6 +112,109 @@ func (c *Wandering) WhenReads(target, now time.Duration) time.Duration {
 	return t
 }
 
+// Adjustable wraps any Clock with runtime misbehavior hooks for the chaos
+// layer: Step injects an offset jump (an NTP step), Freeze stops the clock,
+// and Unfreeze resumes it from the frozen value (a stopped clock stays
+// behind until something re-steps it). Read stays monotonically
+// non-decreasing through a high-water mark — a backward step shows up as a
+// plateau until true time catches up, the way a monotonic local clock
+// exposes a step-back. Untouched, the wrapper is numerically transparent:
+// it returns exactly the base clock's values, so wrapping every clock (see
+// Factory.New) changes no byte of any chaos-free run.
+type Adjustable struct {
+	base   Clock
+	off    time.Duration // accumulated Step offsets
+	frozen bool
+	frozAt time.Duration // Read value pinned while frozen
+	hw     time.Duration // monotonicity high-water mark
+	moved  bool          // any Step/Freeze ever applied (fast path off)
+}
+
+// NewAdjustable wraps base.
+func NewAdjustable(base Clock) *Adjustable { return &Adjustable{base: base} }
+
+// Read implements Clock. Reads happen in non-decreasing sim-time order, so
+// the high-water clamp is deterministic.
+func (a *Adjustable) Read(now time.Duration) time.Duration {
+	if !a.moved {
+		// Base clocks honor the monotonic contract themselves; recording the
+		// high-water mark keeps monotonicity across a later backward Step.
+		v := a.base.Read(now)
+		if v > a.hw {
+			a.hw = v
+		}
+		return v
+	}
+	v := a.frozAt
+	if !a.frozen {
+		v = a.base.Read(now) + a.off
+	}
+	if v < a.hw {
+		v = a.hw
+	}
+	a.hw = v
+	return v
+}
+
+// WhenReads implements Clock. While the clock is frozen (or plateaued after
+// a backward step) no future true time is guaranteed to reach target; the
+// wrapper then extrapolates at rate 1, which makes waiters poll — they fire,
+// observe the clock has not advanced, and re-arm. Chaos clock faults may
+// therefore delay transactions but can never wedge the Clock contract.
+func (a *Adjustable) WhenReads(target, now time.Duration) time.Duration {
+	if !a.moved {
+		return a.base.WhenReads(target, now)
+	}
+	cur := a.Read(now)
+	if cur >= target {
+		return now
+	}
+	if a.frozen {
+		return now + (target - cur)
+	}
+	t := a.base.WhenReads(target-a.off, now)
+	if t < now {
+		t = now
+	}
+	return t
+}
+
+// Step jumps the clock by d (negative d models a step back; reads plateau
+// at the high-water mark until true time catches up). Stepping a frozen
+// clock moves the pinned value — the step survives the unfreeze.
+func (a *Adjustable) Step(d time.Duration) {
+	a.moved = true
+	if a.frozen {
+		a.frozAt += d
+		return
+	}
+	a.off += d
+}
+
+// Freeze stops the clock at its current reading; now is the true (sim) time
+// of the freeze.
+func (a *Adjustable) Freeze(now time.Duration) {
+	a.moved = true
+	a.frozAt = a.Read(now)
+	a.frozen = true
+}
+
+// Unfreeze resumes a frozen clock from the value it froze at: the clock
+// stays behind true time by the freeze duration until re-stepped.
+func (a *Adjustable) Unfreeze(now time.Duration) {
+	if !a.frozen {
+		return
+	}
+	a.frozen = false
+	a.off = a.frozAt - a.base.Read(now)
+}
+
+// Offset reports the accumulated step offset (tests, diagnostics).
+func (a *Adjustable) Offset() time.Duration { return a.off }
+
+// Frozen reports whether the clock is currently frozen.
+func (a *Adjustable) Frozen() bool { return a.frozen }
+
 // Model names the clock-synchronization services from the paper's Table 3.
 type Model int
 
@@ -156,11 +259,15 @@ func (m Model) Err() time.Duration {
 	return 0
 }
 
-// Factory builds per-node clocks for a given model.
+// Factory builds per-node clocks for a given model. Every clock it hands
+// out is wrapped in an Adjustable and recorded, so the chaos layer can
+// address deployment clock i (creation order) for steps and freezes; the
+// wrapper is numerically transparent until a fault touches it.
 type Factory struct {
 	Model   Model
 	Horizon time.Duration
 	rng     *rand.Rand
+	made    []*Adjustable
 }
 
 // NewFactory returns a clock factory seeded deterministically.
@@ -168,8 +275,18 @@ func NewFactory(model Model, horizon time.Duration, seed int64) *Factory {
 	return &Factory{Model: model, Horizon: horizon, rng: rand.New(rand.NewSource(seed))}
 }
 
-// New returns a fresh clock for one node.
+// New returns a fresh clock for one node, wrapped for chaos adjustment.
 func (f *Factory) New() Clock {
+	a := NewAdjustable(f.newBase())
+	f.made = append(f.made, a)
+	return a
+}
+
+// Adjustables returns every clock this factory has created, in creation
+// order — the chaos layer's addressing scheme for per-node clock faults.
+func (f *Factory) Adjustables() []*Adjustable { return f.made }
+
+func (f *Factory) newBase() Clock {
 	switch f.Model {
 	case ModelPerfect:
 		return Perfect{}

@@ -62,6 +62,9 @@ type Options struct {
 	// of workload.Names() (nil = the default mix: micro plus the two
 	// scenario-layer generators, ycsbt and hotwrite).
 	Workloads []string
+	// Plans restricts the chaos matrix's fault-plan axis to a subset of
+	// chaos.Names() (nil = every registered plan).
+	Plans []string
 	// Knobs holds per-protocol knob overrides (protocol name -> knob name ->
 	// value) applied to every spec the experiments construct. User overrides
 	// win over experiment-imposed operating conditions (the saturation
@@ -589,40 +592,20 @@ type Fig11Result struct {
 
 // Fig11 reproduces Figure 11: Tiga's throughput and remote-region median
 // latency before and after killing one shard leader mid-run; the paper
-// reports a ~3.8 s gap until throughput recovers. The crash is injected
-// through the protocol.Faultable capability, so any protocol registering
-// fault hooks can reuse this experiment.
+// reports a ~3.8 s gap until throughput recovers. The crash arrives through
+// the chaos layer's leader-kill plan (crash, no reboot: only Tiga's view
+// change can restore service), so the schedule is shared with the chaos
+// matrix instead of being this figure's private code.
 func Fig11(o Options) (*report.Report, Fig11Result) {
+	const plan = "leader-kill"
 	rep := report.New("fig11")
-	spec, _ := o.microSpec("Tiga", 0.5, false, clocks.ModelChrony)
-	total := 16 * time.Second
-	if o.Quick {
-		total = 12 * time.Second
-	}
-	killAt := 5 * time.Second
-	rate, outstanding := 1000.0, 600
-	if op, ok := o.opFor("Tiga", specTopoName(spec)); ok {
-		if op.SaturationRate > 0 {
-			rate = op.SaturationRate
-		}
-		if op.Outstanding > 0 {
-			outstanding = op.Outstanding
-		}
-	}
-	res := RunSpecs([]SpecRun{{
-		Spec: spec,
-		Load: LoadSpec{
-			RatePerCoord: rate, Outstanding: outstanding, Warmup: 0, Duration: total,
-			Seed: o.Seed + 5, TrackSamples: true,
-		},
-		Setup: func(d *Deployment) {
-			faulty := d.Sys.(protocol.Faultable)
-			d.Sim.At(killAt, func() { faulty.KillServer(1, 0) })
-		},
-	}}, 1)[0]
+	total := o.failureRunLength()
+	killAt := mustPlan(plan).Window.Start
+	res, rate := o.chaosFailover("Tiga", plan, 1000, 600, total)
 	title := fmt.Sprintf("Fig 11 — Tiga leader failure at t=%v (paper: ~3.8 s recovery)", killAt)
 	tab, out := o.recoveryTimeline("fig11", title, res, total, killAt)
-	o.stamp(tab, o.classicTopology().Name, "micro", "protocol", "Tiga", "rate", fmt.Sprintf("%v", rate))
+	o.stamp(tab, o.classicTopology().Name, "micro", "protocol", "Tiga",
+		"rate", fmt.Sprintf("%v", rate), "chaos", plan)
 	rep.Add(tab)
 	return rep, out
 }
@@ -686,11 +669,14 @@ func (o Options) recoveryTimeline(id, title string, res *RunResult, total, killA
 	return tab, out
 }
 
-// baselineFailover runs the Fig 11 crash/reboot scenario against a baseline
-// protocol through the protocol.Faultable capability: the shard-1 serving
-// replica is crashed mid-run and rebooted 4 s later.
-func (o Options) baselineFailover(proto string, rate float64, outstanding int, total time.Duration,
-	killAt, restartAt time.Duration) *RunResult {
+// chaosFailover runs one Fig 11-family failure scenario: the named protocol
+// under the named chaos plan at the figure's operating point (overridable
+// via Options.Ops), sampled for the recovery timeline. The plan — not the
+// figure — owns the fault schedule; the old per-figure failover helpers are
+// gone. The resolved driving rate is returned so figures stamp the rate the
+// run was actually driven at.
+func (o Options) chaosFailover(proto, plan string, rate float64, outstanding int,
+	total time.Duration) (*RunResult, float64) {
 	spec, _ := o.microSpec(proto, 0.5, false, clocks.ModelChrony)
 	if proto == "2PL+Paxos" {
 		// Dial the vote-timeout knob down from its inert 10 s default so
@@ -708,70 +694,62 @@ func (o Options) baselineFailover(proto string, rate float64, outstanding int, t
 		}
 	}
 	return RunSpecs([]SpecRun{{
-		Spec: spec,
+		Spec:  spec,
+		Chaos: plan,
 		Load: LoadSpec{
 			RatePerCoord: rate, Outstanding: outstanding, Warmup: 0, Duration: total,
 			Seed: o.Seed + 5, TrackSamples: true,
 		},
-		Setup: func(d *Deployment) {
-			faulty := d.Sys.(protocol.Faultable)
-			d.Sim.At(killAt, func() { faulty.KillServer(1, 0) })
-			d.Sim.At(restartAt, func() { faulty.RestartServer(1, 0) })
-		},
-	}}, 1)[0]
-}
-
-func (o Options) failoverWindow() (total, killAt, restartAt time.Duration) {
-	total = 16 * time.Second
-	if o.Quick {
-		total = 12 * time.Second
-	}
-	killAt = 5 * time.Second
-	return total, killAt, killAt + 4*time.Second
+	}}, 1)[0], rate
 }
 
 // Fig11Baseline runs the Fig 11 failure scenario against a Paxos-backed
-// baseline — the first non-Tiga recovery curve. The 2PL+Paxos shard-1 leader
-// is crashed mid-run and rebooted 4 s later (rebuilding its log from the
-// surviving replicas); the vote-timeout knob is dialed down from its inert
-// 10 s default so transactions caught in the outage presume-abort and retry
-// instead of hanging, and undelivered commit decisions are re-sent to the
-// rebooted leader. Unlike Tiga (whose view change elects a co-located
-// replacement in ~3.8 s), the baseline has no leader election: throughput
-// on transactions touching the dead shard stays depressed until the reboot.
+// baseline — the first non-Tiga recovery curve — through the chaos layer's
+// leader-crash plan (crash at 5 s, reboot at 9 s; the reboot rebuilds the
+// log from the surviving replicas). The vote-timeout knob is dialed down
+// from its inert 10 s default so transactions caught in the outage
+// presume-abort and retry instead of hanging, and undelivered commit
+// decisions are re-sent to the rebooted leader. Unlike Tiga (whose view
+// change elects a co-located replacement in ~3.8 s), the baseline has no
+// leader election: throughput on transactions touching the dead shard stays
+// depressed until the reboot.
 func Fig11Baseline(o Options) (*report.Report, Fig11Result) {
 	const proto = "2PL+Paxos"
+	const plan = "leader-crash"
 	rep := report.New("fig11b")
-	total, killAt, restartAt := o.failoverWindow()
-	res := o.baselineFailover(proto, 300, 600, total, killAt, restartAt)
+	total := o.failureRunLength()
+	win := mustPlan(plan).Window
+	res, _ := o.chaosFailover(proto, plan, 300, 600, total)
 	title := fmt.Sprintf("Fig 11b — %s leader failure at t=%v, reboot at t=%v (no election: outage lasts until the reboot)",
-		proto, killAt, restartAt)
-	tab, out := o.recoveryTimeline("fig11b", title, res, total, killAt)
-	o.stamp(tab, o.classicTopology().Name, "micro", "protocol", proto)
+		proto, win.Start, win.End)
+	tab, out := o.recoveryTimeline("fig11b", title, res, total, win.Start)
+	o.stamp(tab, o.classicTopology().Name, "micro", "protocol", proto, "chaos", plan)
 	rep.Add(tab)
 	return rep, out
 }
 
 // Fig11NCC runs the Fig 11 failure scenario against NCC+ — the third
-// recovery curve. The shard-1 serving replica is crashed and rebooted 4 s
-// later, rebuilding its store from the surviving Paxos followers' logs. NCC
-// coordinators have no retry timer, so the curve differs from both Tiga
-// (fig11) and 2PL+Paxos (fig11b): throughput hits a hard zero plateau once
-// the in-flight window drains, pre-crash requests replayed from the
-// survivor log re-reply at reboot with multi-second latencies, and
+// recovery curve, on the same leader-crash plan as fig11b (crash at 5 s,
+// reboot at 9 s rebuilding the store from the surviving Paxos followers'
+// logs). NCC coordinators have no retry timer, so the curve differs from
+// both Tiga (fig11) and 2PL+Paxos (fig11b): throughput hits a hard zero
+// plateau once the in-flight window drains, pre-crash requests replayed
+// from the survivor log re-reply at reboot with multi-second latencies, and
 // transactions swallowed inside the outage window hang forever — each one
 // permanently pinning an outstanding slot at its coordinator. That hang is
 // the documented cost of the no-retry design, not a bug in the recovery
 // path.
 func Fig11NCC(o Options) (*report.Report, Fig11Result) {
 	const proto = "NCC+"
+	const plan = "leader-crash"
 	rep := report.New("fig11c")
-	total, killAt, restartAt := o.failoverWindow()
-	res := o.baselineFailover(proto, 300, 600, total, killAt, restartAt)
+	total := o.failureRunLength()
+	win := mustPlan(plan).Window
+	res, _ := o.chaosFailover(proto, plan, 300, 600, total)
 	title := fmt.Sprintf("Fig 11c — %s serving-replica failure at t=%v, reboot at t=%v (no retry timer: outage-window transactions hang)",
-		proto, killAt, restartAt)
-	tab, out := o.recoveryTimeline("fig11c", title, res, total, killAt)
-	o.stamp(tab, o.classicTopology().Name, "micro", "protocol", proto)
+		proto, win.Start, win.End)
+	tab, out := o.recoveryTimeline("fig11c", title, res, total, win.Start)
+	o.stamp(tab, o.classicTopology().Name, "micro", "protocol", proto, "chaos", plan)
 	rep.Add(tab)
 	if out.RecoverySec < 0 {
 		tab.Note("(no recovery to 80%% of the pre-crash rate: hung outage-window transactions pin their coordinators' outstanding slots)")

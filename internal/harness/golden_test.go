@@ -72,6 +72,12 @@ func TestGoldenTextRenderer(t *testing.T) {
 			rep, _ := Fig11Baseline(goldenOpts())
 			return rep
 		}},
+		{"fig11c", func(t *testing.T) *report.Report {
+			// Captured from the PR 4 code (pre-chaos-layer baselineFailover);
+			// the chaos-plan rewrite must not change a byte.
+			rep, _ := Fig11NCC(goldenOpts())
+			return rep
+		}},
 		{"fig12", func(t *testing.T) *report.Report {
 			rep, _ := Fig12(goldenOpts())
 			return rep

@@ -103,6 +103,10 @@ type Deployment struct {
 	// Topology is the resolved WAN layout the deployment runs on; it names
 	// the regions latency metrics are bucketed under.
 	Topology *simnet.Topology
+	// Clocks is the factory every per-node clock came from; the chaos
+	// applier addresses Clocks.Adjustables() (creation order) for clock
+	// steps and freezes.
+	Clocks *clocks.Factory
 }
 
 // SetKnob records a knob override for proto, allocating the maps as needed.
@@ -221,6 +225,7 @@ func Build(spec ClusterSpec) *Deployment {
 	netCfg.DefaultCost = time.Duration(scale) * time.Microsecond
 	net := simnet.NewNetwork(sim, netCfg)
 	coords := spec.CoordRegionList()
+	clockFactory := clocks.NewFactory(spec.Clock, spec.Horizon, spec.Seed+1)
 
 	ctx := &protocol.BuildContext{
 		Net:          net,
@@ -235,7 +240,7 @@ func Build(spec ClusterSpec) *Deployment {
 				spec.Gen.Seed(shard, st)
 			}
 		},
-		Clocks: clocks.NewFactory(spec.Clock, spec.Horizon, spec.Seed+1),
+		Clocks: clockFactory,
 		Knobs:  spec.Knobs[spec.Protocol],
 	}
 	sys, err := protocol.Build(spec.Protocol, ctx,
@@ -243,7 +248,8 @@ func Build(spec ClusterSpec) *Deployment {
 	if err != nil {
 		panic(err)
 	}
-	return &Deployment{Sim: sim, Net: net, Sys: sys, CoordRegions: coords, Topology: topo}
+	return &Deployment{Sim: sim, Net: net, Sys: sys, CoordRegions: coords,
+		Topology: topo, Clocks: clockFactory}
 }
 
 // LoadSpec drives the open-loop workload.
@@ -277,6 +283,11 @@ type RunResult struct {
 	Commits []checker.Commit
 	Counter *checker.Counter
 	Samples []Sample
+	// Aborts records every client-visible abort as a (time, latency, region)
+	// sample when TrackSamples is on, so fault-window experiments can report
+	// a per-phase commit rate. Transactions that never complete (hung inside
+	// an outage) appear in neither slice.
+	Aborts []Sample
 	// Deployment is the deployment the run was driven against, for
 	// post-run inspection (net counters, capability interfaces).
 	Deployment *Deployment
@@ -330,6 +341,9 @@ func RunLoad(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResult {
 				}
 				if !r.OK {
 					run.Counters.Aborted++
+					if spec.TrackSamples {
+						res.Aborts = append(res.Aborts, Sample{At: now, Lat: now - start, Region: region})
+					}
 					return
 				}
 				if spec.TrackSamples {

@@ -16,8 +16,15 @@ import (
 type SpecRun struct {
 	Spec ClusterSpec
 	Load LoadSpec
+	// Chaos names a registered fault plan (chaos.Names()) to schedule on
+	// the deployment before the load starts; see ApplyPlan. Empty = no
+	// faults. The plan's events are deterministic in the spec's seed, so a
+	// chaotic point stays byte-identical across worker counts like any
+	// other point.
+	Chaos string
 	// Setup, when non-nil, runs after Build and before RunLoad — e.g. to
-	// schedule a mid-run fault on the deployment's simulator.
+	// schedule a mid-run fault on the deployment's simulator. Chaos plans
+	// are scheduled first.
 	Setup func(d *Deployment)
 	// KeepDeployment preserves RunResult.Deployment for post-run inspection
 	// (net counters, capability interfaces). Off by default: a sweep's
@@ -34,6 +41,9 @@ func (r *SpecRun) runOne() *RunResult {
 		panic(err)
 	}
 	d := Build(r.Spec)
+	if r.Chaos != "" {
+		ApplyPlan(d, r.Spec, r.Chaos)
+	}
 	if r.Setup != nil {
 		r.Setup(d)
 	}

@@ -73,6 +73,10 @@ var experimentList = []Experiment{
 		r, _ := ScenarioMatrix(o)
 		return r
 	}},
+	{"chaos", "protocol × fault-plan matrix (crashes, partitions, link faults, clock steps)", func(o Options) *report.Report {
+		r, _ := ChaosMatrix(o)
+		return r
+	}},
 }
 
 // Experiments returns every registered experiment in presentation order.

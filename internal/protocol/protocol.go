@@ -58,10 +58,17 @@ type Checkable interface {
 }
 
 // Faultable is implemented by systems that support the paper's failure and
-// recovery experiments (Fig 11): crashing a replica mid-run and rebooting it
-// with empty state.
+// recovery experiments (Fig 11) and the chaos layer's crash plans: crashing
+// a replica mid-run and rebooting it with empty state. ServerGrid reports
+// the addressable server grid, so a generic fault driver (the chaos applier)
+// can enumerate targets — "every replica of shard 1", "all servers in
+// region 0" — without naming a concrete protocol type.
 type Faultable interface {
 	System
+	// ServerGrid returns the replica grid: shards × replicas per shard.
+	// KillServer/RestartServer accept any (shard, replica) inside it;
+	// replicas a deployment does not materialize are no-ops.
+	ServerGrid() (shards, replicas int)
 	KillServer(shard, replica int)
 	RestartServer(shard, replica int)
 }

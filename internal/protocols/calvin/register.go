@@ -14,8 +14,8 @@ func init() {
 		protocol.Schema{
 			{Name: "epoch", Type: protocol.KnobDuration, Default: 10 * time.Millisecond,
 				Doc: "sequencer epoch length: shorter cuts batching latency, longer amortizes the merge barrier"},
-			{Name: "resend-timeout", Type: protocol.KnobDuration, Default: 0 * time.Millisecond,
-				Doc: "sequencer batch retransmission: executors stuck at the merge barrier re-request missing region batches after this timeout (0 disables — faithful to the lossless-link model, but geo4-degraded's 1% loss then stalls the sequencer at the first dropped batch)"},
+			{Name: "resend-timeout", Type: protocol.KnobDuration, Default: 40 * time.Millisecond,
+				Doc: "sequencer batch retransmission: executors stuck at the merge barrier re-request missing region batches after this timeout (0 disables, restoring the pre-PR 5 lossless-link model under which any message loss stalls the sequencer at the first dropped batch; Calvin proper gets the same guarantee by running sequencers through Paxos)"},
 		},
 		func(ctx *protocol.BuildContext) protocol.System {
 			return New(Spec{

@@ -228,6 +228,9 @@ func newServer(sys *System, s, r int) *server {
 // Start is a no-op (no periodic tasks); present for interface symmetry.
 func (sys *System) Start() {}
 
+// ServerGrid reports the replica grid (protocol.Faultable).
+func (sys *System) ServerGrid() (shards, replicas int) { return sys.spec.Shards, 2*sys.spec.F + 1 }
+
 // KillServer crashes a replica: all queued and future deliveries and timers
 // are dropped until RestartServer (protocol.Faultable).
 func (sys *System) KillServer(shard, replica int) {

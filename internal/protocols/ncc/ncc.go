@@ -189,6 +189,11 @@ func (sys *System) NumCoords() int { return len(sys.coords) }
 // Store exposes a shard store (tests).
 func (sys *System) Store(shard int) *store.Store { return sys.servers[shard].st }
 
+// ServerGrid reports the replica grid (protocol.Faultable): every shard
+// exposes the full 2F+1 addresses even under plain NCC, whose unmaterialized
+// followers make the extra addresses no-ops.
+func (sys *System) ServerGrid() (shards, replicas int) { return sys.spec.Shards, 2*sys.spec.F + 1 }
+
 // KillServer crashes a replica: all queued and future deliveries and timers
 // are dropped until RestartServer (protocol.Faultable). Replica 0 is the
 // shard's serving node; higher replicas are NCC+ Paxos followers. Replicas

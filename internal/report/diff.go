@@ -1,0 +1,238 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// The diff layer turns the archived BENCH artifacts into a regression gate:
+// two tiga-report/v1 documents are joined — experiments by name, tables by
+// id, rows by the label column — and every numeric cell is compared against
+// a relative noise threshold. Each unit carries a "good" direction (txn/s
+// up, latency down), so a delta beyond the threshold in the bad direction is
+// flagged as a regression; cmd/benchdiff exits non-zero on any.
+
+// Delta is one numeric cell that moved beyond the noise threshold.
+type Delta struct {
+	Experiment string
+	Table      string
+	Row        string // the joined row label (e.g. "Tiga", "Janus#3")
+	Column     string
+	Unit       Unit
+	Old, New   float64 // durations in nanoseconds
+	// Pct is the relative change in percent; ±Inf when Old is zero.
+	Pct float64
+	// Regression marks a move beyond the threshold against the unit's good
+	// direction (throughput down, commit rate down, latency up). Deltas in
+	// neutral columns (counts, unitless axes) are informational only.
+	Regression bool
+}
+
+// DiffResult is the full comparison: the beyond-threshold deltas in
+// document order plus structural notes (experiments, tables, or rows
+// present on only one side).
+type DiffResult struct {
+	Deltas []Delta
+	Notes  []string
+}
+
+// Regressions counts the flagged deltas.
+func (r *DiffResult) Regressions() int {
+	n := 0
+	for _, d := range r.Deltas {
+		if d.Regression {
+			n++
+		}
+	}
+	return n
+}
+
+// direction classifies a column's good direction from its unit (and, for
+// percentages, its name: commit% up is good; Δ% and rollback% columns are
+// informational).
+func direction(u Unit, name string) int { // +1 up-good, -1 down-good, 0 neutral
+	switch u {
+	case Rate:
+		return 1
+	case Nanos, Millis, Seconds:
+		return -1
+	case Percent:
+		if name == "commit" {
+			return 1
+		}
+	}
+	return 0
+}
+
+// numeric extracts a comparable value from a cell (durations as
+// nanoseconds); ok is false for strings.
+func numeric(c Cell) (float64, bool) {
+	switch c.Kind {
+	case Int:
+		return float64(c.Int), true
+	case Float:
+		return c.Float, true
+	case Duration:
+		return float64(c.Dur), true
+	}
+	return 0, false
+}
+
+// rowLabel derives the join label of one row: the first string column (the
+// tables' protocol/variant/clock label column), or the first cell rendered
+// as text when a table has no string column (fig11's per-second timelines
+// label rows by their leading second counter).
+func rowLabel(t *Table, row []Cell) string {
+	for i, col := range t.Columns {
+		if col.Kind == String {
+			return row[i].Str
+		}
+	}
+	if len(row) == 0 {
+		return ""
+	}
+	switch c := row[0]; c.Kind {
+	case Int:
+		return strconv.FormatInt(c.Int, 10)
+	case Float:
+		return strconv.FormatFloat(c.Float, 'g', -1, 64)
+	case Duration:
+		return c.Dur.String()
+	}
+	return ""
+}
+
+// rowKeys assigns every row a unique join key: the label, suffixed with its
+// occurrence index when a label repeats (sweep tables emit one row per
+// protocol per swept point; occurrence k on one side joins occurrence k on
+// the other, which matches when both documents were generated at the same
+// configuration).
+func rowKeys(t *Table) []string {
+	seen := map[string]int{}
+	keys := make([]string, len(t.Rows))
+	for i, row := range t.Rows {
+		label := rowLabel(t, row)
+		n := seen[label]
+		seen[label] = n + 1
+		if n > 0 {
+			label = fmt.Sprintf("%s#%d", label, n+1)
+		}
+		keys[i] = label
+	}
+	return keys
+}
+
+// DiffDocuments joins two decoded artifacts and returns every numeric delta
+// whose relative change exceeds thresholdPct (a percentage; 0 reports every
+// change). Structural mismatches — experiments, tables, or rows on one side
+// only — become notes, not errors: the comparison covers the intersection.
+func DiffDocuments(a, b *Document, thresholdPct float64) *DiffResult {
+	res := &DiffResult{}
+	if a.Generated.Seed != b.Generated.Seed || a.Generated.Quick != b.Generated.Quick {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"generation parameters differ (seed %d quick=%v vs seed %d quick=%v): deltas may reflect configuration, not code",
+			a.Generated.Seed, a.Generated.Quick, b.Generated.Seed, b.Generated.Quick))
+	}
+	byName := map[string]*Report{}
+	for _, r := range a.Experiments {
+		byName[r.Name] = r
+	}
+	matched := map[string]bool{}
+	for _, rb := range b.Experiments {
+		ra, ok := byName[rb.Name]
+		if !ok {
+			res.Notes = append(res.Notes, fmt.Sprintf("experiment %q only in the new document", rb.Name))
+			continue
+		}
+		matched[rb.Name] = true
+		diffReport(res, ra, rb, thresholdPct)
+	}
+	for _, ra := range a.Experiments {
+		if !matched[ra.Name] {
+			res.Notes = append(res.Notes, fmt.Sprintf("experiment %q only in the old document", ra.Name))
+		}
+	}
+	return res
+}
+
+func diffReport(res *DiffResult, a, b *Report, thresholdPct float64) {
+	for _, tb := range b.Tables {
+		if tb.ID == "" || len(tb.Columns) == 0 {
+			continue // banners and note-only tables carry no data
+		}
+		ta := a.Find(tb.ID)
+		if ta == nil {
+			res.Notes = append(res.Notes, fmt.Sprintf("%s: table %q only in the new document", b.Name, tb.ID))
+			continue
+		}
+		diffTable(res, b.Name, ta, tb, thresholdPct)
+	}
+	for _, ta := range a.Tables {
+		if ta.ID != "" && len(ta.Columns) > 0 && b.Find(ta.ID) == nil {
+			res.Notes = append(res.Notes, fmt.Sprintf("%s: table %q only in the old document", a.Name, ta.ID))
+		}
+	}
+}
+
+func diffTable(res *DiffResult, exp string, a, b *Table, thresholdPct float64) {
+	aRows := map[string][]Cell{}
+	for i, key := range rowKeys(a) {
+		aRows[key] = a.Rows[i]
+	}
+	aCols := map[string]int{}
+	for i, c := range a.Columns {
+		aCols[c.Name] = i
+	}
+	bKeys := rowKeys(b)
+	for ri, rowB := range b.Rows {
+		rowA, ok := aRows[bKeys[ri]]
+		if !ok {
+			res.Notes = append(res.Notes, fmt.Sprintf("%s/%s: row %q only in the new document", exp, b.ID, bKeys[ri]))
+			continue
+		}
+		delete(aRows, bKeys[ri])
+		for ci, col := range b.Columns {
+			ai, ok := aCols[col.Name]
+			if !ok || ai >= len(rowA) {
+				continue
+			}
+			newV, ok := numeric(rowB[ci])
+			if !ok {
+				continue
+			}
+			oldV, ok := numeric(rowA[ai])
+			if !ok {
+				continue
+			}
+			if oldV == newV {
+				continue
+			}
+			pct := math.Inf(1)
+			if newV < oldV {
+				pct = math.Inf(-1)
+			}
+			if oldV != 0 {
+				pct = 100 * (newV - oldV) / math.Abs(oldV)
+			}
+			if math.Abs(pct) < thresholdPct {
+				continue
+			}
+			dir := direction(col.Unit, col.Name)
+			res.Deltas = append(res.Deltas, Delta{
+				Experiment: exp, Table: b.ID, Row: bKeys[ri], Column: col.Name,
+				Unit: col.Unit, Old: oldV, New: newV, Pct: pct,
+				Regression: (dir > 0 && pct < 0) || (dir < 0 && pct > 0),
+			})
+		}
+	}
+	leftover := make([]string, 0, len(aRows))
+	for key := range aRows {
+		leftover = append(leftover, key)
+	}
+	sort.Strings(leftover)
+	for _, key := range leftover {
+		res.Notes = append(res.Notes, fmt.Sprintf("%s/%s: row %q only in the old document", exp, a.ID, key))
+	}
+}

@@ -1,0 +1,151 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// diffDoc builds a one-experiment document with the sweep-table shape the
+// experiments emit: a string label column, a float axis, and measures in
+// rate/percent/duration units.
+func diffDoc(thpt1, thpt2 float64, commit float64, p50 time.Duration) *Document {
+	tab := &Table{
+		ID: "fig7",
+		Columns: []Column{
+			Col("protocol", "Protocol", String, None, 12),
+			Col("rate", "rate/coord", Float, Rate, 10),
+			Col("thpt", "Thpt(txn/s)", Float, Rate, 12),
+			Col("commit", "Commit%", Float, Percent, 9),
+			Col("p50", "p50", Duration, Nanos, 12),
+		},
+	}
+	// Two rows with the same label: sweep points join by occurrence.
+	tab.AddRow(Str("Tiga"), Num(250), Num(thpt1), Num(commit), Dur(p50))
+	tab.AddRow(Str("Tiga"), Num(500), Num(thpt2), Num(commit), Dur(p50))
+	rep := New("fig7")
+	rep.Add(tab)
+	return &Document{Schema: Schema, Generated: Generated{Seed: 42}, Experiments: []*Report{rep}}
+}
+
+func TestDiffFlagsRegressionsByDirection(t *testing.T) {
+	oldDoc := diffDoc(1000, 2000, 100, 300*time.Millisecond)
+	newDoc := diffDoc(900, 2000, 100, 400*time.Millisecond) // thpt -10%, p50 +33%
+	res := DiffDocuments(oldDoc, newDoc, 5)
+	// thpt moved on the first Tiga row only; p50 moved on both occurrences.
+	if len(res.Deltas) != 3 {
+		t.Fatalf("deltas = %+v, want thpt@Tiga plus p50 on both occurrences", res.Deltas)
+	}
+	byKey := map[string]Delta{}
+	for _, d := range res.Deltas {
+		byKey[d.Row+"/"+d.Column] = d
+		if !d.Regression {
+			t.Errorf("%s moved against its good direction but was not flagged: %+v", d.Column, d)
+		}
+	}
+	if d, ok := byKey["Tiga/thpt"]; !ok || math.Abs(d.Pct+10) > 1e-9 {
+		t.Errorf("thpt delta = %+v, want -10%% on the first Tiga occurrence", d)
+	}
+	if d, ok := byKey["Tiga#2/p50"]; !ok || d.Pct < 33 || d.Pct > 34 {
+		t.Errorf("p50 delta = %+v, want ~+33.3%% on the second occurrence", d)
+	}
+	if res.Regressions() != 3 {
+		t.Errorf("Regressions() = %d, want 3", res.Regressions())
+	}
+}
+
+func TestDiffImprovementIsNotRegression(t *testing.T) {
+	oldDoc := diffDoc(1000, 2000, 90, 400*time.Millisecond)
+	newDoc := diffDoc(1200, 2000, 99, 300*time.Millisecond) // all improvements
+	res := DiffDocuments(oldDoc, newDoc, 5)
+	if res.Regressions() != 0 {
+		t.Fatalf("improvements flagged as regressions: %+v", res.Deltas)
+	}
+	// thpt on row 1, commit+p50 on both occurrences: all informational.
+	if len(res.Deltas) != 5 {
+		t.Fatalf("deltas = %+v, want 5 informational improvements", res.Deltas)
+	}
+}
+
+func TestDiffThresholdFiltersNoise(t *testing.T) {
+	oldDoc := diffDoc(1000, 2000, 100, 300*time.Millisecond)
+	newDoc := diffDoc(980, 2000, 100, 300*time.Millisecond) // -2%: under the floor
+	if res := DiffDocuments(oldDoc, newDoc, 5); len(res.Deltas) != 0 {
+		t.Fatalf("2%% noise survived a 5%% threshold: %+v", res.Deltas)
+	}
+	if res := DiffDocuments(oldDoc, newDoc, 1); len(res.Deltas) != 1 {
+		t.Fatal("a 1% threshold should report the -2% move")
+	}
+}
+
+func TestDiffStructuralNotes(t *testing.T) {
+	oldDoc := diffDoc(1000, 2000, 100, 300*time.Millisecond)
+	newDoc := diffDoc(1000, 2000, 100, 300*time.Millisecond)
+	extra := New("chaos")
+	extra.Add(&Table{ID: "chaos/leader-crash", Columns: []Column{Col("protocol", "Protocol", String, None, 12)}})
+	newDoc.Experiments = append(newDoc.Experiments, extra)
+	newDoc.Generated.Seed = 7
+	res := DiffDocuments(oldDoc, newDoc, 5)
+	if len(res.Deltas) != 0 {
+		t.Fatalf("identical tables produced deltas: %+v", res.Deltas)
+	}
+	joined := strings.Join(res.Notes, "\n")
+	if !strings.Contains(joined, `experiment "chaos" only in the new document`) {
+		t.Errorf("missing new-experiment note: %v", res.Notes)
+	}
+	if !strings.Contains(joined, "generation parameters differ") {
+		t.Errorf("missing seed-mismatch note: %v", res.Notes)
+	}
+}
+
+// TestDiffRoundTripThroughJSON: the diff consumes exactly what the CI
+// archives — encode both documents, decode them back, and diff the decoded
+// forms.
+func TestDiffRoundTripThroughJSON(t *testing.T) {
+	oldDoc := diffDoc(1000, 2000, 100, 300*time.Millisecond)
+	newDoc := diffDoc(800, 2000, 100, 300*time.Millisecond)
+	var bufA, bufB bytes.Buffer
+	if err := oldDoc.Encode(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := newDoc.Encode(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Decode(&bufA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode(&bufB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := DiffDocuments(a, b, 5)
+	if res.Regressions() != 1 {
+		t.Fatalf("decoded diff found %d regressions, want the -20%% thpt: %+v", res.Regressions(), res.Deltas)
+	}
+}
+
+// TestDiffLabellessTable: tables with no string column (fig11's per-second
+// timelines) join rows by their leading counter cell.
+func TestDiffLabellessTable(t *testing.T) {
+	mk := func(thpt float64) *Document {
+		tab := &Table{
+			ID: "fig11",
+			Columns: []Column{
+				Col("sec", "sec", Int, Seconds, 5),
+				Col("thpt", "thpt(txn/s)", Float, Rate, 12),
+			},
+		}
+		tab.AddRow(CountOf(0), Num(1000))
+		tab.AddRow(CountOf(1), Num(thpt))
+		rep := New("fig11")
+		rep.Add(tab)
+		return &Document{Schema: Schema, Experiments: []*Report{rep}}
+	}
+	res := DiffDocuments(mk(1000), mk(500), 5)
+	if len(res.Deltas) != 1 || res.Deltas[0].Row != "1" {
+		t.Fatalf("deltas = %+v, want one on the sec=1 row", res.Deltas)
+	}
+}

@@ -134,12 +134,27 @@ type Config struct {
 	DefaultCost time.Duration
 }
 
+// LinkFault is a runtime degradation installed on one directed region link:
+// extra one-way delay (with its own jitter) and extra loss probability, on
+// top of whatever the topology configured at build time. The chaos layer
+// installs and removes these mid-run (DegradeLink / RestoreLink).
+type LinkFault struct {
+	Extra Latency // added to every sampled one-way delay
+	Loss  float64 // additional drop probability on this link
+}
+
 // Network delivers messages between nodes placed in regions.
 type Network struct {
 	sim     *Sim
 	cfg     Config
 	nodes   []*Node
 	blocked map[[2]NodeID]bool
+	// partitioned blocks directed region pairs (chaos partitions). Faults
+	// and partitions are looked up per send but consume no randomness while
+	// absent, so a run without chaos is byte-identical to one built on a
+	// network that never heard of either map.
+	partitioned map[[2]Region]bool
+	faults      map[[2]Region]LinkFault
 	// Stats
 	Sent    int64
 	Dropped int64
@@ -150,7 +165,8 @@ func NewNetwork(sim *Sim, cfg Config) *Network {
 	if cfg.DefaultCost <= 0 {
 		cfg.DefaultCost = time.Microsecond
 	}
-	return &Network{sim: sim, cfg: cfg, blocked: make(map[[2]NodeID]bool)}
+	return &Network{sim: sim, cfg: cfg, blocked: make(map[[2]NodeID]bool),
+		partitioned: make(map[[2]Region]bool), faults: make(map[[2]Region]LinkFault)}
 }
 
 // Sim returns the underlying simulator.
@@ -201,6 +217,50 @@ func (n *Network) Heal(a NodeID) {
 	}
 }
 
+// PartitionRegions cuts all traffic between region set a and region set b
+// (both directions): messages crossing the cut are silently dropped, exactly
+// as if the WAN link failed. Intra-set traffic is unaffected. The partition
+// holds until HealRegions removes it.
+func (n *Network) PartitionRegions(a, b []Region) {
+	for _, ra := range a {
+		for _, rb := range b {
+			n.partitioned[[2]Region{ra, rb}] = true
+			n.partitioned[[2]Region{rb, ra}] = true
+		}
+	}
+}
+
+// HealRegions removes the partition between region set a and region set b.
+func (n *Network) HealRegions(a, b []Region) {
+	for _, ra := range a {
+		for _, rb := range b {
+			delete(n.partitioned, [2]Region{ra, rb})
+			delete(n.partitioned, [2]Region{rb, ra})
+		}
+	}
+}
+
+// Partitioned reports whether traffic from region a to region b is currently
+// cut by a partition.
+func (n *Network) Partitioned(a, b Region) bool {
+	return n.partitioned[[2]Region{a, b}]
+}
+
+// DegradeLink installs a runtime fault on the region link a<->b (both
+// directions): every message crossing it pays the extra sampled delay and is
+// additionally dropped with the fault's loss probability. Installing a new
+// fault on a degraded link replaces the previous fault.
+func (n *Network) DegradeLink(a, b Region, f LinkFault) {
+	n.faults[[2]Region{a, b}] = f
+	n.faults[[2]Region{b, a}] = f
+}
+
+// RestoreLink removes any runtime fault from the region link a<->b.
+func (n *Network) RestoreLink(a, b Region) {
+	delete(n.faults, [2]Region{a, b})
+	delete(n.faults, [2]Region{b, a})
+}
+
 // Delay samples the one-way delay from node a to node b.
 func (n *Network) Delay(a, b NodeID) time.Duration {
 	ra, rb := n.nodes[a].region, n.nodes[b].region
@@ -214,11 +274,20 @@ func (n *Network) BaseOWD(a, b Region) time.Duration { return n.cfg.OWD[a][b].Ba
 // Messages depart no earlier than the sender finishes its current CPU work.
 func (n *Network) Send(from, to NodeID, msg Message) {
 	src, dst := n.nodes[from], n.nodes[to]
-	if src.down || dst.down || n.blocked[[2]NodeID{from, to}] {
+	if src.down || dst.down || n.blocked[[2]NodeID{from, to}] ||
+		n.partitioned[[2]Region{src.region, dst.region}] {
 		n.Dropped++
 		return
 	}
 	if n.cfg.LossRate > 0 && n.sim.rng.Float64() < n.cfg.LossRate {
+		n.Dropped++
+		return
+	}
+	// Runtime link faults draw from the rng only while installed, so a run
+	// that never degrades a link consumes the exact same random stream as
+	// one on a fault-free network.
+	fault, faulty := n.faults[[2]Region{src.region, dst.region}]
+	if faulty && fault.Loss > 0 && n.sim.rng.Float64() < fault.Loss {
 		n.Dropped++
 		return
 	}
@@ -228,6 +297,9 @@ func (n *Network) Send(from, to NodeID, msg Message) {
 		depart = src.busyUntil
 	}
 	arrive := depart + n.cfg.OWD[src.region][dst.region].sample(n.sim.rng)
+	if faulty {
+		arrive += fault.Extra.sample(n.sim.rng)
+	}
 	n.sim.At(arrive, func() { dst.receive(from, msg) })
 }
 

@@ -246,3 +246,96 @@ func TestGeoConfigSymmetry(t *testing.T) {
 		}
 	}
 }
+
+// TestRegionPartition: messages crossing a region partition are dropped (and
+// counted), intra-set and third-party traffic is unaffected, and traffic
+// flows again after HealRegions — the contract the chaos layer's
+// wan-partition plan is built on.
+func TestRegionPartition(t *testing.T) {
+	cfg := Config{OWD: SymmetricOWD([][]time.Duration{
+		{time.Millisecond, time.Millisecond, time.Millisecond},
+		{time.Millisecond, time.Millisecond, time.Millisecond},
+		{time.Millisecond, time.Millisecond, time.Millisecond},
+	}, 0)}
+	s := NewSim(42)
+	n := NewNetwork(s, cfg)
+	got := make(map[NodeID]int)
+	mk := func(r Region) *Node {
+		nd := n.AddNode(r, nil)
+		nd.SetHandler(func(from NodeID, msg Message) { got[nd.ID()]++ })
+		return nd
+	}
+	a, b, c := mk(0), mk(1), mk(2)
+
+	n.PartitionRegions([]Region{0}, []Region{1})
+	if !n.Partitioned(0, 1) || !n.Partitioned(1, 0) || n.Partitioned(0, 2) {
+		t.Fatalf("partition state wrong: 0-1 should be cut both ways, 0-2 open")
+	}
+	a.Send(b.ID(), "cut")     // dropped: crosses the partition
+	b.Send(a.ID(), "cut too") // dropped: partitions are bidirectional
+	a.Send(c.ID(), "open")    // delivered: region 2 is on neither side
+	c.Send(b.ID(), "open")    // delivered
+	s.Run(10 * time.Millisecond)
+	if got[b.ID()] != 1 || got[c.ID()] != 1 || got[a.ID()] != 0 {
+		t.Fatalf("during partition: got %v, want only c->b and a->c delivered", got)
+	}
+	if n.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", n.Dropped)
+	}
+
+	n.HealRegions([]Region{0}, []Region{1})
+	if n.Partitioned(0, 1) {
+		t.Fatal("heal did not remove the partition")
+	}
+	a.Send(b.ID(), "after heal")
+	b.Send(a.ID(), "after heal")
+	s.Run(20 * time.Millisecond)
+	if got[b.ID()] != 2 || got[a.ID()] != 1 {
+		t.Fatalf("after heal: got %v, want both directions delivered", got)
+	}
+}
+
+// TestDegradeLink: a runtime link fault adds one-way delay and loss to one
+// region pair only, and RestoreLink returns the link to its built-in
+// distribution.
+func TestDegradeLink(t *testing.T) {
+	cfg := Config{OWD: SymmetricOWD([][]time.Duration{
+		{time.Millisecond, 10 * time.Millisecond},
+		{10 * time.Millisecond, time.Millisecond},
+	}, 0)}
+	s, n, a, b, arrivals := twoNodeNet(t, cfg)
+	n.DegradeLink(0, 1, LinkFault{Extra: Latency{Base: 25 * time.Millisecond}})
+	a.Send(b.ID(), 1)
+	s.Run(50 * time.Millisecond)
+	if len(*arrivals) != 1 || (*arrivals)[0] != 35*time.Millisecond {
+		t.Fatalf("degraded arrivals = %v, want [35ms]", *arrivals)
+	}
+	n.RestoreLink(0, 1)
+	a.Send(b.ID(), 2)
+	s.Run(100 * time.Millisecond)
+	if len(*arrivals) != 2 || (*arrivals)[1] != 60*time.Millisecond {
+		t.Fatalf("restored arrivals = %v, want second at 60ms (10ms link)", *arrivals)
+	}
+}
+
+// TestDegradeLinkLoss: the fault's loss probability drops messages on the
+// degraded link and counts them, while other links stay lossless.
+func TestDegradeLinkLoss(t *testing.T) {
+	cfg := Config{OWD: SymmetricOWD([][]time.Duration{
+		{time.Millisecond, time.Millisecond},
+		{time.Millisecond, time.Millisecond},
+	}, 0)}
+	s, n, a, b, arrivals := twoNodeNet(t, cfg)
+	n.DegradeLink(0, 1, LinkFault{Loss: 0.5})
+	for i := 0; i < 1000; i++ {
+		a.Send(b.ID(), i)
+	}
+	s.Run(time.Second)
+	got := len(*arrivals)
+	if got < 350 || got > 650 {
+		t.Fatalf("with a 50%% faulty link, got %d of 1000", got)
+	}
+	if n.Dropped != int64(1000-got) {
+		t.Fatalf("dropped counter %d, want %d", n.Dropped, 1000-got)
+	}
+}

@@ -170,6 +170,9 @@ func (c *Cluster) Leader(shard int) *Server {
 	return c.Servers[shard][gvec[shard]%c.Cfg.Replicas()]
 }
 
+// ServerGrid reports the replica grid (protocol.Faultable).
+func (c *Cluster) ServerGrid() (shards, replicas int) { return c.Cfg.Shards, c.Cfg.Replicas() }
+
 // KillServer crashes a server (it drops all messages and timers).
 func (c *Cluster) KillServer(shard, replica int) {
 	c.Servers[shard][replica].node.Crash()
