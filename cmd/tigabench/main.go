@@ -74,6 +74,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 	"sync"
@@ -346,6 +349,11 @@ func main() {
 	chaosPlans := flag.String("chaos", "",
 		"comma-separated fault-plan subset for the chaos matrix, or 'list' to enumerate")
 	listKnobs := flag.Bool("knobs", false, "list every protocol's knobs with defaults and exit")
+	simbench := flag.Bool("simbench", false,
+		"append the sim-core microbenchmarks (ns/event, allocs/event) as an extra experiment")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap (allocation) profile to this file at exit")
+	tracePath := flag.String("trace", "", "write a runtime execution trace of the run to this file")
 	var sets multiFlag
 	flag.Var(&sets, "set", "knob override proto.knob=value (repeatable; see -knobs)")
 	var ops multiFlag
@@ -388,6 +396,52 @@ func main() {
 	}
 	if *format != "text" && *format != "json" && *format != "csv" {
 		fail("unknown format %q\nvalid formats: text, json, csv", *format)
+	}
+
+	// Profiling taps (-cpuprofile/-memprofile/-trace): every path is opened
+	// up front so an unwritable location exits 2 before minutes of sweeping,
+	// and the profiles cover the experiment runs end to end. See README
+	// "Simulator performance" for the capture-and-inspect workflow.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail("-trace: %v", err)
+		}
+		if err := trace.Start(f); err != nil {
+			fail("-trace: %v", err)
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+	}
+	var memFile *os.File
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail("-memprofile: %v", err)
+		}
+		memFile = f
+		defer func() {
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				fmt.Fprintf(os.Stderr, "tigabench: -memprofile: %v\n", err)
+			}
+			memFile.Close()
+		}()
 	}
 
 	var subset []string
@@ -500,6 +554,18 @@ func main() {
 		<-j.done
 		reports = append(reports, j.rep)
 		fmt.Fprintf(progress, "[%s done in %v]\n", j.name, j.elapsed.Round(time.Millisecond))
+	}
+	// The sim-core microbenchmarks run after the experiments (they want idle
+	// cores) and append their report, so the default output stays identical
+	// unless -simbench asked for the extra rows.
+	if *simbench {
+		t0 := time.Now()
+		rep := runSimBench()
+		reports = append(reports, rep)
+		if *format == "text" {
+			report.Render(textDst, rep)
+		}
+		fmt.Fprintf(progress, "[simbench done in %v]\n", time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Fprintf(progress, "total: %v\n", time.Since(start).Round(time.Millisecond))
 

@@ -1,0 +1,113 @@
+// Sim-core microbenchmark rows for the BENCH artifact (-simbench): the same
+// three hot-path measurements as the `go test -bench` suite (BenchmarkSimSend,
+// BenchmarkEventQueue, BenchmarkRunOnCPU in bench_test.go), run in-process via
+// testing.Benchmark and emitted as a report experiment so benchdiff tracks
+// ns/event and allocs/event across PR artifacts alongside the domain metrics.
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tiga/internal/report"
+	"tiga/internal/simnet"
+)
+
+// simBenchConfig mirrors the bench_test.go fixture: a two-region, 1 ms
+// symmetric WAN with no jitter or loss, so delays are deterministic and the
+// measurement isolates queue and dispatch cost.
+func simBenchConfig() simnet.Config {
+	return simnet.Config{OWD: simnet.SymmetricOWD([][]time.Duration{
+		{time.Millisecond, time.Millisecond},
+		{time.Millisecond, time.Millisecond},
+	}, 0)}
+}
+
+// simBenchCases are the measured hot paths, one row each.
+var simBenchCases = []struct {
+	name string
+	doc  string
+	run  func(b *testing.B)
+}{
+	{"send", "message delivery: Send -> queue -> dispatch -> handler", func(b *testing.B) {
+		s := simnet.NewSim(1)
+		n := simnet.NewNetwork(s, simBenchConfig())
+		src := n.AddNode(0, nil)
+		n.AddNode(1, func(from simnet.NodeID, msg simnet.Message) {})
+		msg := simnet.Message(&struct{ payload int }{payload: 7})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src.Send(1, msg)
+			s.Step()
+		}
+	}},
+	{"queue", "bare event queue: push + pop at steady heap depth", func(b *testing.B) {
+		s := simnet.NewSim(1)
+		fn := func() {}
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 1024; i++ {
+			s.At(time.Duration(rng.Int63n(int64(time.Second))), fn)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.At(s.Now()+time.Duration(rng.Int63n(int64(time.Millisecond))), fn)
+			s.Step()
+		}
+	}},
+	{"runOnCPU", "node timer: After -> timer event -> CPU queue", func(b *testing.B) {
+		s := simnet.NewSim(1)
+		n := simnet.NewNetwork(s, simBenchConfig())
+		nd := n.AddNode(0, nil)
+		fn := func() {}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nd.After(time.Microsecond, fn)
+			for s.Step() {
+			}
+		}
+	}},
+}
+
+// runSimBench measures the sim-core hot paths and builds the "simbench"
+// report appended to the document when -simbench is set. Wall-clock numbers
+// vary with the host, so the rows are tracked by benchdiff informationally
+// like every other artifact metric; allocs/event is the stable signal (the
+// steady-state paths are allocation-free by design).
+func runSimBench() *report.Report {
+	rep := report.New("simbench")
+	t := rep.Add(&report.Table{
+		ID:    "simcore",
+		Title: "Sim-core microbenchmarks (steady state; ns/op is ns/event)",
+		Columns: []report.Column{
+			report.Col("path", "Path", report.String, report.None, 10).AlignLeft(),
+			report.Col("ns_per_event", "ns/event", report.Float, report.Nanos, 10).WithPrec(1),
+			report.Col("events_per_sec", "Events/s", report.Float, report.Events, 12),
+			report.Col("allocs_per_event", "Allocs", report.Int, report.Allocs, 7),
+			report.Col("bytes_per_event", "B/event", report.Int, report.Bytes, 8),
+		},
+	})
+	for _, c := range simBenchCases {
+		r := testing.Benchmark(c.run)
+		ns := float64(r.NsPerOp())
+		if r.N > 0 {
+			ns = float64(r.T.Nanoseconds()) / float64(r.N)
+		}
+		eventsPerSec := 0.0
+		if ns > 0 {
+			eventsPerSec = 1e9 / ns
+		}
+		t.AddRow(
+			report.Str(c.name),
+			report.Num(ns),
+			report.Num(eventsPerSec),
+			report.CountOf(r.AllocsPerOp()),
+			report.CountOf(r.AllocedBytesPerOp()),
+		)
+		t.Note("%s: %s", c.name, c.doc)
+	}
+	return rep
+}

@@ -311,6 +311,16 @@ func RunLoad(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResult {
 	run.End = spec.Warmup + spec.Duration
 	res := &RunResult{Run: run, Counter: checker.NewCounter(), Deployment: d}
 
+	// Pre-size the sample buffers: the open loop submits about rate ×
+	// duration transactions per coordinator inside the measurement window,
+	// so steady-state recording never reallocates mid-run.
+	if expected := int(spec.RatePerCoord*spec.Duration.Seconds()) * d.Sys.NumCoords(); expected > 0 {
+		run.Lat.Grow(expected)
+		if spec.TrackSamples {
+			res.Samples = make([]Sample, 0, expected)
+		}
+	}
+
 	interval := time.Duration(float64(time.Second) / spec.RatePerCoord)
 	for ci := 0; ci < d.Sys.NumCoords(); ci++ {
 		ci := ci

@@ -24,6 +24,18 @@ func (l *Latency) Add(d time.Duration) {
 // Count returns the number of samples.
 func (l *Latency) Count() int { return len(l.samples) }
 
+// Grow ensures capacity for n further samples, so a run that knows its
+// expected commit count up front (open-loop rate × duration × coordinators)
+// records every sample without reallocating the buffer.
+func (l *Latency) Grow(n int) {
+	if n <= 0 || cap(l.samples)-len(l.samples) >= n {
+		return
+	}
+	grown := make([]time.Duration, len(l.samples), len(l.samples)+n)
+	copy(grown, l.samples)
+	l.samples = grown
+}
+
 // Percentile returns the p-th percentile (p in [0,100]); 0 with no samples.
 func (l *Latency) Percentile(p float64) time.Duration {
 	if len(l.samples) == 0 {

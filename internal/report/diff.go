@@ -54,9 +54,9 @@ func (r *DiffResult) Regressions() int {
 // informational).
 func direction(u Unit, name string) int { // +1 up-good, -1 down-good, 0 neutral
 	switch u {
-	case Rate:
+	case Rate, Events:
 		return 1
-	case Nanos, Millis, Seconds:
+	case Nanos, Millis, Seconds, Allocs, Bytes:
 		return -1
 	case Percent:
 		if name == "commit" {

@@ -62,6 +62,9 @@ const (
 	Nanos   Unit = "ns" // durations; JSON/CSV cell values are nanoseconds
 	Millis  Unit = "ms" // float columns already scaled to milliseconds
 	Seconds Unit = "s"
+	Allocs  Unit = "allocs"   // heap allocations per event (sim-core microbenchmarks)
+	Bytes   Unit = "bytes"    // heap bytes per event (sim-core microbenchmarks)
+	Events  Unit = "events/s" // simulator event throughput (sim-core microbenchmarks)
 )
 
 // Column declares one table column: a machine name for the structured

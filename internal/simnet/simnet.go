@@ -9,8 +9,6 @@
 package simnet
 
 import (
-	"container/heap"
-	"fmt"
 	"math/rand"
 	"time"
 )
@@ -28,35 +26,17 @@ type Message any
 // Handler processes a message delivered to a node.
 type Handler func(from NodeID, msg Message)
 
-type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)    { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any      { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) Peek() event    { return h[0] }
-func (h eventHeap) String() string { return fmt.Sprintf("eventHeap(len=%d)", len(h)) }
-
 // Sim is the discrete-event simulation core: a virtual clock plus an ordered
 // event queue. Events scheduled for the same instant run in scheduling order,
-// which keeps runs deterministic.
+// which keeps runs deterministic. The queue is a specialized 4-ary heap of
+// tagged event structs (see queue.go): the hot-path cases — message delivery,
+// node timers, deferred CPU starts — schedule and dispatch without allocating
+// a closure or boxing through an interface.
 type Sim struct {
-	now  time.Duration
-	heap eventHeap
-	seq  uint64
-	rng  *rand.Rand
+	now time.Duration
+	q   eventQueue
+	seq uint64
+	rng *rand.Rand
 }
 
 // NewSim returns a simulator whose randomness is derived from seed.
@@ -70,13 +50,23 @@ func (s *Sim) Now() time.Duration { return s.now }
 // Rand exposes the simulator's deterministic random source.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
-// At schedules fn to run at virtual time t. Times in the past run "now".
-func (s *Sim) At(t time.Duration, fn func()) {
+// schedule stamps e with the clamped fire time and the next global sequence
+// number and pushes it. Every scheduling path funnels through here, so seq
+// assignment — and with it the order of same-instant events — is exactly the
+// scheduling order.
+func (s *Sim) schedule(t time.Duration, e event) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.heap, event{at: t, seq: s.seq, fn: fn})
+	e.at = t
+	e.seq = s.seq
+	s.q.push(e)
+}
+
+// At schedules fn to run at virtual time t. Times in the past run "now".
+func (s *Sim) At(t time.Duration, fn func()) {
+	s.schedule(t, event{kind: evFunc, fn: fn})
 }
 
 // After schedules fn to run d from now.
@@ -84,18 +74,63 @@ func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
 
 // Step runs the next pending event. It reports false when the queue is empty.
 func (s *Sim) Step() bool {
-	if len(s.heap) == 0 {
+	if s.q.len() == 0 {
 		return false
 	}
-	e := heap.Pop(&s.heap).(event)
+	e := s.q.pop()
 	s.now = e.at
-	e.fn()
+	s.dispatch(&e)
 	return true
+}
+
+// dispatch fires one event by kind. Events that reached a crashed node (or a
+// node that crashed and restarted since they were scheduled — the epoch
+// check) are silently dropped, matching the delivery and timer contracts.
+func (s *Sim) dispatch(e *event) {
+	switch e.kind {
+	case evFunc:
+		e.fn()
+	case evDeliver:
+		nd := e.node
+		if nd.down || nd.handler == nil {
+			return
+		}
+		// Reserve the node's CPU (inlined runOnCPU): run the handler now
+		// when the CPU is free, else once it frees up.
+		start := s.now
+		if nd.busyUntil > start {
+			start = nd.busyUntil
+		}
+		nd.busyUntil = start + nd.cost
+		if start == s.now {
+			nd.handler(NodeID(e.from), e.msg)
+			return
+		}
+		s.schedule(start, event{kind: evHandlerStart, node: nd, from: e.from, msg: e.msg, epoch: nd.epoch})
+	case evHandlerStart:
+		nd := e.node
+		if nd.down || nd.epoch != e.epoch {
+			return
+		}
+		nd.handler(NodeID(e.from), e.msg)
+	case evTimer:
+		nd := e.node
+		if nd.down || nd.epoch != e.epoch {
+			return
+		}
+		nd.runOnCPU(e.fn)
+	case evCPUStart:
+		nd := e.node
+		if nd.down || nd.epoch != e.epoch {
+			return
+		}
+		e.fn()
+	}
 }
 
 // Run executes events until virtual time passes `until` or the queue drains.
 func (s *Sim) Run(until time.Duration) {
-	for len(s.heap) > 0 && s.heap.Peek().at <= until {
+	for s.q.len() > 0 && s.q.min() <= until {
 		s.Step()
 	}
 	if s.now < until {
@@ -300,7 +335,7 @@ func (n *Network) Send(from, to NodeID, msg Message) {
 	if faulty {
 		arrive += fault.Extra.sample(n.sim.rng)
 	}
-	n.sim.At(arrive, func() { dst.receive(from, msg) })
+	n.sim.schedule(arrive, event{kind: evDeliver, node: dst, from: int32(from), msg: msg})
 }
 
 // Node is a simulated machine: it has a region, a message handler, and a
@@ -315,7 +350,7 @@ type Node struct {
 	cost      time.Duration
 	busyUntil time.Duration
 	down      bool
-	epoch     int // incremented on crash to cancel in-flight timers
+	epoch     int32 // incremented on crash to cancel in-flight timers
 }
 
 // ID returns the node's network identifier.
@@ -361,13 +396,8 @@ func (nd *Node) Send(to NodeID, msg Message) { nd.net.Send(nd.id, to, msg) }
 // After schedules fn to run on this node's CPU after d. The timer dies if the
 // node crashes before it fires.
 func (nd *Node) After(d time.Duration, fn func()) {
-	epoch := nd.epoch
-	nd.net.sim.After(d, func() {
-		if nd.down || nd.epoch != epoch {
-			return
-		}
-		nd.runOnCPU(fn)
-	})
+	sim := nd.net.sim
+	sim.schedule(sim.now+d, event{kind: evTimer, node: nd, fn: fn, epoch: nd.epoch})
 }
 
 // Every schedules fn to run every interval until the node crashes or fn
@@ -388,15 +418,10 @@ func (nd *Node) Every(interval time.Duration, fn func() bool) {
 	nd.net.sim.After(interval, tick)
 }
 
-func (nd *Node) receive(from NodeID, msg Message) {
-	if nd.down || nd.handler == nil {
-		return
-	}
-	nd.runOnCPU(func() { nd.handler(from, msg) })
-}
-
 // runOnCPU serializes execution through the node's single-server queue:
 // fn starts when the CPU frees up and reserves the base per-message cost.
+// Message deliveries take the equivalent inlined path in dispatch (evDeliver)
+// without wrapping the handler in a closure.
 func (nd *Node) runOnCPU(fn func()) {
 	sim := nd.net.sim
 	start := sim.now
@@ -404,17 +429,11 @@ func (nd *Node) runOnCPU(fn func()) {
 		start = nd.busyUntil
 	}
 	nd.busyUntil = start + nd.cost
-	epoch := nd.epoch
 	if start == sim.now {
 		fn()
 		return
 	}
-	sim.At(start, func() {
-		if nd.down || nd.epoch != epoch {
-			return
-		}
-		fn()
-	})
+	sim.schedule(start, event{kind: evCPUStart, node: nd, fn: fn, epoch: nd.epoch})
 }
 
 // SymmetricOWD builds an OWD matrix from a symmetric distance table expressed

@@ -51,6 +51,30 @@ func (s *Store) Seed(key string, val []byte) {
 	s.data[key] = []version{{val: val}}
 }
 
+// Reserve sizes the version map for n keys ahead of a per-key bulk seed,
+// avoiding incremental rehashing while an empty store is pre-populated.
+func (s *Store) Reserve(n int) {
+	if len(s.data) == 0 && n > 0 {
+		s.data = make(map[string][]version, n)
+	}
+}
+
+// SeedBulk installs the same initial committed value for every key in one
+// pass. It sizes the version map for the whole batch up front and lays the
+// initial versions out in one shared backing array (each entry capacity-
+// clipped, so a later Put reallocates instead of aliasing its neighbor) —
+// seeding a replica's keyspace costs two allocations instead of one per key.
+func (s *Store) SeedBulk(keys []string, val []byte) {
+	if len(s.data) == 0 && len(keys) > 0 {
+		s.data = make(map[string][]version, len(keys))
+	}
+	vs := make([]version, len(keys))
+	for i, k := range keys {
+		vs[i] = version{val: val}
+		s.data[k] = vs[i : i+1 : i+1]
+	}
+}
+
 // Len returns the number of keys present.
 func (s *Store) Len() int { return len(s.data) }
 

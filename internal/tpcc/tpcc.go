@@ -42,6 +42,17 @@ func TestConfig(shards int) Config {
 type Gen struct {
 	cfg Config
 	uid uint64
+	// seeds caches each shard's pre-population (keys and encoded values are
+	// built once), so seeding replicas 2..R replays cached pairs instead of
+	// re-running fmt.Sprintf and EncodeInt for every row. Generators are
+	// private to one experiment point, so the cache needs no locking.
+	seeds map[int][]seedPair
+}
+
+// seedPair is one cached pre-population row.
+type seedPair struct {
+	key string
+	val []byte
 }
 
 // New builds a TPC-C generator.
@@ -97,33 +108,46 @@ func kOTotal(w, d int, uid uint64) string  { return fmt.Sprintf("o_total:%d:%d:%
 func kOCarrier(w, d int, idx int64) string { return fmt.Sprintf("o_carrier:%d:%d:%d", w, d, idx) }
 func kHistory(w, d int, uid uint64) string { return fmt.Sprintf("h:%d:%d:%d", w, d, uid) }
 
-// Seed pre-populates one shard's store with its warehouses.
+// Seed pre-populates one shard's store with its warehouses, replaying the
+// shard's cached pre-population rows (built on first use).
 func (g *Gen) Seed(shard int, st *store.Store) {
-	for w := 1; w <= g.cfg.Warehouses; w++ {
-		if g.ShardOf(w) != shard {
-			continue
-		}
-		st.Seed(kWTax(w), txn.EncodeInt(7))
-		st.Seed(kWYtd(w), txn.EncodeInt(0))
-		for d := 1; d <= g.cfg.Districts; d++ {
-			st.Seed(kDTax(w, d), txn.EncodeInt(8))
-			st.Seed(kDYtd(w, d), txn.EncodeInt(0))
-			st.Seed(kDNextOID(w, d), txn.EncodeInt(1))
-			st.Seed(kNoHead(w, d), txn.EncodeInt(0))
-			for c := 1; c <= g.cfg.Customers; c++ {
-				st.Seed(kCBal(w, d, c), txn.EncodeInt(-1000))
-				st.Seed(kCYtd(w, d, c), txn.EncodeInt(1000))
-				st.Seed(kCCnt(w, d, c), txn.EncodeInt(1))
-				st.Seed(kCDisc(w, d, c), txn.EncodeInt(5))
-				st.Seed(kCLastO(w, d, c), txn.EncodeInt(0))
+	if g.seeds == nil {
+		g.seeds = make(map[int][]seedPair)
+	}
+	rows, ok := g.seeds[shard]
+	if !ok {
+		add := func(k string, v int64) { rows = append(rows, seedPair{k, txn.EncodeInt(v)}) }
+		for w := 1; w <= g.cfg.Warehouses; w++ {
+			if g.ShardOf(w) != shard {
+				continue
+			}
+			add(kWTax(w), 7)
+			add(kWYtd(w), 0)
+			for d := 1; d <= g.cfg.Districts; d++ {
+				add(kDTax(w, d), 8)
+				add(kDYtd(w, d), 0)
+				add(kDNextOID(w, d), 1)
+				add(kNoHead(w, d), 0)
+				for c := 1; c <= g.cfg.Customers; c++ {
+					add(kCBal(w, d, c), -1000)
+					add(kCYtd(w, d, c), 1000)
+					add(kCCnt(w, d, c), 1)
+					add(kCDisc(w, d, c), 5)
+					add(kCLastO(w, d, c), 0)
+				}
+			}
+			for i := 1; i <= g.cfg.Items; i++ {
+				add(kIPrice(w, i), int64(100+i%900))
+				add(kSQty(w, i), 100)
+				add(kSYtd(w, i), 0)
+				add(kSCnt(w, i), 0)
 			}
 		}
-		for i := 1; i <= g.cfg.Items; i++ {
-			st.Seed(kIPrice(w, i), txn.EncodeInt(int64(100+i%900)))
-			st.Seed(kSQty(w, i), txn.EncodeInt(100))
-			st.Seed(kSYtd(w, i), txn.EncodeInt(0))
-			st.Seed(kSCnt(w, i), txn.EncodeInt(0))
-		}
+		g.seeds[shard] = rows
+	}
+	st.Reserve(len(rows))
+	for _, p := range rows {
+		st.Seed(p.key, p.val)
 	}
 }
 

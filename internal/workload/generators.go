@@ -20,6 +20,7 @@ type YCSBT struct {
 	ReadRatio float64
 	TxnKeys   int
 	zipf      *Zipfian
+	names     keycache
 }
 
 // NewYCSBT builds the generator.
@@ -36,9 +37,7 @@ func NewYCSBT(shards, keys int, skew, readRatio float64, txnKeys int) *YCSBT {
 
 // Seed pre-populates a shard (values start at zero).
 func (y *YCSBT) Seed(shard int, st *store.Store) {
-	for i := 0; i < y.Keys; i++ {
-		st.Seed(Key(shard, i), txn.EncodeInt(0))
-	}
+	st.SeedBulk(y.names.shard(shard, y.Keys), zeroValue)
 }
 
 // Next generates one transaction over TxnKeys consecutive shards.
@@ -48,7 +47,7 @@ func (y *YCSBT) Next(rng *rand.Rand) Job {
 	readOnly := true
 	for i := 0; i < y.TxnKeys; i++ {
 		sh := (start + i) % y.Shards
-		k := Key(sh, y.zipf.Next(rng))
+		k := y.names.key(sh, y.Keys, y.zipf.Next(rng))
 		if rng.Float64() < y.ReadRatio {
 			t.Pieces[sh] = txn.ReadPiece(k)
 		} else {
@@ -73,6 +72,7 @@ type HotWrite struct {
 	Skew    float64
 	TxnKeys int
 	zipf    *Zipfian
+	names   keycache
 }
 
 // NewHotWrite builds the generator; the hot set is clamped to the keyspace.
@@ -95,9 +95,7 @@ func NewHotWrite(shards, keys, hotKeys int, skew float64, txnKeys int) *HotWrite
 
 // Seed pre-populates a shard (values start at zero).
 func (h *HotWrite) Seed(shard int, st *store.Store) {
-	for i := 0; i < h.Keys; i++ {
-		st.Seed(Key(shard, i), txn.EncodeInt(0))
-	}
+	st.SeedBulk(h.names.shard(shard, h.Keys), zeroValue)
 }
 
 // Next generates one all-write transaction over the hot set.
@@ -106,7 +104,7 @@ func (h *HotWrite) Next(rng *rand.Rand) Job {
 	start := rng.Intn(h.Shards)
 	for i := 0; i < h.TxnKeys; i++ {
 		sh := (start + i) % h.Shards
-		t.Pieces[sh] = txn.IncrementPiece(Key(sh, h.zipf.Next(rng)))
+		t.Pieces[sh] = txn.IncrementPiece(h.names.key(sh, h.Keys, h.zipf.Next(rng)))
 	}
 	return Job{T: t, Label: "hotwrite"}
 }

@@ -79,6 +79,7 @@ type MicroBench struct {
 	Keys   int
 	Skew   float64
 	zipf   *Zipfian
+	names  keycache
 }
 
 // NewMicroBench builds the generator. Keys defaults to 1M per the paper; use
@@ -90,11 +91,45 @@ func NewMicroBench(shards, keys int, skew float64) *MicroBench {
 // Key names a MicroBench key.
 func Key(shard, idx int) string { return fmt.Sprintf("k%d-%d", shard, idx) }
 
+// zeroValue is the shared pre-population value. Stored values are immutable
+// (increments decode and Put a fresh encoding), so every seeded key of every
+// replica can point at one 8-byte buffer.
+var zeroValue = txn.EncodeInt(0)
+
+// keycache memoizes the formatted names of a shard-indexed keyspace. Seeding
+// R replicated stores and sampling millions of keys per run otherwise re-run
+// fmt.Sprintf for names that never change; the cache builds each shard's
+// names once and every replica's store shares the same string backing.
+// Generators are private to one experiment point (see harness.SpecRun), so
+// the cache needs no locking.
+type keycache struct {
+	shards [][]string
+}
+
+// shard returns the cached names of one shard's full keyspace, building them
+// on first use.
+func (c *keycache) shard(shard, keys int) []string {
+	for len(c.shards) <= shard {
+		c.shards = append(c.shards, nil)
+	}
+	if c.shards[shard] == nil {
+		names := make([]string, keys)
+		for i := range names {
+			names[i] = Key(shard, i)
+		}
+		c.shards[shard] = names
+	}
+	return c.shards[shard]
+}
+
+// key returns one cached key name.
+func (c *keycache) key(shard, keys, idx int) string {
+	return c.shard(shard, keys)[idx]
+}
+
 // Seed pre-populates a shard (values start at zero).
 func (m *MicroBench) Seed(shard int, st *store.Store) {
-	for i := 0; i < m.Keys; i++ {
-		st.Seed(Key(shard, i), txn.EncodeInt(0))
-	}
+	st.SeedBulk(m.names.shard(shard, m.Keys), zeroValue)
 }
 
 // Next generates one 3-shard increment transaction.
@@ -107,7 +142,7 @@ func (m *MicroBench) Next(rng *rand.Rand) Job {
 	start := rng.Intn(m.Shards)
 	for i := 0; i < nShards; i++ {
 		sh := (start + i) % m.Shards
-		t.Pieces[sh] = txn.IncrementPiece(Key(sh, m.zipf.Next(rng)))
+		t.Pieces[sh] = txn.IncrementPiece(m.names.key(sh, m.Keys, m.zipf.Next(rng)))
 	}
 	return Job{T: t, Label: "micro"}
 }
@@ -118,19 +153,18 @@ type Uniform struct {
 	Shards    int
 	Keys      int
 	ReadRatio float64
+	names     keycache
 }
 
 // Seed pre-populates a shard.
 func (u *Uniform) Seed(shard int, st *store.Store) {
-	for i := 0; i < u.Keys; i++ {
-		st.Seed(Key(shard, i), txn.EncodeInt(0))
-	}
+	st.SeedBulk(u.names.shard(shard, u.Keys), zeroValue)
 }
 
 // Next generates a single-shard read or increment.
 func (u *Uniform) Next(rng *rand.Rand) Job {
 	sh := rng.Intn(u.Shards)
-	k := Key(sh, rng.Intn(u.Keys))
+	k := u.names.key(sh, u.Keys, rng.Intn(u.Keys))
 	t := &txn.Txn{Pieces: make(map[int]*txn.Piece, 1), Label: "uniform"}
 	if rng.Float64() < u.ReadRatio {
 		t.Pieces[sh] = txn.ReadPiece(k)
