@@ -79,6 +79,62 @@ func UniqueTimestamps(commits []Commit) error {
 	return nil
 }
 
+// SnapshotRead records one key read by a local read-only transaction: the
+// snapshot timestamp the coordinator picked and the commit timestamp of the
+// version the serving replica returned (zero for seeded initial values).
+type SnapshotRead struct {
+	Key string
+	At  time.Duration
+	Saw txn.Timestamp
+}
+
+// WriteEvent records one committed write to a key at its agreed
+// serialization timestamp, forming the history snapshot reads are validated
+// against.
+type WriteEvent struct {
+	Key string
+	TS  txn.Timestamp
+}
+
+// SnapshotReads validates local read-only transactions against the commit
+// history: a replica may delay a read, but it must never lie. Two lies are
+// detectable from the observations alone:
+//
+//   - a future read: the returned version's commit timestamp exceeds the
+//     requested snapshot (the replica served past its own promise), and
+//   - a missed committed write: some transaction committed a version of the
+//     key at ts <= At, yet the replica returned an older version — it
+//     answered before its safe-time watermark actually covered At.
+//
+// The write history only includes commits the clients observed, so the
+// check is sound (no false alarms) though not complete for writes still in
+// flight when the run ended. It returns the first violation found.
+func SnapshotReads(reads []SnapshotRead, writes []WriteEvent) error {
+	byKey := make(map[string][]txn.Timestamp)
+	for _, w := range writes {
+		byKey[w.Key] = append(byKey[w.Key], w.TS)
+	}
+	for _, tss := range byKey {
+		sort.Slice(tss, func(i, j int) bool { return tss[i].Less(tss[j]) })
+	}
+	for _, r := range reads {
+		if r.Saw.Time > r.At {
+			return fmt.Errorf("snapshot read of %s at %v observed a future version (committed %v)",
+				r.Key, r.At, r.Saw)
+		}
+		tss := byKey[r.Key]
+		// The newest committed write at or below the snapshot is what the
+		// read must have seen (or something at least as new, when the
+		// writer's client-side commit event was never recorded).
+		i := sort.Search(len(tss), func(i int) bool { return tss[i].Time > r.At }) - 1
+		if i >= 0 && r.Saw.Less(tss[i]) {
+			return fmt.Errorf("snapshot read of %s at %v returned a stale version (saw %v, but a write committed at %v): the replica served below its safe time",
+				r.Key, r.At, r.Saw, tss[i])
+		}
+	}
+	return nil
+}
+
 // Counter tracks expected increment counts per key so the final store state
 // can be validated: exactly-once application of every committed transaction.
 type Counter struct {

@@ -128,3 +128,43 @@ func TestCounter(t *testing.T) {
 		t.Fatal("Expected")
 	}
 }
+
+func wts(n int64) txn.Timestamp {
+	return txn.Timestamp{Time: time.Duration(n), Coord: 1, Seq: uint64(n)}
+}
+
+func TestSnapshotReadsAccepts(t *testing.T) {
+	writes := []WriteEvent{{"k", wts(10)}, {"k", wts(30)}, {"q", wts(5)}}
+	reads := []SnapshotRead{
+		{Key: "k", At: 20, Saw: wts(10)},        // newest write at or below the snapshot
+		{Key: "k", At: 30, Saw: wts(30)},        // inclusive boundary
+		{Key: "k", At: 5},                       // before any write: the seeded (zero-ts) value
+		{Key: "fresh", At: 50},                  // key never written
+		{Key: "k", At: 40, Saw: wts(30)},        //
+		{Key: "unrecorded", At: 9, Saw: wts(7)}, // writer's commit event outside the window
+	}
+	if err := SnapshotReads(reads, writes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotReadsRejectsStaleReplica(t *testing.T) {
+	writes := []WriteEvent{{"k", wts(10)}, {"k", wts(30)}}
+	// A lying replica answered At=35 before applying the ts-30 write.
+	reads := []SnapshotRead{{Key: "k", At: 35, Saw: wts(10)}}
+	if SnapshotReads(reads, writes) == nil {
+		t.Fatal("missed committed write not detected")
+	}
+	// Missing even the first write (seed returned) is detected too.
+	reads = []SnapshotRead{{Key: "k", At: 15}}
+	if SnapshotReads(reads, writes) == nil {
+		t.Fatal("missed first write not detected")
+	}
+}
+
+func TestSnapshotReadsRejectsFutureVersion(t *testing.T) {
+	reads := []SnapshotRead{{Key: "k", At: 10, Saw: wts(12)}}
+	if SnapshotReads(reads, nil) == nil {
+		t.Fatal("future read not detected")
+	}
+}

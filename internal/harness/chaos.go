@@ -184,18 +184,21 @@ func (o Options) failureRunLength() time.Duration {
 }
 
 // protoCaps probes a protocol's optional capabilities by building a minimal
-// throwaway deployment: whether its system accepts crash/reboot faults and
-// whether its commits carry checkable serialization timestamps.
+// throwaway deployment: whether its system accepts crash/reboot faults,
+// whether its commits carry checkable serialization timestamps, and whether
+// it maintains safe-time watermarks for local snapshot reads.
 type protoCaps struct {
 	faultable bool
 	checkable bool
+	snapshot  bool
 }
 
 func probeCaps(proto string) protoCaps {
 	d := Build(ClusterSpec{Protocol: proto, Shards: 2, F: 1, CoordsPerRegion: 1, Seed: 1})
 	_, f := d.Sys.(protocol.Faultable)
 	_, c := d.Sys.(protocol.Checkable)
-	return protoCaps{faultable: f, checkable: c}
+	_, s := d.Sys.(protocol.SnapshotReadable)
+	return protoCaps{faultable: f, checkable: c, snapshot: s}
 }
 
 // chaosPoint prepares one matrix cell: the fig11b/c deployment and operating
@@ -313,6 +316,25 @@ func ChaosMatrix(o Options) (*report.Report, []ChaosRow) {
 			runs = append(runs, o.chaosPoint(p, planName, total))
 		}
 	}
+	// Chaos × topology: replay the wan-partition plan on planet5's
+	// asymmetric WAN — the severed region 0↔1 link's return path runs 15%
+	// longer than its forward path, so replication reroutes through Tokyo at
+	// a different cost in each direction. Rides along whenever wan-partition
+	// is among the selected plans.
+	wanTopo := ""
+	for _, p := range plans {
+		if p == "wan-partition" {
+			wanTopo = "planet5"
+		}
+	}
+	topoBase := len(runs)
+	if wanTopo != "" {
+		for _, p := range names {
+			sr := o.chaosPoint(p, "wan-partition", total)
+			sr.Spec.Topology = wanTopo
+			runs = append(runs, sr)
+		}
+	}
 	results := RunSpecs(runs, o.Workers)
 
 	var rows []ChaosRow
@@ -374,6 +396,46 @@ func ChaosMatrix(o Options) (*report.Report, []ChaosRow) {
 			tab.Note("(per-cell operating points: %s)", strings.Join(opNotes, ", "))
 			tab.SetMeta("cell_rates", strings.Join(opNotes, ","))
 		}
+	}
+	if wanTopo != "" {
+		plan := mustPlan("wan-partition")
+		tab := rep.Add(&report.Table{
+			ID: "chaos/wan-partition@" + wanTopo, Gap: true,
+			Title: fmt.Sprintf("[plan=wan-partition topology=%s] %s — asymmetric links: the healed path costs more one way than the other",
+				wanTopo, plan.Doc),
+			Columns: []report.Column{
+				report.Col("protocol", "Protocol", report.String, report.None, 12).AlignLeft(),
+				report.Col("phase", "phase", report.String, report.None, 6).AlignLeft(),
+				report.Col("thpt", "Thpt(txn/s)", report.Float, report.Rate, 12),
+				report.Col("commit", "Commit%", report.Float, report.Percent, 9).WithPrec(1),
+				report.Col("p99", "p99", report.Duration, report.Nanos, 12),
+			},
+		})
+		o.stamp(tab, wanTopo, "micro",
+			"chaos", "wan-partition", "skew", "0.5", "clock", clocks.ModelChrony.String(),
+			"window", fmt.Sprintf("%v-%v", plan.Window.Start, plan.Window.End))
+		phases := []struct {
+			name     string
+			from, to time.Duration
+		}{
+			{"pre", 0, plan.Window.Start},
+			{"fault", plan.Window.Start, plan.Window.End},
+			{"post", plan.Window.End, total},
+		}
+		var checks []string
+		for j, p := range names {
+			res := results[topoBase+j]
+			for _, ph := range phases {
+				thpt, commit, p99 := phaseStats(res, ph.from, ph.to)
+				row := ChaosRow{Protocol: p, Plan: "wan-partition@" + wanTopo, Phase: ph.name,
+					Thpt: thpt, Commit: commit, P99: p99}
+				rows = append(rows, row)
+				tab.AddRow(report.Str(p), report.Str(ph.name), report.Num(thpt),
+					report.Num(commit), report.Dur(p99))
+			}
+			checks = append(checks, fmt.Sprintf("%s: %s", p, checkStatus(res, caps[p])))
+		}
+		tab.Note("serializability under wan-partition@%s — %s", wanTopo, strings.Join(checks, "; "))
 	}
 	return rep, rows
 }

@@ -134,8 +134,10 @@ func TestChaosMatrixCheckerPassesEveryPlan(t *testing.T) {
 	if !strings.Contains(out, "Tiga: ok (") {
 		t.Fatalf("checker did not run for Tiga:\n%s", out)
 	}
-	if want := 3 * len(chaos.Names()); len(rows) != want {
-		t.Fatalf("matrix produced %d rows, want %d (3 phases × %d plans)",
+	// +1: whenever wan-partition is selected, the matrix replays it on
+	// planet5's asymmetric WAN as an extra chaos × topology section.
+	if want := 3 * (len(chaos.Names()) + 1); len(rows) != want {
+		t.Fatalf("matrix produced %d rows, want %d (3 phases × (%d plans + planet5 rider))",
 			len(rows), want, len(chaos.Names()))
 	}
 	// Every plan's fault window must actually have driven load on each side

@@ -268,6 +268,12 @@ type LoadSpec struct {
 	// TrackSamples records every commit as a (time, latency, region) sample
 	// for time-series plots (Fig 11).
 	TrackSamples bool
+	// LocalReads routes read-only transactions down the local snapshot-read
+	// path when the system implements protocol.SnapshotReadable (and was
+	// built with its "local-reads" knob). Ignored otherwise. With Check set,
+	// the run also gathers the observations the snapshot-read checker
+	// validates (RunResult.SnapReads against RunResult.Writes).
+	LocalReads bool
 }
 
 // Sample is one commit observation.
@@ -288,6 +294,12 @@ type RunResult struct {
 	// a per-phase commit rate. Transactions that never complete (hung inside
 	// an outage) appear in neither slice.
 	Aborts []Sample
+	// SnapReads and Writes feed checker.SnapshotReads when the run used the
+	// local-read path with Check on: every version a local read observed,
+	// and every committed write event (key, commit timestamp) from the
+	// coordinator path.
+	SnapReads []checker.SnapshotRead
+	Writes    []checker.WriteEvent
 	// Deployment is the deployment the run was driven against, for
 	// post-run inspection (net counters, capability interfaces).
 	Deployment *Deployment
@@ -302,9 +314,18 @@ func RunLoad(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResult {
 	if spec.MaxChainRestarts == 0 {
 		spec.MaxChainRestarts = 10
 	}
+	wantCheck := spec.Check
 	if _, ok := d.Sys.(protocol.Checkable); !ok {
 		spec.Check = false
 	}
+	snap, _ := d.Sys.(protocol.SnapshotReadable)
+	useLocal := spec.LocalReads && snap != nil
+	// checkReads gates the snapshot-read validation data (RunResult.SnapReads
+	// and Writes). Unlike the strict-serializability checker it does not need
+	// protocol.Checkable: the local-read machinery itself mints the commit
+	// timestamps it relies on, so systems without checkable coordinator-path
+	// timestamps (the layered baselines) still get their local reads audited.
+	checkReads := wantCheck && useLocal
 	d.Sys.Start()
 	run := metrics.NewRun()
 	run.Start = spec.Warmup
@@ -361,15 +382,59 @@ func RunLoad(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResult {
 				}
 				run.RecordCommit(now, now-start, region, r.FastPath)
 				run.Counters.Retries += int64(r.Retries)
+				if t != nil && t.ReadOnly {
+					run.ReadLat.Add(now - start)
+				}
 				if spec.Check && t != nil {
 					res.Counter.Committed(t)
 					res.Commits = append(res.Commits, checker.Commit{
 						ID: t.ID, TS: r.TS, Submit: start, Complete: now,
 					})
 				}
+				if checkReads && t != nil && !t.ReadOnly && !r.TS.IsZero() {
+					for _, p := range t.Pieces {
+						for _, k := range p.WriteSet {
+							res.Writes = append(res.Writes, checker.WriteEvent{Key: k, TS: r.TS})
+						}
+					}
+				}
+			}
+			// Local snapshot reads bypass the commit protocol entirely, so
+			// their results carry read observations instead of a
+			// serialization timestamp; they are validated by the
+			// snapshot-read checker, not the strict-serializability one.
+			finishLocal := func(r txn.Result) {
+				outstanding--
+				now := d.Sim.Now()
+				if !inWindow {
+					return
+				}
+				if !r.OK {
+					run.Counters.Aborted++
+					if spec.TrackSamples {
+						res.Aborts = append(res.Aborts, Sample{At: now, Lat: now - start, Region: region})
+					}
+					return
+				}
+				if spec.TrackSamples {
+					res.Samples = append(res.Samples, Sample{At: now, Lat: now - start, Region: region})
+				}
+				run.RecordLocalRead(now, now-start, r.Waited, region)
+				run.Counters.Retries += int64(r.Retries)
+				if checkReads {
+					for _, ro := range r.Reads {
+						res.SnapReads = append(res.SnapReads, checker.SnapshotRead{
+							Key: ro.Key, At: r.SnapshotAt, Saw: ro.TS,
+						})
+					}
+				}
 			}
 			if job.T != nil {
-				d.Sys.Submit(ci, job.T, func(r txn.Result) { finish(r, job.T) })
+				if useLocal && job.T.ReadOnly {
+					snap.SubmitLocalRead(ci, job.T, finishLocal)
+				} else {
+					d.Sys.Submit(ci, job.T, func(r txn.Result) { finish(r, job.T) })
+				}
 			} else {
 				runChain(d, ci, job.I, 0, spec.MaxChainRestarts, finish)
 			}

@@ -1,0 +1,307 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tiga/internal/checker"
+	"tiga/internal/clocks"
+	"tiga/internal/protocol"
+	"tiga/internal/report"
+)
+
+// This file holds the local-snapshot-read experiment: read-only transactions
+// served at 0 WRTT from the nearest replica of each shard, gated by
+// per-replica safe-time watermarks (protocol.SnapshotReadable). The
+// experiment contrasts the coordinator commit path against the local path
+// across a read-staleness axis — staleness 0 is a strong read that waits out
+// the replica's watermark lag; positive staleness trades bounded-stale data
+// for near-zero SAFETIME waits — and reports each protocol's watermark lag
+// per replica, which is the structural story: Tiga's leader watermark tracks
+// its synchronized clock (lag ≈ queued headroom), while a 2PC/Paxos leader
+// holds its watermark below every in-flight prepare (lag ≈ the prepare
+// window) and followers everywhere trail by replication delay. A chaos-armed
+// variant runs the same load through a WAN partition and validates with the
+// snapshot-read checker that partitioned replicas delay reads but never
+// serve a wrong version.
+
+// LocalReadRow is one protocol × path × staleness cell.
+type LocalReadRow struct {
+	Protocol  string
+	Path      string        // "coord" (baseline commit path) or "local"
+	Staleness time.Duration // read-staleness knob; meaningful on the local path
+	Thpt      float64
+	Commit    float64
+	ReadP50   time.Duration // end-to-end read-only latency
+	ReadP90   time.Duration
+	WaitP50   time.Duration // SAFETIME delay spent blocked on the watermark
+	Local     int64         // read-only txns served from a nearby replica
+}
+
+// localReadStalenesses is the experiment's staleness axis: strong reads,
+// one jitter-scale bound, and one replication-scale bound.
+var localReadStalenesses = []time.Duration{0, 50 * time.Millisecond, 200 * time.Millisecond}
+
+// localReadSpec prepares one cell's deployment: the classic WAN, YCSB-T
+// (95% read-only transactions, moderate skew), and — on the local path —
+// the protocol's "local-reads" knob plus the cell's staleness bound.
+func (o Options) localReadSpec(proto string, staleness time.Duration, local bool) ClusterSpec {
+	spec := ClusterSpec{
+		Protocol: proto, Workload: "ycsbt", WorkloadKeys: o.keys(),
+		WorkloadParams: map[string]any{"skew": 0.7, "read-ratio": 0.95},
+		Shards:         3, F: 1, Clock: clocks.ModelChrony,
+		CoordsPerRegion: 1, CoordsRemote: 2, Seed: o.Seed,
+		CostScale: CPUScale, Knobs: copyKnobs(o.Knobs),
+	}
+	if local {
+		spec.setKnobDefault(proto, "local-reads", true)
+		spec.setKnobDefault(proto, "read-staleness", staleness)
+	}
+	return spec
+}
+
+func (o Options) localReadRate() float64 {
+	if o.Quick {
+		return 250
+	}
+	return 400
+}
+
+// snapshotProtocols filters the sweep's protocol list down to systems that
+// implement protocol.SnapshotReadable, returning the excluded names for the
+// report note.
+func (o Options) snapshotProtocols() (in, out []string, remark string) {
+	names, remark := o.sweepProtocols()
+	for _, p := range names {
+		if probeCaps(p).snapshot {
+			in = append(in, p)
+		} else {
+			out = append(out, p)
+		}
+	}
+	return in, out, remark
+}
+
+// lagCapture is one mid-run snapshot of every replica's watermark, taken by
+// a Setup-scheduled simulator callback so the lag is measured under load,
+// not after the run has quiesced.
+type lagCapture struct {
+	at   time.Duration
+	safe []time.Duration
+}
+
+// watermarkLagSetup returns a SpecRun.Setup hook that samples SafeTimes at
+// the middle of the measurement window into out[idx].
+func watermarkLagSetup(out []lagCapture, idx int, at time.Duration) func(d *Deployment) {
+	return func(d *Deployment) {
+		d.Sim.At(at, func() {
+			if s, ok := d.Sys.(protocol.SnapshotReadable); ok {
+				out[idx] = lagCapture{at: d.Sim.Now(), safe: s.SafeTimes()}
+			}
+		})
+	}
+}
+
+// lagStats folds one capture into min/median/max watermark lag across the
+// deployment's replicas.
+func (c lagCapture) lagStats() (min, med, max time.Duration) {
+	if len(c.safe) == 0 {
+		return 0, 0, 0
+	}
+	lags := make([]time.Duration, len(c.safe))
+	for i, w := range c.safe {
+		lags[i] = c.at - w
+	}
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	return lags[0], lags[len(lags)/2], lags[len(lags)-1]
+}
+
+// snapReadStatus validates a run's local-read observations against its
+// committed write history.
+func snapReadStatus(res *RunResult) string {
+	if err := checker.SnapshotReads(res.SnapReads, res.Writes); err != nil {
+		return "FAIL: " + err.Error()
+	}
+	return fmt.Sprintf("ok (%d local reads, %d read obs, %d writes)",
+		res.Run.Counters.LocalReads, len(res.SnapReads), len(res.Writes))
+}
+
+// LocalReads sweeps every SnapshotReadable protocol across the read path
+// (coordinator baseline vs nearest-replica local) and the staleness axis,
+// reports each protocol's per-replica watermark lag sampled under load, and
+// re-runs the local path through a WAN partition with the snapshot-read
+// checker armed.
+func LocalReads(o Options) (*report.Report, []LocalReadRow) {
+	rep := report.New("localreads")
+	names, excluded, remark := o.snapshotProtocols()
+	if remark != "" {
+		rep.AddNote(remark)
+	}
+	rate := o.localReadRate()
+	rep.Add(&report.Table{
+		ID: "localreads-banner", Gap: true,
+		Title: fmt.Sprintf("Local snapshot reads — %d protocols, YCSB-T 95%% reads skew 0.7, %v/coord",
+			len(names), rate),
+	})
+	if len(excluded) > 0 {
+		rep.AddNote(fmt.Sprintf("(excluded by design — no safe-time watermarks: %s)",
+			strings.Join(excluded, ", ")))
+	}
+	if len(names) == 0 {
+		return rep, nil
+	}
+
+	// One baseline point plus one local point per staleness, per protocol;
+	// the staleness-0 local point also samples watermark lag mid-run. The
+	// chaos-armed points ride in the same batch.
+	warm, dur := o.durations()
+	type cell struct {
+		proto     string
+		local     bool
+		staleness time.Duration
+	}
+	var cells []cell
+	for _, p := range names {
+		cells = append(cells, cell{proto: p})
+		for _, st := range localReadStalenesses {
+			cells = append(cells, cell{proto: p, local: true, staleness: st})
+		}
+	}
+	lags := make([]lagCapture, len(cells))
+	runs := make([]SpecRun, len(cells))
+	for i, c := range cells {
+		sr := o.point(o.localReadSpec(c.proto, c.staleness, c.local), rate, 21+int64(i))
+		sr.Load.Check = true
+		sr.Load.LocalReads = c.local
+		if c.local && c.staleness == 0 {
+			sr.Setup = watermarkLagSetup(lags, i, warm+dur/2)
+		}
+		runs[i] = sr
+	}
+	chaosTotal := o.failureRunLength()
+	chaosBase := len(runs)
+	for i, p := range names {
+		spec := o.localReadSpec(p, 0, true)
+		if p == "2PL+Paxos" || p == "OCC+Paxos" {
+			// As in the chaos matrix: dial the vote timeout down from its
+			// inert 10 s default so 2PCs stranded by the partition presume-
+			// abort instead of holding locks (and pinning the safe-time
+			// watermark below their prepare) past the heal.
+			spec.setKnobDefault(p, "vote-timeout", time.Second)
+		}
+		sr := SpecRun{
+			Spec:  spec,
+			Chaos: "wan-partition",
+			Load: LoadSpec{
+				RatePerCoord: rate, Outstanding: 400, Warmup: 0, Duration: chaosTotal,
+				Seed: o.Seed + 61 + int64(i), TrackSamples: true, Check: true, LocalReads: true,
+			},
+		}
+		runs = append(runs, sr)
+	}
+	results := RunSpecs(runs, o.Workers)
+
+	var rows []LocalReadRow
+	tab := rep.Add(&report.Table{
+		ID: "localreads/paths", Gap: true,
+		Title: "[read path × staleness] coordinator commit path vs nearest-replica snapshot reads",
+		Columns: []report.Column{
+			report.Col("protocol", "Protocol", report.String, report.None, 12).AlignLeft(),
+			report.Col("path", "path", report.String, report.None, 6).AlignLeft(),
+			report.Col("staleness", "staleness", report.Duration, report.Nanos, 10),
+			report.Col("thpt", "Thpt(txn/s)", report.Float, report.Rate, 12),
+			report.Col("commit", "Commit%", report.Float, report.Percent, 9).WithPrec(1),
+			report.Col("readp50", "read p50", report.Duration, report.Nanos, 12),
+			report.Col("readp90", "read p90", report.Duration, report.Nanos, 12),
+			report.Col("waitp50", "wait p50", report.Duration, report.Nanos, 12),
+			report.Col("local", "Local", report.Float, report.None, 9).WithPrec(0),
+		},
+	})
+	o.stamp(tab, o.classicTopology().Name, "ycsbt",
+		"rate", fmt.Sprintf("%v", rate), "read-ratio", "0.95", "skew", "0.7",
+		"clock", clocks.ModelChrony.String())
+	var checks []string
+	for i, c := range cells {
+		run := results[i].Run
+		path := "coord"
+		if c.local {
+			path = "local"
+		}
+		row := LocalReadRow{
+			Protocol: c.proto, Path: path, Staleness: c.staleness,
+			Thpt: run.Throughput(), Commit: run.Counters.CommitRate(),
+			ReadP50: run.ReadLat.Percentile(50), ReadP90: run.ReadLat.Percentile(90),
+			WaitP50: run.LocalWait.Percentile(50), Local: run.Counters.LocalReads,
+		}
+		rows = append(rows, row)
+		tab.AddRow(report.Str(row.Protocol), report.Str(row.Path), report.Dur(row.Staleness),
+			report.Num(row.Thpt), report.Num(row.Commit),
+			report.Dur(row.ReadP50), report.Dur(row.ReadP90), report.Dur(row.WaitP50),
+			report.Num(float64(row.Local)))
+		if c.local {
+			checks = append(checks, fmt.Sprintf("%s@%v: %s", c.proto, c.staleness, snapReadStatus(results[i])))
+		}
+	}
+	tab.Note("snapshot-read check — %s", strings.Join(checks, "; "))
+
+	lagTab := rep.Add(&report.Table{
+		ID: "localreads/watermark-lag", Gap: true,
+		Title: "[watermark lag] per-replica safe-time lag behind the sampling instant, mid-run under load",
+		Columns: []report.Column{
+			report.Col("protocol", "Protocol", report.String, report.None, 12).AlignLeft(),
+			report.Col("min", "lag min", report.Duration, report.Nanos, 12),
+			report.Col("med", "lag median", report.Duration, report.Nanos, 12),
+			report.Col("max", "lag max", report.Duration, report.Nanos, 12),
+		},
+	})
+	o.stamp(lagTab, o.classicTopology().Name, "ycsbt",
+		"sampled-at", fmt.Sprintf("%v", warm+dur/2))
+	for i, c := range cells {
+		if !c.local || c.staleness != 0 {
+			continue
+		}
+		min, med, max := lags[i].lagStats()
+		lagTab.AddRow(report.Str(c.proto), report.Dur(min), report.Dur(med), report.Dur(max))
+	}
+	lagTab.Note("(leader lag ≈ clock headroom for Tiga vs the in-flight prepare window for 2PC/Paxos; max is the slowest follower)")
+
+	chaosTab := rep.Add(&report.Table{
+		ID: "localreads/wan-partition", Gap: true,
+		Title: fmt.Sprintf("[chaos] local reads through %s, %v runs — partitioned replicas delay reads, never lie",
+			"wan-partition", chaosTotal),
+		Columns: []report.Column{
+			report.Col("protocol", "Protocol", report.String, report.None, 12).AlignLeft(),
+			report.Col("phase", "phase", report.String, report.None, 6).AlignLeft(),
+			report.Col("thpt", "Thpt(txn/s)", report.Float, report.Rate, 12),
+			report.Col("commit", "Commit%", report.Float, report.Percent, 9).WithPrec(1),
+			report.Col("p99", "p99", report.Duration, report.Nanos, 12),
+		},
+	})
+	plan := mustPlan("wan-partition")
+	o.stamp(chaosTab, o.classicTopology().Name, "ycsbt",
+		"chaos", "wan-partition",
+		"window", fmt.Sprintf("%v-%v", plan.Window.Start, plan.Window.End))
+	phases := []struct {
+		name     string
+		from, to time.Duration
+	}{
+		{"pre", 0, plan.Window.Start},
+		{"fault", plan.Window.Start, plan.Window.End},
+		{"post", plan.Window.End, chaosTotal},
+	}
+	var chaosChecks []string
+	for i, p := range names {
+		res := results[chaosBase+i]
+		for _, ph := range phases {
+			thpt, commit, p99 := phaseStats(res, ph.from, ph.to)
+			chaosTab.AddRow(report.Str(p), report.Str(ph.name), report.Num(thpt),
+				report.Num(commit), report.Dur(p99))
+		}
+		chaosChecks = append(chaosChecks, fmt.Sprintf("%s: %s, %d retries",
+			p, snapReadStatus(res), res.Run.Counters.Retries))
+	}
+	chaosTab.Note("snapshot-read check under partition — %s", strings.Join(chaosChecks, "; "))
+	return rep, rows
+}

@@ -77,6 +77,10 @@ var experimentList = []Experiment{
 		r, _ := ChaosMatrix(o)
 		return r
 	}},
+	{"localreads", "local snapshot reads: 0-WRTT read-only txns vs replica staleness, watermark lag, partition chaos", func(o Options) *report.Report {
+		r, _ := LocalReads(o)
+		return r
+	}},
 }
 
 // Experiments returns every registered experiment in presentation order.

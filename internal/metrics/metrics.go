@@ -104,6 +104,10 @@ type Counters struct {
 	SlowPath  int64
 	Rollbacks int64 // Tiga Case-3 revocations
 	Retries   int64
+	// LocalReads counts read-only transactions served from a nearby
+	// replica at their snapshot timestamp instead of via the coordinator
+	// path. They are included in Committed.
+	LocalReads int64
 }
 
 // CommitRate returns committed/submitted as a percentage.
@@ -131,6 +135,13 @@ type Run struct {
 	Thpt     *Series
 	Start    time.Duration
 	End      time.Duration
+	// ReadLat samples end-to-end latency of read-only transactions on
+	// whichever path served them (coordinator or local), so the two paths
+	// compare like for like.
+	ReadLat Latency
+	// LocalWait samples the SAFETIME delay local reads spent blocked
+	// behind a lagging replica watermark (zero when served immediately).
+	LocalWait Latency
 }
 
 // NewRun returns an initialized Run with 1-second throughput bins.
@@ -155,6 +166,16 @@ func (r *Run) RecordCommit(now, lat time.Duration, region string, fastPath bool)
 	}
 	rl.Add(lat)
 	r.Thpt.Add(now)
+}
+
+// RecordLocalRead records a read-only transaction served from a nearby
+// replica: it counts as a commit (local-read bucket), samples the read-path
+// latency, and tracks the SAFETIME wait separately.
+func (r *Run) RecordLocalRead(now, lat, waited time.Duration, region string) {
+	r.RecordCommit(now, lat, region, true)
+	r.Counters.LocalReads++
+	r.ReadLat.Add(lat)
+	r.LocalWait.Add(waited)
 }
 
 // Throughput returns committed transactions per second over the run window.

@@ -183,6 +183,12 @@ func (r *Replica) apply() {
 // Committed returns the number of committed slots (tests).
 func (r *Replica) Committed() int { return r.commitTo }
 
+// Applied returns the number of slots applied to the state machine — at most
+// Committed, lagging it across log gaps awaiting retransmission. Safe-time
+// watermark adoption keys off this: a watermark published for a log prefix
+// only becomes valid here once that prefix has actually reached the store.
+func (r *Replica) Applied() int { return r.applied }
+
 // LogLen returns the log length, committed or not (recovery catch-up gate).
 func (r *Replica) LogLen() int { return len(r.log) }
 

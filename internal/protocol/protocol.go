@@ -80,6 +80,27 @@ type RollbackReporter interface {
 	TotalRollbacks() int64
 }
 
+// SnapshotReadable is implemented by systems that maintain a monotonic
+// safe-time watermark per replica and can serve read-only transactions from
+// the nearest replica of each shard at 0 WRTT: the coordinator picks a
+// snapshot timestamp, each touched replica answers from its multi-version
+// store once its watermark passes the snapshot (blocking only for that
+// SAFETIME delay), and the result reports which committed versions were
+// observed so the snapshot-read checker can validate them against the
+// commit history. The machinery is knob-gated per protocol ("local-reads",
+// default off); SubmitLocalRead on a system built without the knob is
+// undefined.
+type SnapshotReadable interface {
+	System
+	// SubmitLocalRead routes a read-only transaction from coordinator
+	// coord to the nearest replica of each shard it touches.
+	SubmitLocalRead(coord int, t *txn.Txn, done func(txn.Result))
+	// SafeTimes returns every replica's current safe-time watermark in
+	// shard-major order (shard*replicas + replica), for staleness
+	// measurement.
+	SafeTimes() []time.Duration
+}
+
 // CostProfile declares a protocol's CPU-cost multipliers relative to the
 // harness base units — the per-piece execution budget calibrated once against
 // Table 1's MicroBench saturation throughputs (the paper's n2-standard-16

@@ -11,11 +11,13 @@
 package lockocc
 
 import (
+	"sort"
 	"time"
 
 	"tiga/internal/locks"
 	"tiga/internal/paxos"
 	"tiga/internal/simnet"
+	"tiga/internal/snapread"
 	"tiga/internal/store"
 	"tiga/internal/txn"
 )
@@ -57,6 +59,17 @@ type Spec struct {
 	// shards that have not confirmed, so a rebooted shard leader can finish
 	// the 2PC. 0 disables the timer (the pre-knob behavior).
 	VoteTimeout time.Duration
+	// LocalReads enables the local snapshot-read path (see snapreads.go):
+	// commit records carry coordinator-minted timestamps, stores retain
+	// version history, leaders publish safe-time watermarks held below their
+	// in-flight 2PC prepares, and read-only transactions are served from the
+	// nearest replica. Default off; the machinery adds timers and messages.
+	LocalReads bool
+	// ReadStaleness is how far in the past local reads pick their snapshot
+	// (0 = strong reads that wait out the watermark lag).
+	ReadStaleness time.Duration
+	// SafeTimeEvery is the leader's watermark broadcast interval.
+	SafeTimeEvery time.Duration
 }
 
 // ---- messages ----
@@ -84,6 +97,12 @@ type commitReq struct {
 	// since the reboot).
 	T    *txn.Txn
 	Prio uint64
+	// TS is the commit timestamp the coordinator minted at the decision
+	// (Spec.LocalReads only; zero otherwise). Per key, decision order equals
+	// apply order — a later writer of the same key can only vote after the
+	// earlier one's locks are released at apply — so versions enter the
+	// store in timestamp order.
+	TS txn.Timestamp
 }
 
 type abortReq struct{ ID txn.ID }
@@ -110,6 +129,7 @@ type committedMsg struct {
 // commitRec is the Paxos-replicated commit record.
 type commitRec struct {
 	ID     txn.ID
+	TS     txn.Timestamp // coordinator-minted commit timestamp (LocalReads)
 	Writes map[string][]byte
 }
 
@@ -128,6 +148,11 @@ type pendingSrv struct {
 	waiting   int      // outstanding lock grants (2PL)
 	occHeld   []string // OCC: write-locked keys
 	occRead   []string // OCC: read-marked keys
+	// prepTS pins the leader's safe-time watermark below this in-flight
+	// transaction (LocalReads): its eventual commit timestamp, minted at the
+	// coordinator's decision, is necessarily later than its arrival here.
+	prepTS time.Duration
+	ts     txn.Timestamp // decided commit timestamp (from commitReq)
 }
 
 // server is a shard leader plus its Paxos group membership.
@@ -154,6 +179,12 @@ type server struct {
 	recovering bool
 	recovered  map[int]recoverRep
 	catchingUp bool
+
+	// Local snapshot-read state (Spec.LocalReads, see snapreads.go).
+	safeTime  time.Duration
+	safeLie   time.Duration // test hook: fault-injected watermark inflation
+	safePairs []safeT       // follower: (W, N) pairs awaiting applied >= N
+	waiters   snapread.Waiters
 }
 
 // System is a running 2PL/OCC deployment.
@@ -177,6 +208,9 @@ func New(spec Spec) *System {
 	if spec.RetryBackoff == 0 {
 		spec.RetryBackoff = 25 * time.Millisecond
 	}
+	if spec.SafeTimeEvery == 0 {
+		spec.SafeTimeEvery = 5 * time.Millisecond
+	}
 	sys := &System{spec: spec}
 	n := 2*spec.F + 1
 	sys.nodes = make([][]simnet.NodeID, spec.Shards)
@@ -196,7 +230,7 @@ func New(spec Spec) *System {
 	for _, reg := range spec.CoordRegions {
 		node := spec.Net.AddNode(reg, nil)
 		co := &coordinator{sys: sys, node: node, idx: int32(len(sys.coords) + 1),
-			pending: make(map[txn.ID]*pendingCo)}
+			pending: make(map[txn.ID]*pendingCo), reads: make(map[uint64]*pendingRead)}
 		node.SetHandler(co.handle)
 		sys.coords = append(sys.coords, co)
 	}
@@ -218,6 +252,17 @@ func newServer(sys *System, s, r int) *server {
 	srv.pax = paxos.NewReplica("pax", node, sys.nodes[s], r, 0, sys.spec.F)
 	srv.pax.OnCommit = srv.onPaxosCommit
 	srv.lt.Wound = srv.onWound
+	if sys.spec.LocalReads {
+		srv.st.EnableSnapshots()
+		if r == 0 {
+			// Leader watermark broadcast; re-armed here so a restarted
+			// leader (whose crash cancelled all timers) resumes publishing.
+			node.Every(sys.spec.SafeTimeEvery, func() bool {
+				srv.broadcastSafeT()
+				return true
+			})
+		}
+	}
 	if sys.spec.Seed != nil {
 		sys.spec.Seed(s, srv.st)
 	}
@@ -281,6 +326,17 @@ func (s *server) handle(from simnet.NodeID, msg simnet.Message) {
 	}
 	if s.recovering {
 		return // not serving until the survivor logs are merged
+	}
+	// Snapshot-read traffic is handled on EVERY replica — followers serve
+	// local reads too — so it must precede the replica-0 gate below. Dropped
+	// requests (recovering replicas) are re-driven by coordinator retries.
+	switch m := msg.(type) {
+	case safeT:
+		s.onSafeT(m)
+		return
+	case snapread.Req:
+		s.onSnapRead(from, m)
+		return
 	}
 	if s.pax.Handle(from, msg) {
 		return
@@ -354,7 +410,7 @@ func (s *server) onReqExec(m reqExec) {
 	if _, dup := s.pending[id]; dup {
 		return
 	}
-	p := &pendingSrv{t: m.T, prio: m.Prio, coord: m.Coord}
+	p := &pendingSrv{t: m.T, prio: m.Prio, coord: m.Coord, prepTS: s.sys.spec.Net.Sim().Now()}
 	s.pending[id] = p
 	piece := m.T.Pieces[s.shard]
 	if s.sys.spec.CC == OCC {
@@ -388,6 +444,7 @@ func (s *server) onReqExec(m reqExec) {
 		ret, writes := executeBuffered(s.st, piece)
 		p.writes = writes
 		s.node.Send(m.Coord, voteMsg{Shard: s.shard, ID: id, OK: true, Ret: ret, Writes: writes})
+		s.armDecisionQuery(id)
 		return
 	}
 	// 2PL: acquire all locks (wound-wait), then execute.
@@ -429,6 +486,7 @@ func (s *server) finishLock(id txn.ID) {
 	ret, writes := executeBuffered(s.st, p.t.Pieces[s.shard])
 	p.writes = writes
 	s.node.Send(p.coord, voteMsg{Shard: s.shard, ID: id, OK: true, Ret: ret, Writes: writes})
+	s.armDecisionQuery(id)
 }
 
 // occConflict reports whether the piece conflicts with any in-flight
@@ -469,17 +527,19 @@ func (s *server) onCommitReq(m commitReq) {
 	}
 	p := s.pending[m.ID]
 	if p == nil {
-		p = &pendingSrv{t: m.T, prio: m.Prio, coord: m.Coord, voted: true, relocking: true}
+		p = &pendingSrv{t: m.T, prio: m.Prio, coord: m.Coord, voted: true, relocking: true,
+			prepTS: s.sys.spec.Net.Sim().Now(), ts: m.TS}
 		s.pending[m.ID] = p
 		s.relock(m.ID, p)
 		return
 	}
 	p.coord = m.Coord
+	p.ts = m.TS
 	if p.proposed || p.relocking {
 		return
 	}
 	p.proposed = true
-	slot := s.pax.Propose(commitRec{ID: m.ID, Writes: p.writes})
+	slot := s.pax.Propose(commitRec{ID: m.ID, TS: p.ts, Writes: p.writes})
 	s.onSlot[slot] = m.ID
 }
 
@@ -529,7 +589,7 @@ func (s *server) finishRelock(id txn.ID) {
 	_ = ret // the coordinator already holds the pre-crash vote result
 	p.writes = writes
 	p.proposed = true
-	slot := s.pax.Propose(commitRec{ID: id, Writes: p.writes})
+	slot := s.pax.Propose(commitRec{ID: id, TS: p.ts, Writes: p.writes})
 	s.onSlot[slot] = id
 }
 
@@ -569,11 +629,28 @@ func (s *server) onPaxosCommit(slot int, cmd paxos.Command) {
 	rec := cmd.(commitRec)
 	if !s.applied[rec.ID] {
 		s.applied[rec.ID] = true
-		for k, v := range rec.Writes {
-			s.st.Seed(k, v)
+		if s.sys.spec.LocalReads {
+			// Versioned install at the minted commit timestamp, in sorted
+			// key order (map iteration order must not leak into store
+			// version layout).
+			keys := make([]string, 0, len(rec.Writes))
+			for k := range rec.Writes {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				s.st.PutCommitted(k, rec.TS, rec.Writes[k])
+			}
+		} else {
+			for k, v := range rec.Writes {
+				s.st.Seed(k, v)
+			}
 		}
 	}
 	if s.replica != 0 {
+		if s.sys.spec.LocalReads {
+			s.adoptSafeT()
+		}
 		return
 	}
 	if s.catchingUp && s.pax.Committed() >= s.pax.LogLen() {
@@ -631,6 +708,7 @@ type pendingCo struct {
 	phase   int // 0 = exec, 1 = commit
 	retries int
 	start   time.Duration
+	ts      txn.Timestamp // minted at the commit decision (LocalReads)
 }
 
 type coordinator struct {
@@ -639,6 +717,10 @@ type coordinator struct {
 	idx     int32
 	seq     uint64
 	pending map[txn.ID]*pendingCo
+
+	// Local snapshot reads (Spec.LocalReads, see snapreads.go).
+	reads   map[uint64]*pendingRead
+	nearest []int
 }
 
 // Submit runs the layered commit protocol for t.
@@ -691,7 +773,7 @@ func (co *coordinator) checkProgress(id txn.ID) {
 	for _, sh := range p.t.Shards() {
 		if !p.commits[sh] {
 			co.node.Send(co.sys.leaderNode(sh),
-				commitReq{ID: id, Coord: co.node.ID(), T: p.t, Prio: p.prio})
+				commitReq{ID: id, Coord: co.node.ID(), T: p.t, Prio: p.prio, TS: p.ts})
 		}
 	}
 	co.node.After(co.sys.spec.VoteTimeout, func() { co.checkProgress(id) })
@@ -703,6 +785,10 @@ func (co *coordinator) handle(from simnet.NodeID, msg simnet.Message) {
 		co.onVote(m)
 	case committedMsg:
 		co.onCommitted(m)
+	case snapread.Rep:
+		co.onSnapRep(m)
+	case decisionQuery:
+		co.onDecisionQuery(from, m)
 	}
 }
 
@@ -720,11 +806,17 @@ func (co *coordinator) onVote(m voteMsg) {
 		return
 	}
 	p.phase = 1
+	// The commit timestamp is minted at the decision: it is later than every
+	// shard's vote (hence every prepTS pinning a leader watermark), and
+	// unique via the (Coord, Seq) tie-break.
+	if co.sys.spec.LocalReads {
+		p.ts = txn.Timestamp{Time: co.sys.spec.Net.Sim().Now(), Coord: co.idx, Seq: m.ID.Seq}
+	}
 	// Shard order must be deterministic: the simulation's event order (and
 	// thus the whole run) follows message send order.
 	for _, sh := range p.t.Shards() {
 		co.node.Send(co.sys.leaderNode(sh),
-			commitReq{ID: m.ID, Coord: co.node.ID(), T: p.t, Prio: p.prio})
+			commitReq{ID: m.ID, Coord: co.node.ID(), T: p.t, Prio: p.prio, TS: p.ts})
 	}
 }
 
@@ -738,7 +830,7 @@ func (co *coordinator) onCommitted(m committedMsg) {
 		return
 	}
 	delete(co.pending, m.ID)
-	res := txn.Result{OK: true, Retries: p.retries, PerShard: make(map[int][]byte)}
+	res := txn.Result{OK: true, Retries: p.retries, PerShard: make(map[int][]byte), TS: p.ts}
 	for sh, v := range p.votes {
 		res.PerShard[sh] = v.Ret
 	}

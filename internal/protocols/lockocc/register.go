@@ -33,15 +33,21 @@ func register(name string, cc CC, cost protocol.CostProfile) {
 				Doc: "base backoff before a retry; multiplied by the attempt number"},
 			{Name: "vote-timeout", Type: protocol.KnobDuration, Default: 10 * time.Second,
 				Doc: "coordinator progress timer per attempt: presumed abort while gathering votes, commit-record re-send after the decision; 0 disables"},
+			{Name: "local-reads", Type: protocol.KnobBool, Default: false,
+				Doc: "serve read-only transactions from the nearest replica, gated by safe-time watermarks held below in-flight 2PC prepares"},
+			{Name: "read-staleness", Type: protocol.KnobDuration, Default: time.Duration(0),
+				Doc: "snapshot age for local reads: 0 = strong reads that wait out watermark lag; positive bounds trade staleness for near-zero waits"},
 		},
 		func(ctx *protocol.BuildContext) protocol.System {
 			return New(Spec{
 				CC: cc, Shards: ctx.Shards, F: ctx.F, Net: ctx.Net,
 				ServerRegion: ctx.ServerRegion, CoordRegions: ctx.CoordRegions,
 				Seed: ctx.SeedStore, ExecCost: ctx.ExecCost,
-				MaxRetries:   ctx.Knobs.Int("max-retries"),
-				RetryBackoff: ctx.Knobs.Duration("retry-backoff"),
-				VoteTimeout:  ctx.Knobs.Duration("vote-timeout"),
+				MaxRetries:    ctx.Knobs.Int("max-retries"),
+				RetryBackoff:  ctx.Knobs.Duration("retry-backoff"),
+				VoteTimeout:   ctx.Knobs.Duration("vote-timeout"),
+				LocalReads:    ctx.Knobs.Bool("local-reads"),
+				ReadStaleness: ctx.Knobs.Duration("read-staleness"),
 			})
 		})
 }

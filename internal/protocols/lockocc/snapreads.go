@@ -1,0 +1,308 @@
+package lockocc
+
+import (
+	"time"
+
+	"tiga/internal/protocol"
+	"tiga/internal/simnet"
+	"tiga/internal/snapread"
+	"tiga/internal/txn"
+)
+
+// Local snapshot reads for the layered baselines (Spec.LocalReads).
+//
+// The watermark rule instantiated for 2PL/OCC over Multi-Paxos: commit
+// timestamps are minted by the coordinator at the 2PC decision, so the shard
+// leader's watermark is held one tick below the arrival time of its OLDEST
+// in-flight transaction (prepTS): anything that ever commits here gets a
+// timestamp later than its own arrival. That is the structural contrast with
+// Tiga — a lock-based leader's watermark lags by the full prepare window
+// (~1 WRTT under load, unboundedly under lock waits), where Tiga's leader
+// watermark tracks its synchronized clock and lags only by queued headroom.
+// Followers adopt the leader's watermark once they have applied the Paxos
+// prefix it was published for, exactly as in Tiga.
+
+// safeT is the leader's periodic watermark broadcast: W is valid once the
+// first N Paxos slots are applied (every commit with timestamp <= W is in
+// that prefix; everything later carries a larger timestamp by the prepTS
+// argument above).
+type safeT struct {
+	W time.Duration
+	N int
+}
+
+// advanceSafeT recomputes the leader watermark: one tick below now, capped
+// below every in-flight transaction's arrival time. Monotonic — prepTS
+// entries only disappear forward in time, and now only grows.
+func (s *server) advanceSafeT() {
+	w := s.sys.spec.Net.Sim().Now() - 1
+	for _, p := range s.pending {
+		if p.prepTS-1 < w {
+			w = p.prepTS - 1
+		}
+	}
+	if w > s.safeTime {
+		s.safeTime = w
+		s.flushWaiters()
+	}
+}
+
+func (s *server) broadcastSafeT() {
+	if s.recovering {
+		return
+	}
+	// Leader-driven retransmission: follower watermark adoption is gated on
+	// Paxos apply progress, so a follower cut off by a partition must be
+	// caught up even when new proposals are scarce — reads queued on its
+	// frozen watermark throttle the very write load that would otherwise
+	// carry the retransmissions.
+	s.pax.Tick()
+	s.advanceSafeT()
+	m := safeT{W: s.safeTime, N: s.pax.Applied()}
+	for r, id := range s.sys.nodes[s.shard] {
+		if r != s.replica {
+			s.node.Send(id, m)
+		}
+	}
+}
+
+func (s *server) onSafeT(m safeT) {
+	if !s.sys.spec.LocalReads || s.replica == 0 {
+		return
+	}
+	if s.pax.Applied() >= m.N {
+		if m.W > s.safeTime {
+			s.safeTime = m.W
+			s.flushWaiters()
+		}
+		return
+	}
+	s.safePairs = append(s.safePairs, m)
+}
+
+// adoptSafeT folds buffered watermark pairs whose Paxos prefixes this
+// follower has now applied (called from onPaxosCommit).
+func (s *server) adoptSafeT() {
+	if len(s.safePairs) == 0 {
+		return
+	}
+	keep := s.safePairs[:0]
+	advanced := false
+	for _, p := range s.safePairs {
+		if s.pax.Applied() >= p.N {
+			if p.W > s.safeTime {
+				s.safeTime = p.W
+				advanced = true
+			}
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	s.safePairs = keep
+	if advanced {
+		s.flushWaiters()
+	}
+}
+
+// decisionQuery asks a coordinator for the outcome of a voted prepare whose
+// decision never arrived: the abort path is fire-and-forget, so a partition
+// can eat it, leaking the prepare's locks — and, worse for local reads,
+// pinning the shard's safe-time watermark below the orphan's prepTS forever.
+// A coordinator with no trace of the transaction answers presumed-abort.
+// Commit decisions need no query: checkProgress already re-sends commit
+// records until every shard confirms.
+type decisionQuery struct{ ID txn.ID }
+
+func (co *coordinator) onDecisionQuery(from simnet.NodeID, m decisionQuery) {
+	if co.pending[m.ID] == nil {
+		co.node.Send(from, abortReq{ID: m.ID})
+	}
+}
+
+// armDecisionQuery starts the server-side orphan watch for a prepare that
+// just voted OK. It trails the coordinator's own vote-timeout cycle by half
+// a period so an in-flight decision usually wins the race, and re-arms until
+// the prepare is decided. Active only with local reads (the watermark is
+// what makes orphans expensive) and a finite vote timeout.
+func (s *server) armDecisionQuery(id txn.ID) {
+	vt := s.sys.spec.VoteTimeout
+	if vt <= 0 || !s.sys.spec.LocalReads {
+		return
+	}
+	s.node.After(vt+vt/2, func() {
+		p := s.pending[id]
+		if p == nil || !p.voted || p.proposed || p.relocking {
+			return
+		}
+		s.node.Send(p.coord, decisionQuery{ID: id})
+		s.armDecisionQuery(id)
+	})
+}
+
+func (s *server) flushWaiters() {
+	if s.waiters.Len() == 0 {
+		return
+	}
+	s.waiters.Flush(s.safeTime+s.safeLie, s.sys.spec.Net.Sim().Now())
+}
+
+// onSnapRead serves a snapshot read once the watermark covers it. Leaders
+// blocked only on wall-clock progress are flushed by the periodic broadcast
+// tick; followers are flushed by watermark adoption.
+func (s *server) onSnapRead(from simnet.NodeID, m snapread.Req) {
+	if !s.sys.spec.LocalReads {
+		return
+	}
+	if s.replica == 0 {
+		s.advanceSafeT()
+	}
+	if m.At <= s.safeTime+s.safeLie {
+		s.serveSnapRead(from, m, 0)
+		return
+	}
+	s.waiters.Add(m.At, s.sys.spec.Net.Sim().Now(), func(waited time.Duration) {
+		s.serveSnapRead(from, m, waited)
+	})
+}
+
+func (s *server) serveSnapRead(to simnet.NodeID, m snapread.Req, waited time.Duration) {
+	s.node.Work(s.sys.spec.ExecCost)
+	vals := make([][]byte, len(m.Keys))
+	seen := make([]txn.Timestamp, len(m.Keys))
+	for i, k := range m.Keys {
+		vals[i], seen[i], _ = s.st.GetAt(k, m.At)
+	}
+	s.node.Send(to, snapread.Rep{Shard: s.shard, Seq: m.Seq, Vals: vals, Seen: seen, Waited: waited})
+}
+
+// ---- coordinator read path ----
+
+// readRetryEvery re-drives snapshot requests lost to a crashed or
+// partitioned replica: delayed until the fault heals, never silently lost.
+const readRetryEvery = 400 * time.Millisecond
+
+type pendingRead struct {
+	t       *txn.Txn
+	at      time.Duration
+	start   time.Duration
+	done    func(txn.Result)
+	got     map[int]bool
+	vals    map[int][]byte
+	waited  time.Duration
+	reads   []txn.ReadObs
+	retries int
+}
+
+func (co *coordinator) submitRead(t *txn.Txn, done func(txn.Result)) {
+	co.seq++
+	t.ID = txn.ID{Coord: co.idx, Seq: co.seq}
+	at := co.sys.spec.Net.Sim().Now() - co.sys.spec.ReadStaleness
+	if at < 0 {
+		at = 0
+	}
+	pr := &pendingRead{
+		t: t, at: at, start: co.sys.spec.Net.Sim().Now(), done: done,
+		got: make(map[int]bool),
+	}
+	co.reads[co.seq] = pr
+	co.sendReadReqs(pr)
+	co.armReadRetry(pr)
+}
+
+func (co *coordinator) sendReadReqs(pr *pendingRead) {
+	for _, sh := range pr.t.Shards() {
+		if pr.got[sh] {
+			continue
+		}
+		co.node.Send(co.sys.nodes[sh][co.nearestReplica(sh)], snapread.Req{
+			Shard: sh, Coord: co.idx, Seq: pr.t.ID.Seq, At: pr.at, Keys: pr.t.Pieces[sh].ReadSet,
+		})
+	}
+}
+
+func (co *coordinator) armReadRetry(pr *pendingRead) {
+	seq := pr.t.ID.Seq
+	co.node.After(readRetryEvery, func() {
+		cur, ok := co.reads[seq]
+		if !ok || cur != pr {
+			return
+		}
+		pr.retries++
+		co.sendReadReqs(pr)
+		co.armReadRetry(pr)
+	})
+}
+
+func (co *coordinator) onSnapRep(m snapread.Rep) {
+	pr, ok := co.reads[m.Seq]
+	if !ok || pr.got[m.Shard] {
+		return
+	}
+	pr.got[m.Shard] = true
+	if m.Waited > pr.waited {
+		pr.waited = m.Waited
+	}
+	keys := pr.t.Pieces[m.Shard].ReadSet
+	for i := range keys {
+		if i < len(m.Seen) {
+			pr.reads = append(pr.reads, txn.ReadObs{Key: keys[i], TS: m.Seen[i]})
+		}
+	}
+	if pr.vals == nil {
+		pr.vals = make(map[int][]byte, len(pr.t.Pieces))
+	}
+	if len(m.Vals) > 0 {
+		pr.vals[m.Shard] = m.Vals[0]
+	}
+	if len(pr.got) < len(pr.t.Pieces) {
+		return
+	}
+	delete(co.reads, m.Seq)
+	pr.done(txn.Result{
+		OK: true, FastPath: true, Retries: pr.retries, PerShard: pr.vals,
+		SnapshotAt: pr.at, Waited: pr.waited, Reads: pr.reads,
+	})
+}
+
+func (co *coordinator) nearestReplica(sh int) int {
+	if co.nearest == nil {
+		co.nearest = make([]int, co.sys.spec.Shards)
+		for i := range co.nearest {
+			co.nearest[i] = -1
+		}
+	}
+	if co.nearest[sh] < 0 {
+		net := co.sys.spec.Net
+		co.nearest[sh] = snapread.Nearest(net, co.node.Region(), 2*co.sys.spec.F+1,
+			func(rep int) simnet.Region {
+				return net.Node(co.sys.nodes[sh][rep]).Region()
+			})
+	}
+	return co.nearest[sh]
+}
+
+// SubmitLocalRead implements protocol.SnapshotReadable.
+func (sys *System) SubmitLocalRead(coord int, t *txn.Txn, done func(txn.Result)) {
+	sys.coords[coord].submitRead(t, done)
+}
+
+// SafeTimes implements protocol.SnapshotReadable: every replica's current
+// watermark in shard-major order.
+func (sys *System) SafeTimes() []time.Duration {
+	n := 2*sys.spec.F + 1
+	out := make([]time.Duration, 0, sys.spec.Shards*n)
+	for _, shard := range sys.servers {
+		for _, s := range shard {
+			out = append(out, s.safeTime)
+		}
+	}
+	return out
+}
+
+// LieSafeTime makes one replica advertise a watermark ahead of its real one —
+// fault injection for the snapshot-read checker tests.
+func (sys *System) LieSafeTime(shard, replica int, ahead time.Duration) {
+	sys.servers[shard][replica].safeLie = ahead
+}
+
+var _ protocol.SnapshotReadable = (*System)(nil)

@@ -1,0 +1,108 @@
+// Package snapread holds the protocol-independent pieces of the local
+// snapshot-read path: the wire messages a coordinator exchanges with the
+// nearest replica of each shard, the server-side queue of reads waiting for
+// the replica's safe-time watermark to pass their snapshot (the SAFETIME
+// delay), and the nearest-replica picker.
+//
+// The rule every implementing protocol must uphold: a replica answers a
+// read at snapshot timestamp At only once its monotonic safe-time watermark
+// W satisfies At <= W, where W promises that every transaction that will
+// ever commit at this replica with timestamp <= W is already applied. A
+// lagging replica therefore delays a read (it queues in Waiters) but never
+// lies; the checker validates the returned version timestamps against the
+// global commit history.
+package snapread
+
+import (
+	"time"
+
+	"tiga/internal/simnet"
+	"tiga/internal/txn"
+)
+
+// Req asks one replica of a shard for the values of Keys at snapshot
+// timestamp At. (Coord, Seq) identify the read-only transaction; Seq is the
+// coordinator's own sequence, so replies can be matched to the pending read.
+type Req struct {
+	Shard int
+	Coord int32
+	Seq   uint64
+	At    time.Duration
+	Keys  []string
+}
+
+// Rep carries one shard's answer: values and observed commit timestamps
+// aligned with Req.Keys, plus how long the read waited behind the replica's
+// watermark (zero when served immediately).
+type Rep struct {
+	Shard  int
+	Seq    uint64
+	Vals   [][]byte
+	Seen   []txn.Timestamp
+	Waited time.Duration
+}
+
+type waiter struct {
+	at    time.Duration
+	since time.Duration
+	serve func(waited time.Duration)
+}
+
+// Waiters queues snapshot reads whose timestamp is ahead of the replica's
+// watermark. Flush releases, in (snapshot, arrival) order, every read the
+// advancing watermark now covers — a deterministic order, so the replies it
+// sends keep the simulation reproducible.
+type Waiters struct {
+	ws []waiter
+}
+
+// Add enqueues a read blocked until the watermark reaches at; now is the
+// enqueue time. When the watermark gets there, serve is called with the
+// SAFETIME delay the read spent queued.
+func (w *Waiters) Add(at, now time.Duration, serve func(waited time.Duration)) {
+	// Insert sorted by snapshot with arrival order breaking ties: the
+	// queue is short and mostly append-ordered, snapshots grow with time.
+	i := len(w.ws)
+	for i > 0 && w.ws[i-1].at > at {
+		i--
+	}
+	w.ws = append(w.ws, waiter{})
+	copy(w.ws[i+1:], w.ws[i:])
+	w.ws[i] = waiter{at: at, since: now, serve: serve}
+}
+
+// Flush serves every queued read with snapshot <= watermark, in queue
+// order, charging each the simulated time it waited.
+func (w *Waiters) Flush(watermark, now time.Duration) {
+	n := 0
+	for n < len(w.ws) && w.ws[n].at <= watermark {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	ready := append([]waiter(nil), w.ws[:n]...)
+	w.ws = w.ws[:copy(w.ws, w.ws[n:])]
+	for i := range ready {
+		ready[i].serve(now - ready[i].since)
+	}
+}
+
+// Len reports how many reads are currently blocked.
+func (w *Waiters) Len() int { return len(w.ws) }
+
+// Nearest picks the replica with the smallest round-trip estimate from a
+// coordinator's region, preferring the lowest index on ties — replica
+// placement maps indices to regions, so on the paper topologies this is the
+// same-region replica whenever one exists.
+func Nearest(net *simnet.Network, from simnet.Region, replicas int, regionOf func(replica int) simnet.Region) int {
+	best, bestRTT := 0, time.Duration(-1)
+	for r := 0; r < replicas; r++ {
+		reg := regionOf(r)
+		rtt := net.BaseOWD(from, reg) + net.BaseOWD(reg, from)
+		if bestRTT < 0 || rtt < bestRTT {
+			best, bestRTT = r, rtt
+		}
+	}
+	return best
+}

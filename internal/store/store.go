@@ -10,6 +10,7 @@ package store
 
 import (
 	"sort"
+	"time"
 
 	"tiga/internal/txn"
 )
@@ -18,6 +19,10 @@ type version struct {
 	writer txn.ID
 	ts     txn.Timestamp
 	val    []byte
+	// uncommitted marks a version written by Execute that Commit has not
+	// yet finalized. Snapshot reads (GetAt) never observe such versions;
+	// Get still does, because optimistic execution reads its own writes.
+	uncommitted bool
 }
 
 // Store is a multi-version key-value store for one shard.
@@ -26,6 +31,11 @@ type Store struct {
 	pending map[txn.ID][]string // uncommitted writer -> keys written
 	// Executed tracks at-most-once execution (paper Appendix B).
 	executed map[txn.ID]bool
+	// retain switches Commit from garbage-collecting old versions to
+	// keeping the full committed history, which snapshot reads need.
+	retain bool
+	// high is the committed-timestamp high-water per key (retain mode).
+	high map[string]txn.Timestamp
 }
 
 // New returns an empty store.
@@ -34,6 +44,18 @@ func New() *Store {
 		data:     make(map[string][]version),
 		pending:  make(map[txn.ID][]string),
 		executed: make(map[txn.ID]bool),
+	}
+}
+
+// EnableSnapshots switches the store into version-retaining mode: Commit
+// marks versions committed (recording a per-key high-water timestamp)
+// instead of garbage-collecting history, so GetAt can serve reads at any
+// past timestamp. Protocols enable this only when local snapshot reads are
+// on; the default GC behavior is byte-identical to before.
+func (s *Store) EnableSnapshots() {
+	s.retain = true
+	if s.high == nil {
+		s.high = make(map[string]txn.Timestamp)
 	}
 }
 
@@ -51,12 +73,19 @@ func (s *Store) Seed(key string, val []byte) {
 	s.data[key] = []version{{val: val}}
 }
 
-// Reserve sizes the version map for n keys ahead of a per-key bulk seed,
-// avoiding incremental rehashing while an empty store is pre-populated.
+// Reserve sizes the version map for n additional keys ahead of a per-key
+// bulk seed, avoiding incremental rehashing while a store is pre-populated.
+// A non-empty store is rebuilt at the combined size with its contents
+// preserved, so workloads that seed in multiple passes still benefit.
 func (s *Store) Reserve(n int) {
-	if len(s.data) == 0 && n > 0 {
-		s.data = make(map[string][]version, n)
+	if n <= 0 {
+		return
 	}
+	data := make(map[string][]version, len(s.data)+n)
+	for k, vs := range s.data {
+		data[k] = vs
+	}
+	s.data = data
 }
 
 // SeedBulk installs the same initial committed value for every key in one
@@ -65,9 +94,7 @@ func (s *Store) Reserve(n int) {
 // clipped, so a later Put reallocates instead of aliasing its neighbor) —
 // seeding a replica's keyspace costs two allocations instead of one per key.
 func (s *Store) SeedBulk(keys []string, val []byte) {
-	if len(s.data) == 0 && len(keys) > 0 {
-		s.data = make(map[string][]version, len(keys))
-	}
+	s.Reserve(len(keys))
 	vs := make([]version, len(keys))
 	for i, k := range keys {
 		vs[i] = version{val: val}
@@ -91,9 +118,33 @@ type txnView struct {
 func (v *txnView) Get(key string) []byte { return v.s.Get(key) }
 
 func (v *txnView) Put(key string, val []byte) {
-	v.s.data[key] = append(v.s.data[key], version{writer: v.writer, ts: v.ts, val: val})
+	v.s.data[key] = append(v.s.data[key], version{writer: v.writer, ts: v.ts, val: val, uncommitted: true})
 	v.keys = append(v.keys, key)
 }
+
+// GetAt returns the newest committed version of key with a timestamp at or
+// below at, together with that version's commit timestamp (zero for seeded
+// initial values). Uncommitted versions are invisible: a snapshot read never
+// observes optimistic state. Committed versions of one key are appended in
+// timestamp order (conflicting writers are serialized by the protocol), so
+// the newest qualifying version is the first committed one at or below at
+// when scanning from the top.
+func (s *Store) GetAt(key string, at time.Duration) ([]byte, txn.Timestamp, bool) {
+	vs := s.data[key]
+	for i := len(vs) - 1; i >= 0; i-- {
+		v := &vs[i]
+		if v.uncommitted || v.ts.Time > at {
+			continue
+		}
+		return v.val, v.ts, true
+	}
+	return nil, txn.Timestamp{}, false
+}
+
+// HighWater returns the committed-timestamp high-water for key: the largest
+// commit timestamp any committed version of the key carries (zero when only
+// the seeded value exists). Only meaningful in snapshot-retaining mode.
+func (s *Store) HighWater(key string) txn.Timestamp { return s.high[key] }
 
 // Execute runs a piece as transaction id at timestamp ts, creating pending
 // versions for its writes. It enforces at-most-once execution: re-executing
@@ -135,20 +186,51 @@ func (s *Store) Revoke(id txn.ID) {
 	delete(s.executed, id)
 }
 
-// Commit finalizes id's writes: its versions become durable and older
-// versions of those keys are garbage-collected.
+// Commit finalizes id's writes. In the default mode its versions become
+// durable and older versions of those keys are garbage-collected; in
+// snapshot-retaining mode (EnableSnapshots) the versions are marked
+// committed, history is kept for GetAt, and the per-key high-water advances.
+// Committing an id twice is a no-op either way.
 func (s *Store) Commit(id txn.ID) {
 	keys := s.pending[id]
+	if s.retain {
+		for _, k := range keys {
+			vs := s.data[k]
+			for i := len(vs) - 1; i >= 0; i-- {
+				if vs[i].writer == id {
+					vs[i].uncommitted = false
+					if s.high[k].Less(vs[i].ts) {
+						s.high[k] = vs[i].ts
+					}
+					break
+				}
+			}
+		}
+		delete(s.pending, id)
+		return
+	}
 	for _, k := range keys {
 		vs := s.data[k]
 		if len(vs) > 1 {
 			top := vs[len(vs)-1]
 			if top.writer == id {
+				top.uncommitted = false
 				s.data[k] = []version{top}
 			}
 		}
 	}
 	delete(s.pending, id)
+}
+
+// PutCommitted appends an already-committed version of key directly — the
+// install path for replicated write sets that arrive with their commit
+// timestamp attached (lockocc's commit records), bypassing the
+// Execute/Commit pending cycle.
+func (s *Store) PutCommitted(key string, ts txn.Timestamp, val []byte) {
+	s.data[key] = append(s.data[key], version{ts: ts, val: val})
+	if s.retain && s.high[key].Less(ts) {
+		s.high[key] = ts
+	}
 }
 
 // Snapshot deep-copies the store — the checkpoint mechanism used to
@@ -165,6 +247,12 @@ func (s *Store) Snapshot() *Store {
 	}
 	for id := range s.executed {
 		cp.executed[id] = true
+	}
+	if s.retain {
+		cp.EnableSnapshots()
+		for k, ts := range s.high {
+			cp.high[k] = ts
+		}
 	}
 	return cp
 }

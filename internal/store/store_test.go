@@ -138,6 +138,141 @@ func TestExecuteRevokeProperty(t *testing.T) {
 	}
 }
 
+// Reserve after a seed must grow the map without losing data — it used to
+// be a silent no-op on any non-empty store, defeating two-pass pre-sizing.
+func TestReserveGrowsNonEmptyMap(t *testing.T) {
+	s := New()
+	s.SeedBulk([]string{"a", "b"}, txn.EncodeInt(1))
+	s.Reserve(100)
+	if txn.DecodeInt(s.Get("a")) != 1 || txn.DecodeInt(s.Get("b")) != 1 {
+		t.Fatal("Reserve dropped existing keys")
+	}
+	s.SeedBulk([]string{"c", "d"}, txn.EncodeInt(2))
+	if s.Len() != 4 {
+		t.Fatalf("store holds %d keys after two-pass seed, want 4", s.Len())
+	}
+	if txn.DecodeInt(s.Get("a")) != 1 || txn.DecodeInt(s.Get("c")) != 2 {
+		t.Fatal("second seed pass corrupted values")
+	}
+	s.Reserve(0) // degenerate sizes are no-ops
+	s.Reserve(-1)
+	if s.Len() != 4 {
+		t.Fatal("degenerate Reserve changed the store")
+	}
+}
+
+func TestGetAtOrdering(t *testing.T) {
+	s := New()
+	s.EnableSnapshots()
+	s.Seed("x", txn.EncodeInt(0))
+	for i := uint64(1); i <= 5; i++ {
+		s.Execute(id(i), ts(int64(i*10)), txn.IncrementPiece("x"))
+		s.Commit(id(i))
+	}
+	cases := []struct {
+		at   int64
+		want int64
+	}{
+		{5, 0},   // before every write: the seeded value
+		{10, 1},  // exactly at a commit timestamp: inclusive
+		{15, 1},  // between commits: newest at or below
+		{49, 4},  //
+		{50, 5},  //
+		{999, 5}, // after everything: the newest committed version
+	}
+	for _, c := range cases {
+		val, seen, ok := s.GetAt("x", time.Duration(c.at))
+		if !ok {
+			t.Fatalf("GetAt(%d) found nothing", c.at)
+		}
+		if got := txn.DecodeInt(val); got != c.want {
+			t.Fatalf("GetAt(%d) = %d, want %d", c.at, got, c.want)
+		}
+		if seen.Time > time.Duration(c.at) {
+			t.Fatalf("GetAt(%d) returned a future version ts %v", c.at, seen)
+		}
+	}
+	if _, _, ok := s.GetAt("missing", 100); ok {
+		t.Fatal("GetAt found a key that does not exist")
+	}
+	if hw := s.HighWater("x"); hw.Time != 50 {
+		t.Fatalf("high-water = %v, want 50ns", hw.Time)
+	}
+}
+
+func TestGetAtSkipsUncommittedVersions(t *testing.T) {
+	s := New()
+	s.EnableSnapshots()
+	s.Seed("x", txn.EncodeInt(0))
+	s.Execute(id(1), ts(10), txn.IncrementPiece("x"))
+	s.Commit(id(1))
+	// An optimistic execution past the snapshot point must stay invisible
+	// until committed, even though Get (protocol execution) sees it.
+	s.Execute(id(2), ts(20), txn.IncrementPiece("x"))
+	if val, _, _ := s.GetAt("x", 30); txn.DecodeInt(val) != 1 {
+		t.Fatal("snapshot read observed an uncommitted version")
+	}
+	if txn.DecodeInt(s.Get("x")) != 2 {
+		t.Fatal("Get no longer reads optimistic state")
+	}
+	s.Commit(id(2))
+	if val, _, _ := s.GetAt("x", 30); txn.DecodeInt(val) != 2 {
+		t.Fatal("committed version still invisible")
+	}
+	// A revoked execution never becomes visible.
+	s.Execute(id(3), ts(25), txn.IncrementPiece("x"))
+	s.Revoke(id(3))
+	if val, _, _ := s.GetAt("x", 30); txn.DecodeInt(val) != 2 {
+		t.Fatal("revoked version leaked into a snapshot read")
+	}
+}
+
+func TestPutCommittedAndRetainedHistory(t *testing.T) {
+	s := New()
+	s.EnableSnapshots()
+	s.PutCommitted("k", txn.Timestamp{Time: 10}, txn.EncodeInt(1))
+	s.PutCommitted("k", txn.Timestamp{Time: 20}, txn.EncodeInt(2))
+	if val, seen, ok := s.GetAt("k", 15); !ok || txn.DecodeInt(val) != 1 || seen.Time != 10 {
+		t.Fatalf("GetAt(15) = %v @%v ok=%v, want 1 @10", val, seen, ok)
+	}
+	if txn.DecodeInt(s.Get("k")) != 2 {
+		t.Fatal("Get should return the newest version")
+	}
+	if hw := s.HighWater("k"); hw.Time != 20 {
+		t.Fatalf("high-water = %v, want 20", hw.Time)
+	}
+	cp := s.Snapshot()
+	cp.PutCommitted("k", txn.Timestamp{Time: 30}, txn.EncodeInt(3))
+	if val, _, _ := s.GetAt("k", 40); txn.DecodeInt(val) != 2 {
+		t.Fatal("snapshot write leaked into the original")
+	}
+	if val, _, _ := cp.GetAt("k", 40); txn.DecodeInt(val) != 3 {
+		t.Fatal("snapshot copy lost retain mode")
+	}
+}
+
+// In retain mode commits keep the whole history instead of collapsing it.
+func TestRetainModeKeepsVersions(t *testing.T) {
+	s := New()
+	s.EnableSnapshots()
+	s.Seed("x", txn.EncodeInt(0))
+	for i := uint64(1); i <= 10; i++ {
+		s.Execute(id(i), ts(int64(i)), txn.IncrementPiece("x"))
+		s.Commit(id(i))
+	}
+	if got := len(s.data["x"]); got != 11 {
+		t.Fatalf("retained key holds %d versions, want 11", got)
+	}
+	if txn.DecodeInt(s.Get("x")) != 10 {
+		t.Fatal("newest value wrong in retain mode")
+	}
+	for at := int64(1); at <= 10; at++ {
+		if val, _, _ := s.GetAt("x", time.Duration(at)); txn.DecodeInt(val) != at {
+			t.Fatalf("GetAt(%d) = %d in retain mode", at, txn.DecodeInt(val))
+		}
+	}
+}
+
 // Property: Snapshot + replay of the same transactions reproduces the store.
 func TestSnapshotReplayProperty(t *testing.T) {
 	check := func(keys []uint8, split uint8) bool {

@@ -89,6 +89,20 @@ type Config struct {
 	BatchSlowReplies bool
 	// CheckpointEvery triggers a store snapshot every N committed entries.
 	CheckpointEvery int
+	// LocalReads enables the local snapshot-read path: servers retain
+	// committed version history, maintain monotonic safe-time watermarks
+	// (leaders from their synchronized clocks, followers from leader
+	// broadcasts over applied log prefixes), and serve read-only
+	// transactions from the nearest replica at 0 WRTT. Default off: the
+	// machinery adds messages and timers, so golden runs stay byte-
+	// identical without it.
+	LocalReads bool
+	// ReadStaleness is how far in the past local read-only transactions
+	// pick their snapshot. 0 gives strong (freshest-possible) reads that
+	// block for the SAFETIME delay whenever the serving replica's
+	// watermark lags the coordinator's clock; a positive bound trades
+	// staleness for near-zero waits.
+	ReadStaleness time.Duration
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation.
@@ -184,6 +198,21 @@ type syncPointMsg struct {
 	Shard     int
 	Replica   int
 	SyncPoint int
+}
+
+// safeTimeMsg is the leader's periodic safe-time broadcast for the local
+// snapshot-read path (sent only when Config.LocalReads is on): watermark W
+// is valid for the log prefix [0, N) — a follower adopts W once it has
+// applied N entries, because every transaction that commits with timestamp
+// <= W is contained in that prefix (admission keeps later arrivals above
+// the published watermark). CP piggybacks the leader's commit-point so
+// followers can apply without waiting for the next log-sync message.
+type safeTimeMsg struct {
+	viewInfo
+	Shard int
+	W     time.Duration
+	N     int
+	CP    int
 }
 
 // slowInquiry / slowInquiryRep implement the Appendix E batched slow path:

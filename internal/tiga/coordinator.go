@@ -6,6 +6,7 @@ import (
 
 	"tiga/internal/clocks"
 	"tiga/internal/simnet"
+	"tiga/internal/snapread"
 	"tiga/internal/txn"
 )
 
@@ -44,6 +45,11 @@ type Coordinator struct {
 
 	pending map[txn.ID]*pendingTxn
 
+	// Local snapshot reads (Config.LocalReads): outstanding reads by Seq
+	// and the cached nearest replica per shard (see snapreads.go).
+	reads   map[uint64]*pendingRead
+	nearest []int
+
 	// Retries counts protocol-level re-submissions (stats for the harness).
 	Retries int64
 	Aborts  int64
@@ -56,6 +62,7 @@ func newCoordinator(c *Cluster, idx int32, node *simnet.Node, clk clocks.Clock) 
 		gmode:   c.initialMode,
 		owd:     make(map[simnet.NodeID]time.Duration),
 		pending: make(map[txn.ID]*pendingTxn),
+		reads:   make(map[uint64]*pendingRead),
 	}
 	copy(co.gvec, c.initialGVec)
 	node.SetHandler(co.handle)
@@ -94,6 +101,8 @@ func (co *Coordinator) handle(from simnet.NodeID, msg simnet.Message) {
 		co.onSlowReply(m)
 	case slowInquiryRep:
 		co.onSlowInquiryRep(from, m)
+	case snapread.Rep:
+		co.onSnapRep(m)
 	case probeRep:
 		co.updateOWD(from, m.OWD)
 	case vmInfo:

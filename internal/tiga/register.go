@@ -35,6 +35,10 @@ func init() {
 				Doc: "Appendix E: followers answer periodic coordinator inquiries instead of per-entry slow replies"},
 			{Name: "checkpoint-every", Type: protocol.KnobInt, Default: 2000,
 				Doc: "store snapshot every N committed entries (recovery replay bound)"},
+			{Name: "local-reads", Type: protocol.KnobBool, Default: false,
+				Doc: "serve read-only transactions from the nearest replica at 0 WRTT, gated by per-replica safe-time watermarks"},
+			{Name: "read-staleness", Type: protocol.KnobDuration, Default: time.Duration(0),
+				Doc: "snapshot age for local reads: 0 = strong reads that wait out watermark lag; positive bounds trade staleness for near-zero waits"},
 		},
 		func(ctx *protocol.BuildContext) protocol.System {
 			cfg := DefaultConfig(ctx.Shards, ctx.F)
@@ -49,6 +53,8 @@ func init() {
 			cfg.SyncPointEvery = ctx.Knobs.Duration("sync-point-every")
 			cfg.BatchSlowReplies = ctx.Knobs.Bool("batch-slow-replies")
 			cfg.CheckpointEvery = ctx.Knobs.Int("checkpoint-every")
+			cfg.LocalReads = ctx.Knobs.Bool("local-reads")
+			cfg.ReadStaleness = ctx.Knobs.Duration("read-staleness")
 			pl := ColocatedPlacement(ctx.CoordRegions)
 			if ctx.Rotated {
 				pl = RotatedPlacement(ctx.CoordRegions, ctx.Regions)

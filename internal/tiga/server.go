@@ -7,6 +7,7 @@ import (
 	"tiga/internal/clocks"
 	"tiga/internal/hashlog"
 	"tiga/internal/simnet"
+	"tiga/internal/snapread"
 	"tiga/internal/store"
 	"tiga/internal/txn"
 )
@@ -143,6 +144,14 @@ type Server struct {
 	pumping bool
 	repump  bool
 
+	// Local snapshot-read state (active only with Config.LocalReads).
+	safeTime  time.Duration    // monotonic safe-time watermark (clock domain)
+	safeLie   time.Duration    // test hook: fault-injected watermark inflation
+	safePairs []safeTimeMsg    // follower: (W, N) pairs awaiting applied >= N
+	waiters   snapread.Waiters // reads blocked behind the watermark
+	flushSeq  uint64           // dedup for the leader's waiter-flush timer
+	flushAt   time.Duration
+
 	// View change state (Algorithm 5).
 	vQuorum map[int]*viewChangeMsg
 	tQuorum map[int]*tsVerification
@@ -174,6 +183,9 @@ func newServer(c *Cluster, shard, replica int, node *simnet.Node, clk clocks.Clo
 	}
 	copy(s.gvec, c.initialGVec)
 	s.lview = s.gvec[shard]
+	if c.Cfg.LocalReads {
+		s.st.EnableSnapshots()
+	}
 	node.SetHandler(s.handle)
 	return s
 }
@@ -223,6 +235,9 @@ func (s *Server) start() {
 				SyncPoint: s.syncPoint,
 			})
 		}
+		if s.cfg.LocalReads && s.status == statusNormal && s.IsLeader() {
+			s.broadcastSafeTime()
+		}
 		return true
 	})
 	s.node.Every(s.cfg.HeartbeatEvery, func() bool {
@@ -261,6 +276,10 @@ func (s *Server) handle(from simnet.NodeID, msg simnet.Message) {
 		s.onLogSync(m)
 	case syncPointMsg:
 		s.onSyncPoint(m)
+	case safeTimeMsg:
+		s.onSafeTime(m)
+	case snapread.Req:
+		s.onSnapRead(from, m)
 	case probeMsg:
 		s.node.Send(m.Coord, probeRep{Shard: s.shard, Replica: s.replica, OWD: s.now() - m.SendClock})
 	case slowInquiry:
@@ -396,6 +415,13 @@ func (s *Server) onTxn(from simnet.NodeID, m txnMsg) {
 // (Alg. 1 lines 1–5).
 func (s *Server) admit(r *rec) {
 	s.node.Work(s.cfg.PQCost)
+	if s.cfg.LocalReads && s.IsLeader() && r.ts.Time <= s.safeTime {
+		// A straggler below the published safe-time watermark: lift it
+		// above the watermark so no transaction ever commits under a
+		// snapshot already served. The coordinator sees the changed
+		// timestamp and falls back to the slow path, as with any bump.
+		r.ts = txn.Timestamp{Time: s.safeTime + 1, Coord: r.ts.Coord, Seq: r.ts.Seq}
+	}
 	if s.conflictOK(r.piece, r.ts) {
 		s.pq.insert(r)
 	} else if s.IsLeader() {
@@ -656,6 +682,14 @@ func (s *Server) releaseLeader(r *rec) {
 	e := logEntry{ID: r.id, TS: r.ts, T: r.t}
 	s.log = append(s.log, e)
 	s.syncPoint = len(s.log)
+	if s.cfg.LocalReads {
+		// Release is the leader's stabilization point: the timestamp is
+		// final (agreement done, Case-3 cannot revoke a released entry),
+		// so mark the versions committed now — snapshot reads at the
+		// leader must see them as soon as the watermark passes their
+		// timestamp. The later commit-point advance's Commit is a no-op.
+		s.st.Commit(r.id)
+	}
 	pos := len(s.log) - 1
 	for rep := 0; rep < s.cfg.Replicas(); rep++ {
 		if rep == s.replica {
@@ -665,6 +699,11 @@ func (s *Server) releaseLeader(r *rec) {
 			viewInfo: s.views(), Shard: s.shard,
 			Pos: pos, ID: e.ID, TS: e.TS, T: e.T, CommitPoint: s.commitPoint,
 		})
+	}
+	if s.cfg.LocalReads {
+		// The released entry may have been the queue head holding the
+		// watermark down; reads blocked on it can be served now.
+		s.advanceSafeTime()
 	}
 }
 
@@ -959,6 +998,9 @@ func (s *Server) advanceCommitPoint(cp int) {
 		s.applied++
 	}
 	s.maybeCheckpoint(s.applied)
+	if s.cfg.LocalReads {
+		s.adoptSafePairs()
+	}
 }
 
 func (s *Server) maybeCheckpoint(pos int) {
@@ -1017,6 +1059,167 @@ func (s *Server) onSyncPoint(m syncPointMsg) {
 	s.applied = s.commitPoint
 	s.maybeCheckpoint(s.applied)
 }
+
+// ---- Local snapshot reads (safe-time watermarks) ----
+
+// advanceSafeTime recomputes the leader's watermark: one tick below its
+// synchronized clock, capped below every pending (unreleased) transaction in
+// the priority queue. Safe because (a) released entries already committed
+// their versions (releaseLeader), (b) everything unreleased sits in the
+// queue, and (c) admission lifts any later arrival above the current
+// watermark — so no transaction can ever commit at or below it. Monotonic by
+// construction: the watermark only moves forward.
+func (s *Server) advanceSafeTime() {
+	if !s.IsLeader() || s.status != statusNormal {
+		return
+	}
+	w := s.now() - 1
+	if len(s.pq.items) > 0 {
+		if m := s.pq.items[0].ts.Time - 1; m < w {
+			w = m
+		}
+	}
+	if w > s.safeTime {
+		s.safeTime = w
+		s.flushWaiters()
+	}
+}
+
+// broadcastSafeTime is the leader's periodic watermark publication, riding
+// the sync-point tick. Tiga's log is release-ordered, not timestamp-ordered,
+// so the watermark W is only valid for a log prefix: the pair (W, N=len(log))
+// promises every transaction committing with timestamp <= W is among the
+// first N entries (later releases get larger timestamps via admission).
+func (s *Server) broadcastSafeTime() {
+	s.advanceSafeTime()
+	m := safeTimeMsg{
+		viewInfo: s.views(), Shard: s.shard,
+		W: s.safeTime, N: len(s.log), CP: s.commitPoint,
+	}
+	for rep := 0; rep < s.cfg.Replicas(); rep++ {
+		if rep == s.replica {
+			continue
+		}
+		s.node.Send(s.cluster.serverNode(s.shard, rep), m)
+	}
+}
+
+// onSafeTime is the follower side: adopt the leader's watermark once the
+// promised log prefix is applied locally. The piggybacked commit-point lets
+// the follower apply entries without waiting for the next log-sync message,
+// shortening watermark lag by roughly one sync interval.
+func (s *Server) onSafeTime(m safeTimeMsg) {
+	if !s.cfg.LocalReads || s.status != statusNormal || s.IsLeader() ||
+		m.GView != s.gview || m.LView != s.lview {
+		return
+	}
+	s.advanceCommitPoint(m.CP)
+	if s.applied >= m.N {
+		if m.W > s.safeTime {
+			s.safeTime = m.W
+			s.flushWaiters()
+		}
+		return
+	}
+	s.safePairs = append(s.safePairs, m)
+}
+
+// adoptSafePairs folds buffered (W, N) watermark pairs whose log prefixes
+// this follower has now applied; called whenever the applied prefix grows.
+func (s *Server) adoptSafePairs() {
+	if len(s.safePairs) == 0 {
+		return
+	}
+	keep := s.safePairs[:0]
+	advanced := false
+	for _, p := range s.safePairs {
+		if s.applied >= p.N {
+			if p.W > s.safeTime {
+				s.safeTime = p.W
+				advanced = true
+			}
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	s.safePairs = keep
+	if advanced {
+		s.flushWaiters()
+	}
+}
+
+func (s *Server) flushWaiters() {
+	if s.waiters.Len() == 0 {
+		return
+	}
+	s.waiters.Flush(s.safeTime+s.safeLie, s.cluster.Net.Sim().Now())
+}
+
+// onSnapRead serves a local snapshot read: immediately when the watermark
+// already covers the requested snapshot, otherwise after the SAFETIME delay.
+// Reads arriving during a view change are dropped — the read path has no
+// retransmission, so a partitioned or recovering replica simply stalls its
+// coordinator (delay, never lie; the chaos experiment exercises this).
+func (s *Server) onSnapRead(from simnet.NodeID, m snapread.Req) {
+	if !s.cfg.LocalReads || s.status != statusNormal {
+		return
+	}
+	// Leaders answer at clock freshness rather than tick freshness.
+	s.advanceSafeTime()
+	if m.At <= s.safeTime+s.safeLie {
+		s.serveSnapRead(from, m, 0)
+		return
+	}
+	s.waiters.Add(m.At, s.cluster.Net.Sim().Now(), func(waited time.Duration) {
+		s.serveSnapRead(from, m, waited)
+	})
+	if s.IsLeader() {
+		s.scheduleSafeFlush(m.At)
+	}
+}
+
+func (s *Server) serveSnapRead(to simnet.NodeID, m snapread.Req, waited time.Duration) {
+	s.node.Work(s.cfg.ExecCost)
+	vals := make([][]byte, len(m.Keys))
+	seen := make([]txn.Timestamp, len(m.Keys))
+	for i, k := range m.Keys {
+		vals[i], seen[i], _ = s.st.GetAt(k, m.At)
+	}
+	s.node.Send(to, snapread.Rep{Shard: s.shard, Seq: m.Seq, Vals: vals, Seen: seen, Waited: waited})
+}
+
+// scheduleSafeFlush arms a timer for the moment the leader's clock passes at,
+// so a read blocked only on clock progress (not on a queued transaction) is
+// served without waiting for the next periodic tick. Followers don't need
+// this: their watermark only moves on leader broadcasts, which flush.
+func (s *Server) scheduleSafeFlush(at time.Duration) {
+	simNow := s.cluster.Net.Sim().Now()
+	when := s.clock.WhenReads(at+1, simNow)
+	if s.flushAt != 0 && s.flushAt <= when {
+		return // an earlier (or equal) flush is already armed
+	}
+	s.flushAt = when
+	s.flushSeq++
+	seq := s.flushSeq
+	s.node.After(when-simNow, func() {
+		if s.flushSeq != seq {
+			return
+		}
+		s.flushAt = 0
+		// If the queue head still pins the watermark below at, the read
+		// keeps waiting; releaseLeader and the periodic tick will flush it.
+		s.advanceSafeTime()
+	})
+}
+
+// SafeTime exposes the replica's current watermark (harness staleness
+// probes, tests).
+func (s *Server) SafeTime() time.Duration { return s.safeTime }
+
+// LieSafeTime inflates the served watermark by ahead without moving the real
+// one — a fault-injection hook that makes the replica answer reads it cannot
+// yet cover, which the snapshot-read checker must catch (tests only).
+func (s *Server) LieSafeTime(ahead time.Duration) { s.safeLie = ahead }
 
 // PQLen returns the priority queue length (diagnostics).
 func (s *Server) PQLen() int { return s.pq.len() }

@@ -144,6 +144,23 @@ type Result struct {
 	// TS is the agreed commit timestamp (Tiga only): the serialization
 	// point used by the strict-serializability checker.
 	TS Timestamp
+	// SnapshotAt is the snapshot timestamp a local read-only transaction
+	// was served at (zero for the coordinator path).
+	SnapshotAt time.Duration
+	// Waited is the SAFETIME delay a local read spent blocked behind a
+	// lagging replica watermark (max across the shards it touched).
+	Waited time.Duration
+	// Reads records, per key, which committed version a local read-only
+	// transaction observed — the evidence the snapshot-read checker
+	// validates against the commit history.
+	Reads []ReadObs
+}
+
+// ReadObs is one observed read of a snapshot transaction: the key and the
+// commit timestamp of the version it saw (zero for seeded initial values).
+type ReadObs struct {
+	Key string
+	TS  Timestamp
 }
 
 // Interactive is a multi-shot (dependent) transaction decomposed into a chain
