@@ -18,6 +18,8 @@
 //	tigabench -exp ablations         # extra ablations (ε-mode, Appendix E)
 //	tigabench -exp scenarios         # protocol × topology × workload matrix
 //	tigabench -exp chaos             # protocol × fault-plan matrix
+//	tigabench -exp localreads        # 0-WRTT local snapshot reads vs the coordinator path
+//	tigabench -exp scaleout          # shards × replication, open-loop arrivals, admission gates
 //	tigabench -exp all               # everything
 //	tigabench -exp list              # list the registered experiments
 //
@@ -350,7 +352,7 @@ func main() {
 		"comma-separated fault-plan subset for the chaos matrix, or 'list' to enumerate")
 	listKnobs := flag.Bool("knobs", false, "list every protocol's knobs with defaults and exit")
 	simbench := flag.Bool("simbench", false,
-		"append the sim-core microbenchmarks (ns/event, allocs/event) as an extra experiment")
+		"append the sim-core microbenchmarks (ns/event, allocs/event) and the txn-path allocation rows (allocs per committed txn, peak heap) as an extra experiment")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap (allocation) profile to this file at exit")
 	tracePath := flag.String("trace", "", "write a runtime execution trace of the run to this file")

@@ -7,9 +7,12 @@ package main
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
+	"tiga/internal/clocks"
+	"tiga/internal/harness"
 	"tiga/internal/report"
 	"tiga/internal/simnet"
 )
@@ -109,5 +112,91 @@ func runSimBench() *report.Report {
 		)
 		t.Note("%s: %s", c.name, c.doc)
 	}
+	rep.Tables = append(rep.Tables, txnPathBench().Tables...)
+	return rep
+}
+
+// txnPathStats is one end-to-end transaction-path measurement: a small
+// in-process Tiga deployment driven for one short run with the Go allocator
+// observed around it.
+type txnPathStats struct {
+	committed int64
+	allocs    float64 // heap allocations per committed txn
+	bytes     float64 // bytes allocated per committed txn
+	peakHeap  uint64  // max HeapAlloc sampled mid-run, bytes
+}
+
+// measureTxnPath runs one small deployment and attributes the allocator
+// deltas to its committed transactions. The run is serial and self-contained,
+// so Mallocs/TotalAlloc deltas are the run's own; peak HeapAlloc is sampled
+// every 100 ms of simulated time (live heap is GC-timing dependent, so the
+// peak is indicative — allocs/txn is the stable signal benchdiff tracks).
+func measureTxnPath(arrival string) txnPathStats {
+	spec := harness.ClusterSpec{
+		Protocol: "Tiga", Workload: "micro", WorkloadKeys: 2000,
+		Shards: 3, F: 1, Clock: clocks.ModelChrony,
+		CoordsPerRegion: 1, CoordsRemote: 1, Seed: 42,
+		CostScale: harness.CPUScale,
+	}
+	if err := spec.EnsureGen(); err != nil {
+		panic(err)
+	}
+	d := harness.Build(spec)
+	var peak uint64
+	var sample func()
+	sample = func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+		d.Sim.At(d.Sim.Now()+100*time.Millisecond, sample)
+	}
+	d.Sim.At(0, sample)
+	load := harness.LoadSpec{
+		RatePerCoord: 500, Outstanding: 100, Arrival: arrival,
+		Warmup: 200 * time.Millisecond, Duration: time.Second, Seed: 43,
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res := harness.RunLoad(d, spec.Gen, load)
+	runtime.ReadMemStats(&m1)
+	st := txnPathStats{committed: res.Run.Counters.Committed, peakHeap: peak}
+	if st.committed > 0 {
+		st.allocs = float64(m1.Mallocs-m0.Mallocs) / float64(st.committed)
+		st.bytes = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(st.committed)
+	}
+	return st
+}
+
+// txnPathBench builds the transaction-path allocation table: the full
+// deployment cost per committed transaction (generator, coordinator,
+// protocol, replication, metrics — everything the serving path allocates),
+// measured on the closed loop and on the open-loop Poisson path the
+// scale-out sweeps drive.
+func txnPathBench() *report.Report {
+	rep := report.New("simbench-txnpath")
+	t := rep.Add(&report.Table{
+		ID: "txnpath", Gap: true,
+		Title: "Transaction-path allocation (Tiga, micro 3-shard, one short in-process run)",
+		Columns: []report.Column{
+			report.Col("loop", "Loop", report.String, report.None, 11).AlignLeft(),
+			report.Col("committed", "Committed", report.Int, report.None, 10),
+			report.Col("allocs_per_txn", "Allocs/txn", report.Float, report.Allocs, 11).WithPrec(1),
+			report.Col("bytes_per_txn", "B/txn", report.Float, report.Bytes, 10).WithPrec(0),
+			report.Col("peak_heap", "PeakHeap", report.Int, report.Bytes, 12),
+		},
+	})
+	for _, c := range []struct{ loop, arrival string }{
+		{"closed", ""},
+		{"open", "poisson"},
+	} {
+		st := measureTxnPath(c.arrival)
+		t.AddRow(report.Str(c.loop), report.CountOf(st.committed),
+			report.Num(st.allocs), report.Num(st.bytes),
+			report.CountOf(int64(st.peakHeap)))
+	}
+	t.Note("(allocs/txn and B/txn are allocator deltas over the whole run divided by commits; peak heap is sampled every 100 ms of sim time)")
 	return rep
 }

@@ -274,6 +274,19 @@ type LoadSpec struct {
 	// the run also gathers the observations the snapshot-read checker
 	// validates (RunResult.SnapReads against RunResult.Writes).
 	LocalReads bool
+	// Arrival selects a registered open-loop arrival process
+	// (workload.ArrivalNames: poisson, diurnal, flashcrowd, surge). When
+	// set, RunLoad switches to true open-loop mode (see openloop.go): jobs
+	// arrive on the process's rate curve with RatePerCoord as the base
+	// rate, regardless of completions, and Outstanding is ignored —
+	// backpressure belongs to the protocol's admission gate. Queueing
+	// delay (Result.Queued) is then accounted in Run.QueueLat separately
+	// from service latency in Run.Lat. Empty keeps the default
+	// fixed-interval, outstanding-capped loop untouched.
+	Arrival string
+	// ArrivalParams are typed parameter overrides for the named arrival
+	// process (validated against its registered schema).
+	ArrivalParams map[string]any
 }
 
 // Sample is one commit observation.
@@ -308,6 +321,9 @@ type RunResult struct {
 // RunLoad executes the open-loop workload against a built deployment and
 // returns its metrics. The simulator is advanced to warmup+duration.
 func RunLoad(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResult {
+	if spec.Arrival != "" {
+		return runOpenLoop(d, gen, spec)
+	}
 	if spec.Outstanding == 0 {
 		spec.Outstanding = 1000
 	}

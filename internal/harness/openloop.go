@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tiga/internal/checker"
+	"tiga/internal/metrics"
+	"tiga/internal/protocol"
+	"tiga/internal/txn"
+	"tiga/internal/workload"
+)
+
+// runOpenLoop is RunLoad's true open-loop mode (LoadSpec.Arrival): every
+// coordinator draws inter-arrival gaps from a registered arrival process and
+// submits on that schedule no matter how many transactions are still in
+// flight — completions never gate arrivals, so offered load is a property of
+// the curve, not of the system under test. That is what makes overload
+// measurable: a congestion-collapsing protocol keeps receiving work, and the
+// coordinator admission gate (admit-cap/admit-queue knobs) is what turns the
+// excess into bounded-latency shedding.
+//
+// Accounting differs from the closed loop in one way: time spent waiting in
+// an admission queue (Result.Queued) is recorded in Run.QueueLat, and
+// Run.Lat holds service latency (end-to-end minus queue wait), so the two
+// decompose a committed transaction's end-to-end time. Shed transactions
+// count in Counters.Shed (and Aborted).
+//
+// Determinism matches RunLoad: one rng per coordinator seeded from
+// (Seed, coordinator index), all scheduling through the simulator, so a
+// fixed seed is byte-identical across -workers.
+func runOpenLoop(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResult {
+	if spec.MaxChainRestarts == 0 {
+		spec.MaxChainRestarts = 10
+	}
+	wantCheck := spec.Check
+	if _, ok := d.Sys.(protocol.Checkable); !ok {
+		spec.Check = false
+	}
+	snap, _ := d.Sys.(protocol.SnapshotReadable)
+	useLocal := spec.LocalReads && snap != nil
+	checkReads := wantCheck && useLocal
+	d.Sys.Start()
+	run := metrics.NewRun()
+	run.Start = spec.Warmup
+	run.End = spec.Warmup + spec.Duration
+	res := &RunResult{Run: run, Counter: checker.NewCounter(), Deployment: d}
+
+	// Pre-size the sample buffers at the base rate (curves swing around it);
+	// steady-state recording then rarely reallocates mid-run.
+	if expected := int(spec.RatePerCoord*spec.Duration.Seconds()) * d.Sys.NumCoords(); expected > 0 {
+		run.Lat.Grow(expected)
+		run.QueueLat.Grow(expected)
+		if spec.TrackSamples {
+			res.Samples = make([]Sample, 0, expected)
+		}
+	}
+
+	for ci := 0; ci < d.Sys.NumCoords(); ci++ {
+		ci := ci
+		region := d.Topology.RegionName(d.CoordRegions[ci])
+		rng := rand.New(rand.NewSource(spec.Seed + int64(ci)*7919))
+		arr, err := workload.BuildArrival(spec.Arrival, spec.RatePerCoord,
+			ci, d.Sys.NumCoords(), int(d.CoordRegions[ci]), spec.ArrivalParams)
+		if err != nil {
+			panic(fmt.Sprintf("open-loop load: %v", err))
+		}
+		var tick func()
+		tick = func() {
+			if d.Sim.Now() >= run.End {
+				return
+			}
+			// Schedule the next arrival before submitting: the gap draw
+			// must not depend on what the submission does with rng.
+			d.Sim.After(arr.Next(d.Sim.Now(), rng), tick)
+			job := gen.Next(rng)
+			start := d.Sim.Now()
+			inWindow := start >= run.Start && start < run.End
+			if inWindow {
+				run.Counters.Submitted++
+			}
+			finish := func(r txn.Result, t *txn.Txn) {
+				now := d.Sim.Now()
+				if !inWindow {
+					return
+				}
+				if r.Shed {
+					run.Counters.Shed++
+				}
+				if !r.OK {
+					run.Counters.Aborted++
+					if spec.TrackSamples {
+						res.Aborts = append(res.Aborts, Sample{At: now, Lat: now - start, Region: region})
+					}
+					return
+				}
+				// Service latency excludes the admission-queue wait,
+				// which is accounted separately.
+				lat := now - start - r.Queued
+				run.QueueLat.Add(r.Queued)
+				if spec.TrackSamples {
+					res.Samples = append(res.Samples, Sample{At: now, Lat: lat, Region: region})
+				}
+				run.RecordCommit(now, lat, region, r.FastPath)
+				run.Counters.Retries += int64(r.Retries)
+				if t != nil && t.ReadOnly {
+					run.ReadLat.Add(lat)
+				}
+				if spec.Check && t != nil {
+					res.Counter.Committed(t)
+					res.Commits = append(res.Commits, checker.Commit{
+						ID: t.ID, TS: r.TS, Submit: start, Complete: now,
+					})
+				}
+				if checkReads && t != nil && !t.ReadOnly && !r.TS.IsZero() {
+					for _, p := range t.Pieces {
+						for _, k := range p.WriteSet {
+							res.Writes = append(res.Writes, checker.WriteEvent{Key: k, TS: r.TS})
+						}
+					}
+				}
+			}
+			finishLocal := func(r txn.Result) {
+				now := d.Sim.Now()
+				if !inWindow {
+					return
+				}
+				if !r.OK {
+					run.Counters.Aborted++
+					if spec.TrackSamples {
+						res.Aborts = append(res.Aborts, Sample{At: now, Lat: now - start, Region: region})
+					}
+					return
+				}
+				if spec.TrackSamples {
+					res.Samples = append(res.Samples, Sample{At: now, Lat: now - start, Region: region})
+				}
+				run.RecordLocalRead(now, now-start, r.Waited, region)
+				run.Counters.Retries += int64(r.Retries)
+				if checkReads {
+					for _, ro := range r.Reads {
+						res.SnapReads = append(res.SnapReads, checker.SnapshotRead{
+							Key: ro.Key, At: r.SnapshotAt, Saw: ro.TS,
+						})
+					}
+				}
+			}
+			if job.T != nil {
+				if useLocal && job.T.ReadOnly {
+					snap.SubmitLocalRead(ci, job.T, finishLocal)
+				} else {
+					d.Sys.Submit(ci, job.T, func(r txn.Result) { finish(r, job.T) })
+				}
+			} else {
+				runChain(d, ci, job.I, 0, spec.MaxChainRestarts, finish)
+			}
+		}
+		// The first arrival is itself a draw from the process, so the
+		// coordinators de-phase exactly like the steady state.
+		d.Sim.After(arr.Next(0, rng), tick)
+	}
+	d.Sim.Run(run.End + 2*time.Second) // drain tail completions
+	return res
+}

@@ -81,6 +81,10 @@ var experimentList = []Experiment{
 		r, _ := LocalReads(o)
 		return r
 	}},
+	{"scaleout", "scale-out serving: shards × replication over a fixed million-key dataset, open-loop arrivals, admission-gated overload", func(o Options) *report.Report {
+		r, _ := ScaleOut(o)
+		return r
+	}},
 }
 
 // Experiments returns every registered experiment in presentation order.

@@ -108,6 +108,9 @@ type Counters struct {
 	// replica at their snapshot timestamp instead of via the coordinator
 	// path. They are included in Committed.
 	LocalReads int64
+	// Shed counts transactions refused by a coordinator admission gate
+	// under overload. They are included in Aborted.
+	Shed int64
 }
 
 // CommitRate returns committed/submitted as a percentage.
@@ -142,6 +145,10 @@ type Run struct {
 	// LocalWait samples the SAFETIME delay local reads spent blocked
 	// behind a lagging replica watermark (zero when served immediately).
 	LocalWait Latency
+	// QueueLat samples the admission-queue wait of committed transactions
+	// in open-loop runs; Lat then holds service latency (queue excluded),
+	// so the two decompose end-to-end time.
+	QueueLat Latency
 }
 
 // NewRun returns an initialized Run with 1-second throughput bins.

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"tiga/internal/admit"
 	"tiga/internal/locks"
 	"tiga/internal/paxos"
 	"tiga/internal/simnet"
@@ -70,6 +71,18 @@ type Spec struct {
 	ReadStaleness time.Duration
 	// SafeTimeEvery is the leader's watermark broadcast interval.
 	SafeTimeEvery time.Duration
+	// VersionGC prunes committed version history below the minimum replica
+	// watermark − ReadStaleness (− a fixed in-flight slack), piggybacked on
+	// the safe-time broadcast; followers report their watermarks back via
+	// safeTAck. Only meaningful with LocalReads.
+	VersionGC bool
+	// AdmitCap bounds a coordinator's admitted in-flight transactions
+	// (<= 0 disables admission control); AdmitQueue bounds the wait queue
+	// beyond the cap, and ShedOldest picks which end of the queue to shed
+	// on overflow. See internal/admit.
+	AdmitCap   int
+	AdmitQueue int
+	ShedOldest bool
 }
 
 // ---- messages ----
@@ -185,6 +198,8 @@ type server struct {
 	safeLie   time.Duration // test hook: fault-injected watermark inflation
 	safePairs []safeT       // follower: (W, N) pairs awaiting applied >= N
 	waiters   snapread.Waiters
+	followerW map[int]time.Duration // leader: replica -> acked watermark (version GC)
+	gcHorizon time.Duration         // monotonic version-GC horizon (Spec.VersionGC)
 }
 
 // System is a running 2PL/OCC deployment.
@@ -231,6 +246,10 @@ func New(spec Spec) *System {
 		node := spec.Net.AddNode(reg, nil)
 		co := &coordinator{sys: sys, node: node, idx: int32(len(sys.coords) + 1),
 			pending: make(map[txn.ID]*pendingCo), reads: make(map[uint64]*pendingRead)}
+		co.gate = admit.Gate{
+			Cap: spec.AdmitCap, Queue: spec.AdmitQueue, ShedOldest: spec.ShedOldest,
+			Now: func() time.Duration { return spec.Net.Sim().Now() },
+		}
 		node.SetHandler(co.handle)
 		sys.coords = append(sys.coords, co)
 	}
@@ -254,6 +273,7 @@ func newServer(sys *System, s, r int) *server {
 	srv.lt.Wound = srv.onWound
 	if sys.spec.LocalReads {
 		srv.st.EnableSnapshots()
+		srv.followerW = make(map[int]time.Duration)
 		if r == 0 {
 			// Leader watermark broadcast; re-armed here so a restarted
 			// leader (whose crash cancelled all timers) resumes publishing.
@@ -310,6 +330,20 @@ func (sys *System) NumCoords() int { return len(sys.coords) }
 // Store exposes a shard leader's store (tests).
 func (sys *System) Store(shard int) *store.Store { return sys.servers[shard][0].st }
 
+// TotalVersions sums retained committed-version counts across every replica
+// store — the version-GC tests' memory signal (leaders prune on the safe-time
+// tick, followers at watermark adoption, so the total is what must plateau
+// under sustained writes).
+func (sys *System) TotalVersions() int {
+	var n int
+	for _, shard := range sys.servers {
+		for _, s := range shard {
+			n += s.st.Versions()
+		}
+	}
+	return n
+}
+
 func (sys *System) leaderNode(shard int) simnet.NodeID { return sys.servers[shard][0].node.ID() }
 
 // ---- server ----
@@ -333,6 +367,9 @@ func (s *server) handle(from simnet.NodeID, msg simnet.Message) {
 	switch m := msg.(type) {
 	case safeT:
 		s.onSafeT(m)
+		return
+	case safeTAck:
+		s.onSafeTAck(m)
 		return
 	case snapread.Req:
 		s.onSnapRead(from, m)
@@ -718,14 +755,24 @@ type coordinator struct {
 	seq     uint64
 	pending map[txn.ID]*pendingCo
 
+	// gate is the admission-control gate (Spec.AdmitCap etc.); disabled by
+	// default, it passes submissions straight through.
+	gate admit.Gate
+
 	// Local snapshot reads (Spec.LocalReads, see snapreads.go).
 	reads   map[uint64]*pendingRead
 	nearest []int
 }
 
-// Submit runs the layered commit protocol for t.
+// Submit runs the layered commit protocol for t, behind the coordinator's
+// admission gate. Protocol-internal retries reuse the admitted slot (the
+// wrapped done survives across co.submit re-invocations), so one logical
+// transaction holds exactly one slot until its final outcome.
 func (sys *System) Submit(coord int, t *txn.Txn, done func(txn.Result)) {
-	sys.coords[coord].submit(t, done, 0, 0)
+	co := sys.coords[coord]
+	co.gate.Submit(t, done, func(t *txn.Txn, done func(txn.Result)) {
+		co.submit(t, done, 0, 0)
+	})
 }
 
 func (co *coordinator) submit(t *txn.Txn, done func(txn.Result), retries int, prio uint64) {

@@ -37,6 +37,14 @@ func register(name string, cc CC, cost protocol.CostProfile) {
 				Doc: "serve read-only transactions from the nearest replica, gated by safe-time watermarks held below in-flight 2PC prepares"},
 			{Name: "read-staleness", Type: protocol.KnobDuration, Default: time.Duration(0),
 				Doc: "snapshot age for local reads: 0 = strong reads that wait out watermark lag; positive bounds trade staleness for near-zero waits"},
+			{Name: "version-gc", Type: protocol.KnobBool, Default: false,
+				Doc: "with local-reads: prune committed version history below the min replica watermark − read-staleness, piggybacked on the safe-time tick"},
+			{Name: "admit-cap", Type: protocol.KnobInt, Default: 0,
+				Doc: "max admitted in-flight transactions per coordinator (0 = no admission control)"},
+			{Name: "admit-queue", Type: protocol.KnobInt, Default: 0,
+				Doc: "admission wait-queue depth once admit-cap is reached; overflow is shed"},
+			{Name: "shed-oldest", Type: protocol.KnobBool, Default: false,
+				Doc: "shed policy on queue overflow: evict the oldest queued transaction instead of refusing the newcomer"},
 		},
 		func(ctx *protocol.BuildContext) protocol.System {
 			return New(Spec{
@@ -48,6 +56,10 @@ func register(name string, cc CC, cost protocol.CostProfile) {
 				VoteTimeout:   ctx.Knobs.Duration("vote-timeout"),
 				LocalReads:    ctx.Knobs.Bool("local-reads"),
 				ReadStaleness: ctx.Knobs.Duration("read-staleness"),
+				VersionGC:     ctx.Knobs.Bool("version-gc"),
+				AdmitCap:      ctx.Knobs.Int("admit-cap"),
+				AdmitQueue:    ctx.Knobs.Int("admit-queue"),
+				ShedOldest:    ctx.Knobs.Bool("shed-oldest"),
 			})
 		})
 }

@@ -25,11 +25,33 @@ import (
 // safeT is the leader's periodic watermark broadcast: W is valid once the
 // first N Paxos slots are applied (every commit with timestamp <= W is in
 // that prefix; everything later carries a larger timestamp by the prepTS
-// argument above).
+// argument above). GC piggybacks the leader's version-GC horizon (zero
+// unless Spec.VersionGC): followers prune committed history to it when they
+// adopt the watermark.
 type safeT struct {
-	W time.Duration
-	N int
+	W  time.Duration
+	N  int
+	GC time.Duration
 }
+
+// safeTAck is a follower's watermark report back to the leader, sent only
+// with Spec.VersionGC (so default local-read runs keep their exact message
+// schedule). The leader's GC horizon is capped below the minimum acked
+// watermark: a read waiting at a follower always has a snapshot timestamp
+// above that follower's watermark, so pruning below it is invisible.
+type safeTAck struct {
+	Replica int
+	W       time.Duration
+}
+
+// gcSlack is the fixed safety margin subtracted from the version-GC horizon
+// on top of the read-staleness bound. It covers snapshot reads already in
+// flight when the horizon advances: between minting a read's snapshot
+// timestamp and serving it lie one network delivery plus at most one
+// coordinator re-drive (readRetryEvery, 400 ms), both well under a second.
+// Strictly more conservative than the min-watermark − staleness horizon
+// alone — see EXPERIMENTS.md deviations.
+const gcSlack = time.Second
 
 // advanceSafeT recomputes the leader watermark: one tick below now, capped
 // below every in-flight transaction's arrival time. Monotonic — prepTS
@@ -58,7 +80,10 @@ func (s *server) broadcastSafeT() {
 	// carry the retransmissions.
 	s.pax.Tick()
 	s.advanceSafeT()
-	m := safeT{W: s.safeTime, N: s.pax.Applied()}
+	if s.sys.spec.VersionGC {
+		s.advanceGCHorizon()
+	}
+	m := safeT{W: s.safeTime, N: s.pax.Applied(), GC: s.gcHorizon}
 	for r, id := range s.sys.nodes[s.shard] {
 		if r != s.replica {
 			s.node.Send(id, m)
@@ -66,15 +91,66 @@ func (s *server) broadcastSafeT() {
 	}
 }
 
+// advanceGCHorizon recomputes the leader's version-GC horizon: the minimum
+// watermark across all replicas (followers ack theirs via safeTAck) minus
+// the read-staleness bound and gcSlack. Any snapshot read, live or future,
+// carries a snapshot timestamp above that, and store.PruneTo keeps the
+// newest committed version at or below the horizon, so GetAt results are
+// invariant under the prune. Until every follower has acked, there is no
+// safe horizon and the leader keeps full history.
+func (s *server) advanceGCHorizon() {
+	h := s.safeTime
+	for r := range s.sys.nodes[s.shard] {
+		if r == s.replica {
+			continue
+		}
+		w, ok := s.followerW[r]
+		if !ok {
+			return
+		}
+		if w < h {
+			h = w
+		}
+	}
+	h -= s.sys.spec.ReadStaleness + gcSlack
+	if h > s.gcHorizon {
+		s.gcHorizon = h
+		s.st.PruneTo(h)
+	}
+}
+
+// onSafeTAck records a follower's watermark at the leader (Spec.VersionGC).
+func (s *server) onSafeTAck(m safeTAck) {
+	if !s.sys.spec.VersionGC || s.replica != 0 {
+		return
+	}
+	if m.W > s.followerW[m.Replica] {
+		s.followerW[m.Replica] = m.W
+	}
+}
+
+// pruneTo applies a leader-published GC horizon on a follower (monotonic).
+func (s *server) pruneTo(gc time.Duration) {
+	if !s.sys.spec.VersionGC || gc <= s.gcHorizon {
+		return
+	}
+	s.gcHorizon = gc
+	s.st.PruneTo(gc)
+}
+
 func (s *server) onSafeT(m safeT) {
 	if !s.sys.spec.LocalReads || s.replica == 0 {
 		return
+	}
+	if s.sys.spec.VersionGC {
+		defer s.node.Send(s.sys.nodes[s.shard][0], safeTAck{Replica: s.replica, W: s.safeTime})
 	}
 	if s.pax.Applied() >= m.N {
 		if m.W > s.safeTime {
 			s.safeTime = m.W
 			s.flushWaiters()
 		}
+		s.pruneTo(m.GC)
 		return
 	}
 	s.safePairs = append(s.safePairs, m)
@@ -88,11 +164,15 @@ func (s *server) adoptSafeT() {
 	}
 	keep := s.safePairs[:0]
 	advanced := false
+	gc := time.Duration(0)
 	for _, p := range s.safePairs {
 		if s.pax.Applied() >= p.N {
 			if p.W > s.safeTime {
 				s.safeTime = p.W
 				advanced = true
+			}
+			if p.GC > gc {
+				gc = p.GC
 			}
 		} else {
 			keep = append(keep, p)
@@ -102,6 +182,7 @@ func (s *server) adoptSafeT() {
 	if advanced {
 		s.flushWaiters()
 	}
+	s.pruneTo(gc)
 }
 
 // decisionQuery asks a coordinator for the outcome of a voted prepare whose

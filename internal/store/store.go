@@ -36,6 +36,11 @@ type Store struct {
 	retain bool
 	// high is the committed-timestamp high-water per key (retain mode).
 	high map[string]txn.Timestamp
+	// multi is the GC dirty-set (retain mode): keys currently holding more
+	// than one version. PruneTo walks only this set, so watermark GC stays
+	// O(rewritten keys) per tick instead of O(keyspace) — the difference
+	// between tractable and catastrophic at million-key scale.
+	multi map[string]struct{}
 }
 
 // New returns an empty store.
@@ -56,6 +61,9 @@ func (s *Store) EnableSnapshots() {
 	s.retain = true
 	if s.high == nil {
 		s.high = make(map[string]txn.Timestamp)
+	}
+	if s.multi == nil {
+		s.multi = make(map[string]struct{})
 	}
 }
 
@@ -205,6 +213,9 @@ func (s *Store) Commit(id txn.ID) {
 					break
 				}
 			}
+			if len(vs) > 1 {
+				s.multi[k] = struct{}{}
+			}
 		}
 		delete(s.pending, id)
 		return
@@ -228,9 +239,73 @@ func (s *Store) Commit(id txn.ID) {
 // Execute/Commit pending cycle.
 func (s *Store) PutCommitted(key string, ts txn.Timestamp, val []byte) {
 	s.data[key] = append(s.data[key], version{ts: ts, val: val})
-	if s.retain && s.high[key].Less(ts) {
-		s.high[key] = ts
+	if s.retain {
+		if s.high[key].Less(ts) {
+			s.high[key] = ts
+		}
+		if len(s.data[key]) > 1 {
+			s.multi[key] = struct{}{}
+		}
 	}
+}
+
+// Versions returns the total number of versions held across all keys — the
+// memory-growth signal the watermark-GC plateau test pins.
+func (s *Store) Versions() int {
+	n := 0
+	for _, vs := range s.data {
+		n += len(vs)
+	}
+	return n
+}
+
+// PruneTo garbage-collects committed history no snapshot read at or above
+// `horizon` can observe: for each key it keeps the newest committed version
+// with timestamp ≤ horizon (the version GetAt(key, horizon) returns) and
+// drops all committed versions strictly older. Uncommitted (optimistic)
+// versions are never touched, and a key's newest committed state always
+// survives, so Get and any GetAt(·, at ≥ horizon) are invariant under
+// pruning. The caller (a protocol's safe-time tick) derives horizon from the
+// minimum replica watermark minus the read-staleness bound. Only the dirty
+// set of rewritten keys is visited. Returns the number of versions dropped.
+func (s *Store) PruneTo(horizon time.Duration) int {
+	if !s.retain || len(s.multi) == 0 {
+		return 0
+	}
+	pruned := 0
+	for k := range s.multi {
+		vs := s.data[k]
+		// Find the pivot: the newest committed version at or below the
+		// horizon (same scan GetAt performs).
+		pivot := -1
+		for i := len(vs) - 1; i >= 0; i-- {
+			if !vs[i].uncommitted && vs[i].ts.Time <= horizon {
+				pivot = i
+				break
+			}
+		}
+		if pivot > 0 {
+			kept := vs[:0]
+			for i := range vs {
+				if i < pivot && !vs[i].uncommitted {
+					pruned++
+					continue
+				}
+				kept = append(kept, vs[i])
+			}
+			// Zero the vacated tail so dropped values release their
+			// backing buffers.
+			for i := len(kept); i < len(vs); i++ {
+				vs[i] = version{}
+			}
+			vs = kept
+			s.data[k] = vs
+		}
+		if len(vs) <= 1 {
+			delete(s.multi, k)
+		}
+	}
+	return pruned
 }
 
 // Snapshot deep-copies the store — the checkpoint mechanism used to
@@ -252,6 +327,9 @@ func (s *Store) Snapshot() *Store {
 		cp.EnableSnapshots()
 		for k, ts := range s.high {
 			cp.high[k] = ts
+		}
+		for k := range s.multi {
+			cp.multi[k] = struct{}{}
 		}
 	}
 	return cp

@@ -200,6 +200,20 @@ func (c *Cluster) TotalRollbacks() int64 {
 	return n
 }
 
+// TotalVersions sums retained committed-version counts across every replica
+// store in the cluster — the version-GC tests' memory signal (leaders prune
+// on the safe-time tick, followers at watermark adoption, so the total is
+// what must plateau under sustained writes).
+func (c *Cluster) TotalVersions() int {
+	var n int
+	for _, shard := range c.Servers {
+		for _, s := range shard {
+			n += s.st.Versions()
+		}
+	}
+	return n
+}
+
 // Mode returns the currently active agreement mode.
 func (c *Cluster) Mode() Mode { return c.initialMode }
 

@@ -103,6 +103,23 @@ type Config struct {
 	// watermark lags the coordinator's clock; a positive bound trades
 	// staleness for near-zero waits.
 	ReadStaleness time.Duration
+	// VersionGC prunes committed version history that no snapshot read can
+	// observe anymore: the leader's safe-time tick computes a GC horizon
+	// from the minimum replica watermark minus ReadStaleness (and a fixed
+	// in-flight slack) and piggybacks it on the existing safe-time
+	// broadcast. Only meaningful with LocalReads (the default mode already
+	// garbage-collects at commit time).
+	VersionGC bool
+	// AdmitCap bounds a coordinator's admitted in-flight transactions;
+	// <= 0 disables admission control (default). Under open-loop arrival
+	// this is the backpressure that turns overload into bounded-latency
+	// shedding instead of congestion collapse.
+	AdmitCap int
+	// AdmitQueue bounds the admission wait queue once AdmitCap is reached.
+	AdmitQueue int
+	// ShedOldest selects the shed policy when the queue is full: evict the
+	// oldest queued transaction (true) or refuse the newcomer (false).
+	ShedOldest bool
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation.
@@ -192,12 +209,15 @@ type logSyncMsg struct {
 	CommitPoint int
 }
 
-// syncPointMsg is a follower's periodic sync-point report.
+// syncPointMsg is a follower's periodic sync-point report. W piggybacks the
+// follower's adopted safe-time watermark (zero when local reads are off) so
+// the leader can compute the version-GC horizon without extra messages.
 type syncPointMsg struct {
 	viewInfo
 	Shard     int
 	Replica   int
 	SyncPoint int
+	W         time.Duration
 }
 
 // safeTimeMsg is the leader's periodic safe-time broadcast for the local
@@ -207,12 +227,17 @@ type syncPointMsg struct {
 // <= W is contained in that prefix (admission keeps later arrivals above
 // the published watermark). CP piggybacks the leader's commit-point so
 // followers can apply without waiting for the next log-sync message.
+// GC piggybacks the leader's version-GC horizon (zero unless
+// Config.VersionGC): every committed version with a strictly older
+// replacement at or below GC is unobservable by any live or future snapshot
+// read, so followers prune to it when they adopt the watermark.
 type safeTimeMsg struct {
 	viewInfo
 	Shard int
 	W     time.Duration
 	N     int
 	CP    int
+	GC    time.Duration
 }
 
 // slowInquiry / slowInquiryRep implement the Appendix E batched slow path:

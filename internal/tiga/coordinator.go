@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"tiga/internal/admit"
 	"tiga/internal/clocks"
 	"tiga/internal/simnet"
 	"tiga/internal/snapread"
@@ -50,6 +51,10 @@ type Coordinator struct {
 	reads   map[uint64]*pendingRead
 	nearest []int
 
+	// gate is the admission-control gate (Config.AdmitCap etc.); disabled
+	// by default, it passes submissions straight through.
+	gate admit.Gate
+
 	// Retries counts protocol-level re-submissions (stats for the harness).
 	Retries int64
 	Aborts  int64
@@ -63,6 +68,10 @@ func newCoordinator(c *Cluster, idx int32, node *simnet.Node, clk clocks.Clock) 
 		owd:     make(map[simnet.NodeID]time.Duration),
 		pending: make(map[txn.ID]*pendingTxn),
 		reads:   make(map[uint64]*pendingRead),
+	}
+	co.gate = admit.Gate{
+		Cap: c.Cfg.AdmitCap, Queue: c.Cfg.AdmitQueue, ShedOldest: c.Cfg.ShedOldest,
+		Now: func() time.Duration { return c.Net.Sim().Now() },
 	}
 	copy(co.gvec, c.initialGVec)
 	node.SetHandler(co.handle)
@@ -157,9 +166,17 @@ func (co *Coordinator) headroom(t *txn.Txn) time.Duration {
 	return h
 }
 
-// Submit multicasts t to every replica of its involved shards with a future
-// timestamp and invokes done when the transaction commits.
+// Submit hands t to the admission gate; admitted transactions launch into
+// the protocol via launch, queued ones wait for a slot, and overflow is shed
+// with Result.Shed. With admission control off (the default) the gate is a
+// straight pass-through.
 func (co *Coordinator) Submit(t *txn.Txn, done func(txn.Result)) {
+	co.gate.Submit(t, done, co.launch)
+}
+
+// launch multicasts t to every replica of its involved shards with a future
+// timestamp and invokes done when the transaction commits.
+func (co *Coordinator) launch(t *txn.Txn, done func(txn.Result)) {
 	co.seq++
 	t.ID = txn.ID{Coord: co.idx, Seq: co.seq}
 	p := &pendingTxn{

@@ -39,6 +39,14 @@ func init() {
 				Doc: "serve read-only transactions from the nearest replica at 0 WRTT, gated by per-replica safe-time watermarks"},
 			{Name: "read-staleness", Type: protocol.KnobDuration, Default: time.Duration(0),
 				Doc: "snapshot age for local reads: 0 = strong reads that wait out watermark lag; positive bounds trade staleness for near-zero waits"},
+			{Name: "version-gc", Type: protocol.KnobBool, Default: false,
+				Doc: "with local-reads: prune committed version history below the min replica watermark − read-staleness, piggybacked on the safe-time tick"},
+			{Name: "admit-cap", Type: protocol.KnobInt, Default: 0,
+				Doc: "max admitted in-flight transactions per coordinator (0 = no admission control)"},
+			{Name: "admit-queue", Type: protocol.KnobInt, Default: 0,
+				Doc: "admission wait-queue depth once admit-cap is reached; overflow is shed"},
+			{Name: "shed-oldest", Type: protocol.KnobBool, Default: false,
+				Doc: "shed policy on queue overflow: evict the oldest queued transaction instead of refusing the newcomer"},
 		},
 		func(ctx *protocol.BuildContext) protocol.System {
 			cfg := DefaultConfig(ctx.Shards, ctx.F)
@@ -55,10 +63,18 @@ func init() {
 			cfg.CheckpointEvery = ctx.Knobs.Int("checkpoint-every")
 			cfg.LocalReads = ctx.Knobs.Bool("local-reads")
 			cfg.ReadStaleness = ctx.Knobs.Duration("read-staleness")
+			cfg.VersionGC = ctx.Knobs.Bool("version-gc")
+			cfg.AdmitCap = ctx.Knobs.Int("admit-cap")
+			cfg.AdmitQueue = ctx.Knobs.Int("admit-queue")
+			cfg.ShedOldest = ctx.Knobs.Bool("shed-oldest")
 			pl := ColocatedPlacement(ctx.CoordRegions)
 			if ctx.Rotated {
 				pl = RotatedPlacement(ctx.CoordRegions, ctx.Regions)
 			}
+			// The harness mapping wraps replica ids past the topology's
+			// region count (F=2 puts 2F+1=5 replicas on geo4's 4 regions);
+			// the canned placements above assume replicas <= regions.
+			pl.ServerRegion = ctx.ServerRegion
 			return NewCluster(ctx.Net, cfg, pl, ctx.Clocks, ctx.SeedStore)
 		})
 }

@@ -151,6 +151,8 @@ type Server struct {
 	waiters   snapread.Waiters // reads blocked behind the watermark
 	flushSeq  uint64           // dedup for the leader's waiter-flush timer
 	flushAt   time.Duration
+	followerW map[int]time.Duration // leader: replica -> reported watermark (version GC)
+	gcHorizon time.Duration         // monotonic version-GC horizon (Config.VersionGC)
 
 	// View change state (Algorithm 5).
 	vQuorum map[int]*viewChangeMsg
@@ -179,6 +181,7 @@ func newServer(c *Cluster, shard, replica int, node *simnet.Node, clk clocks.Clo
 
 		pendingSync: make(map[int]logSyncMsg),
 		followerSP:  make(map[int]int),
+		followerW:   make(map[int]time.Duration),
 		checkpoint:  store.New(),
 	}
 	copy(s.gvec, c.initialGVec)
@@ -233,6 +236,7 @@ func (s *Server) start() {
 				Shard:     s.shard,
 				Replica:   s.replica,
 				SyncPoint: s.syncPoint,
+				W:         s.safeTime,
 			})
 		}
 		if s.cfg.LocalReads && s.status == statusNormal && s.IsLeader() {
@@ -1040,6 +1044,9 @@ func (s *Server) onSyncPoint(m syncPointMsg) {
 	if m.SyncPoint > s.followerSP[m.Replica] {
 		s.followerSP[m.Replica] = m.SyncPoint
 	}
+	if m.W > s.followerW[m.Replica] {
+		s.followerW[m.Replica] = m.W
+	}
 	sps := make([]int, 0, len(s.followerSP))
 	for _, sp := range s.followerSP {
 		sps = append(sps, sp)
@@ -1092,9 +1099,12 @@ func (s *Server) advanceSafeTime() {
 // first N entries (later releases get larger timestamps via admission).
 func (s *Server) broadcastSafeTime() {
 	s.advanceSafeTime()
+	if s.cfg.VersionGC {
+		s.advanceGCHorizon()
+	}
 	m := safeTimeMsg{
 		viewInfo: s.views(), Shard: s.shard,
-		W: s.safeTime, N: len(s.log), CP: s.commitPoint,
+		W: s.safeTime, N: len(s.log), CP: s.commitPoint, GC: s.gcHorizon,
 	}
 	for rep := 0; rep < s.cfg.Replicas(); rep++ {
 		if rep == s.replica {
@@ -1119,6 +1129,7 @@ func (s *Server) onSafeTime(m safeTimeMsg) {
 			s.safeTime = m.W
 			s.flushWaiters()
 		}
+		s.pruneTo(m.GC)
 		return
 	}
 	s.safePairs = append(s.safePairs, m)
@@ -1132,11 +1143,15 @@ func (s *Server) adoptSafePairs() {
 	}
 	keep := s.safePairs[:0]
 	advanced := false
+	gc := time.Duration(0)
 	for _, p := range s.safePairs {
 		if s.applied >= p.N {
 			if p.W > s.safeTime {
 				s.safeTime = p.W
 				advanced = true
+			}
+			if p.GC > gc {
+				gc = p.GC
 			}
 		} else {
 			keep = append(keep, p)
@@ -1146,6 +1161,53 @@ func (s *Server) adoptSafePairs() {
 	if advanced {
 		s.flushWaiters()
 	}
+	s.pruneTo(gc)
+}
+
+// gcSlack is the fixed safety margin subtracted from the version-GC horizon
+// on top of the read-staleness bound. It covers snapshot reads that are
+// already in flight when the horizon advances: a read carries a snapshot
+// timestamp minted when it was issued, and between minting and serving lie
+// one network delivery plus at most one coordinator re-drive (400 ms retry
+// interval), both well under a second. Strictly more conservative than the
+// min-watermark − staleness horizon alone — see EXPERIMENTS.md deviations.
+const gcSlack = time.Second
+
+// advanceGCHorizon recomputes the leader's version-GC horizon: the minimum
+// watermark across all replicas (followers report theirs on the sync-point
+// tick) minus the read-staleness bound and gcSlack. Any snapshot read, live
+// or future, uses a snapshot timestamp above that, and PruneTo keeps the
+// newest committed version at or below the horizon, so GetAt results are
+// invariant under the prune. Until every follower has reported, there is no
+// safe horizon and the leader keeps full history.
+func (s *Server) advanceGCHorizon() {
+	h := s.safeTime
+	for rep := 0; rep < s.cfg.Replicas(); rep++ {
+		if rep == s.replica {
+			continue
+		}
+		w, ok := s.followerW[rep]
+		if !ok {
+			return
+		}
+		if w < h {
+			h = w
+		}
+	}
+	h -= s.cfg.ReadStaleness + gcSlack
+	if h > s.gcHorizon {
+		s.gcHorizon = h
+		s.st.PruneTo(h)
+	}
+}
+
+// pruneTo applies a leader-published GC horizon on a follower (monotonic).
+func (s *Server) pruneTo(gc time.Duration) {
+	if !s.cfg.VersionGC || gc <= s.gcHorizon {
+		return
+	}
+	s.gcHorizon = gc
+	s.st.PruneTo(gc)
 }
 
 func (s *Server) flushWaiters() {

@@ -154,6 +154,14 @@ type Result struct {
 	// transaction observed — the evidence the snapshot-read checker
 	// validates against the commit history.
 	Reads []ReadObs
+	// Queued is the time the transaction spent waiting in a coordinator
+	// admission queue before the protocol started working on it (zero when
+	// admission control is off or the gate had a free slot). Open-loop runs
+	// report it separately from service latency.
+	Queued time.Duration
+	// Shed reports that a coordinator admission gate refused the
+	// transaction without running the protocol (Aborted is also set).
+	Shed bool
 }
 
 // ReadObs is one observed read of a snapshot transaction: the key and the
