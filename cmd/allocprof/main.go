@@ -1,0 +1,78 @@
+// allocprof is the transaction-path allocation profiler: it drives the same
+// small in-process deployment as tigabench's -simbench txn-path table with the
+// Go heap profiler armed and writes a pprof profile attributing every
+// allocation on the serving path (generator, coordinator, protocol,
+// replication, metrics). Inspect with
+//
+//	go tool pprof -top -sample_index=alloc_objects allocprof.out
+//
+// The per-txn allocation budget is a first-class serving-path metric (see
+// EXPERIMENTS.md "Allocation budget"); this harness is how regressions get
+// localized once the simbench benchdiff gate trips.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"tiga/internal/clocks"
+	"tiga/internal/harness"
+)
+
+func main() {
+	out := flag.String("out", "allocprof.out", "pprof heap profile output path")
+	proto := flag.String("protocol", "Tiga", "protocol to profile")
+	arrival := flag.String("arrival", "", "arrival process (empty = closed loop)")
+	rate := flag.Float64("rate", 500, "offered rate per coordinator (txn/s)")
+	dur := flag.Duration("duration", time.Second, "measured window of simulated time")
+	flag.Parse()
+
+	// MemProfileRate 1 records every allocation, so small runs attribute the
+	// full budget instead of a sample.
+	runtime.MemProfileRate = 1
+
+	spec := harness.ClusterSpec{
+		Protocol: *proto, Workload: "micro", WorkloadKeys: 2000,
+		Shards: 3, F: 1, Clock: clocks.ModelChrony,
+		CoordsPerRegion: 1, CoordsRemote: 1, Seed: 42,
+		CostScale: harness.CPUScale,
+	}
+	if err := spec.EnsureGen(); err != nil {
+		fmt.Fprintln(os.Stderr, "allocprof:", err)
+		os.Exit(2)
+	}
+	d := harness.Build(spec)
+	load := harness.LoadSpec{
+		RatePerCoord: *rate, Outstanding: 100, Arrival: *arrival,
+		Warmup: 200 * time.Millisecond, Duration: *dur, Seed: 43,
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res := harness.RunLoad(d, spec.Gen, load)
+	runtime.ReadMemStats(&m1)
+
+	committed := res.Run.Counters.Committed
+	if committed > 0 {
+		fmt.Printf("committed=%d allocs/txn=%.1f bytes/txn=%.0f\n", committed,
+			float64(m1.Mallocs-m0.Mallocs)/float64(committed),
+			float64(m1.TotalAlloc-m0.TotalAlloc)/float64(committed))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allocprof:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	runtime.GC() // flush outstanding profile records
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "allocprof:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -8,11 +8,19 @@
 //	benchdiff OLD.json NEW.json             # deltas beyond 5% (the default)
 //	benchdiff -threshold 10 OLD.json NEW.json
 //	benchdiff -notes OLD.json NEW.json      # also print structural notes
+//	benchdiff -only simbench -units allocs OLD.json NEW.json
+//	                                        # gate on one experiment's
+//	                                        # allocation columns only
 //
 // Documents are joined experiment-by-name, table-by-id, row-by-label-column
 // (repeated labels join by occurrence, so sweep tables line up point by
 // point). Each unit carries a good direction — throughput and commit rate
 // up, latency down — and a beyond-threshold move against it is a REGRESSION.
+//
+// -only and -units narrow the comparison, so CI can split one artifact pair
+// into a blocking gate over the stable counters (allocation columns are
+// deterministic per seed) and an informational pass over the wall-clock-noisy
+// rest (latency, throughput).
 //
 // Exit status: 0 when no regressions were found, 1 when at least one was,
 // 2 on usage or decode errors — so a CI step can gate on it directly (or
@@ -25,6 +33,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 	"time"
 
 	"tiga/internal/report"
@@ -75,6 +84,8 @@ func fmtPct(pct float64) string {
 func main() {
 	threshold := flag.Float64("threshold", 5, "noise floor: ignore relative changes below this percent")
 	notes := flag.Bool("notes", false, "also print structural notes (experiments/tables/rows on one side only)")
+	only := flag.String("only", "", "restrict the comparison to one experiment name (empty = all)")
+	units := flag.String("units", "", "comma-separated unit filter, e.g. allocs,bytes (empty = all units)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fail("want exactly two artifacts: benchdiff [-threshold pct] OLD.json NEW.json")
@@ -84,6 +95,26 @@ func main() {
 	}
 	oldDoc, newDoc := load(flag.Arg(0)), load(flag.Arg(1))
 	res := report.DiffDocuments(oldDoc, newDoc, *threshold)
+
+	if *only != "" || *units != "" {
+		keepUnit := map[report.Unit]bool{}
+		for _, u := range strings.Split(*units, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				keepUnit[report.Unit(u)] = true
+			}
+		}
+		kept := res.Deltas[:0]
+		for _, d := range res.Deltas {
+			if *only != "" && d.Experiment != *only {
+				continue
+			}
+			if len(keepUnit) > 0 && !keepUnit[d.Unit] {
+				continue
+			}
+			kept = append(kept, d)
+		}
+		res.Deltas = kept
+	}
 
 	if *notes {
 		for _, n := range res.Notes {

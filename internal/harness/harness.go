@@ -20,6 +20,7 @@ import (
 	"tiga/internal/checker"
 	"tiga/internal/clocks"
 	"tiga/internal/metrics"
+	"tiga/internal/pool"
 	"tiga/internal/protocol"
 	"tiga/internal/simnet"
 	"tiga/internal/store"
@@ -318,6 +319,118 @@ type RunResult struct {
 	Deployment *Deployment
 }
 
+// clState is the closed loop's per-run shared context, mirroring olState in
+// openloop.go (the two loops account completions differently, so each keeps
+// its own envelope type).
+type clState struct {
+	d          *Deployment
+	spec       LoadSpec
+	run        *metrics.Run
+	res        *RunResult
+	checkReads bool
+	jobs       *pool.Free[clJob]
+}
+
+// clJob is one closed-loop submission's envelope — pooled like olJob, bound
+// callbacks amortized to the pool's high-water mark — plus a pointer to its
+// coordinator's outstanding counter, which completion decrements.
+type clJob struct {
+	st          *clState
+	outstanding *int
+	region      string
+	start       time.Duration
+	inWindow    bool
+	t           *txn.Txn
+
+	finish      func(txn.Result, *txn.Txn)
+	finishSub   func(txn.Result)
+	finishLocal func(txn.Result)
+}
+
+func (st *clState) get() *clJob {
+	j := st.jobs.Get()
+	if j.st == nil {
+		j.st = st
+		j.finish = j.onFinish
+		j.finishSub = func(r txn.Result) { j.onFinish(r, j.t) }
+		j.finishLocal = j.onFinishLocal
+	}
+	return j
+}
+
+func (j *clJob) onFinish(r txn.Result, t *txn.Txn) {
+	st := j.st
+	defer st.jobs.Put(j)
+	*j.outstanding--
+	run, res, spec := st.run, st.res, &st.spec
+	now := st.d.Sim.Now()
+	if !j.inWindow {
+		return
+	}
+	if !r.OK {
+		run.Counters.Aborted++
+		if spec.TrackSamples {
+			res.Aborts = append(res.Aborts, Sample{At: now, Lat: now - j.start, Region: j.region})
+		}
+		return
+	}
+	if spec.TrackSamples {
+		res.Samples = append(res.Samples, Sample{At: now, Lat: now - j.start, Region: j.region})
+	}
+	run.RecordCommit(now, now-j.start, j.region, r.FastPath)
+	run.Counters.Retries += int64(r.Retries)
+	if t != nil && t.ReadOnly {
+		run.ReadLat.Add(now - j.start)
+	}
+	if spec.Check && t != nil {
+		res.Counter.Committed(t)
+		res.Commits = append(res.Commits, checker.Commit{
+			ID: t.ID, TS: r.TS, Submit: j.start, Complete: now,
+		})
+	}
+	if st.checkReads && t != nil && !t.ReadOnly && !r.TS.IsZero() {
+		for _, p := range t.Pieces {
+			for _, k := range p.WriteSet {
+				res.Writes = append(res.Writes, checker.WriteEvent{Key: k, TS: r.TS})
+			}
+		}
+	}
+}
+
+// onFinishLocal handles a local snapshot read, which bypasses the commit
+// protocol entirely: its result carries read observations instead of a
+// serialization timestamp, so it is validated by the snapshot-read checker,
+// not the strict-serializability one.
+func (j *clJob) onFinishLocal(r txn.Result) {
+	st := j.st
+	defer st.jobs.Put(j)
+	*j.outstanding--
+	run, res, spec := st.run, st.res, &st.spec
+	now := st.d.Sim.Now()
+	if !j.inWindow {
+		return
+	}
+	if !r.OK {
+		run.Counters.Aborted++
+		if spec.TrackSamples {
+			res.Aborts = append(res.Aborts, Sample{At: now, Lat: now - j.start, Region: j.region})
+		}
+		return
+	}
+	if spec.TrackSamples {
+		res.Samples = append(res.Samples, Sample{At: now, Lat: now - j.start, Region: j.region})
+	}
+	run.RecordLocalRead(now, now-j.start, r.Waited, j.region)
+	run.Counters.Retries += int64(r.Retries)
+	if st.checkReads {
+		for _, ro := range r.Reads {
+			res.SnapReads = append(res.SnapReads, checker.SnapshotRead{
+				Key: ro.Key, At: r.SnapshotAt, Saw: ro.TS,
+			})
+		}
+	}
+}
+
 // RunLoad executes the open-loop workload against a built deployment and
 // returns its metrics. The simulator is advanced to warmup+duration.
 func RunLoad(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResult {
@@ -347,6 +460,8 @@ func RunLoad(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResult {
 	run.Start = spec.Warmup
 	run.End = spec.Warmup + spec.Duration
 	res := &RunResult{Run: run, Counter: checker.NewCounter(), Deployment: d}
+	st := &clState{d: d, spec: spec, run: run, res: res, checkReads: checkReads,
+		jobs: pool.New[clJob]()}
 
 	// Pre-size the sample buffers: the open loop submits about rate ×
 	// duration transactions per coordinator inside the measurement window,
@@ -363,96 +478,35 @@ func RunLoad(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResult {
 		ci := ci
 		region := d.Topology.RegionName(d.CoordRegions[ci])
 		rng := rand.New(rand.NewSource(spec.Seed + int64(ci)*7919))
-		outstanding := 0
+		outstanding := new(int)
 		var tick func()
 		tick = func() {
 			if d.Sim.Now() >= run.End {
 				return
 			}
 			d.Sim.After(interval, tick)
-			if outstanding >= spec.Outstanding {
+			if *outstanding >= spec.Outstanding {
 				return
 			}
 			job := gen.Next(rng)
-			outstanding++
-			start := d.Sim.Now()
-			inWindow := start >= run.Start && start < run.End
-			if inWindow {
+			*outstanding++
+			j := st.get()
+			j.outstanding = outstanding
+			j.region = region
+			j.start = d.Sim.Now()
+			j.inWindow = j.start >= run.Start && j.start < run.End
+			j.t = job.T
+			if j.inWindow {
 				run.Counters.Submitted++
-			}
-			finish := func(r txn.Result, t *txn.Txn) {
-				outstanding--
-				now := d.Sim.Now()
-				if !inWindow {
-					return
-				}
-				if !r.OK {
-					run.Counters.Aborted++
-					if spec.TrackSamples {
-						res.Aborts = append(res.Aborts, Sample{At: now, Lat: now - start, Region: region})
-					}
-					return
-				}
-				if spec.TrackSamples {
-					res.Samples = append(res.Samples, Sample{At: now, Lat: now - start, Region: region})
-				}
-				run.RecordCommit(now, now-start, region, r.FastPath)
-				run.Counters.Retries += int64(r.Retries)
-				if t != nil && t.ReadOnly {
-					run.ReadLat.Add(now - start)
-				}
-				if spec.Check && t != nil {
-					res.Counter.Committed(t)
-					res.Commits = append(res.Commits, checker.Commit{
-						ID: t.ID, TS: r.TS, Submit: start, Complete: now,
-					})
-				}
-				if checkReads && t != nil && !t.ReadOnly && !r.TS.IsZero() {
-					for _, p := range t.Pieces {
-						for _, k := range p.WriteSet {
-							res.Writes = append(res.Writes, checker.WriteEvent{Key: k, TS: r.TS})
-						}
-					}
-				}
-			}
-			// Local snapshot reads bypass the commit protocol entirely, so
-			// their results carry read observations instead of a
-			// serialization timestamp; they are validated by the
-			// snapshot-read checker, not the strict-serializability one.
-			finishLocal := func(r txn.Result) {
-				outstanding--
-				now := d.Sim.Now()
-				if !inWindow {
-					return
-				}
-				if !r.OK {
-					run.Counters.Aborted++
-					if spec.TrackSamples {
-						res.Aborts = append(res.Aborts, Sample{At: now, Lat: now - start, Region: region})
-					}
-					return
-				}
-				if spec.TrackSamples {
-					res.Samples = append(res.Samples, Sample{At: now, Lat: now - start, Region: region})
-				}
-				run.RecordLocalRead(now, now-start, r.Waited, region)
-				run.Counters.Retries += int64(r.Retries)
-				if checkReads {
-					for _, ro := range r.Reads {
-						res.SnapReads = append(res.SnapReads, checker.SnapshotRead{
-							Key: ro.Key, At: r.SnapshotAt, Saw: ro.TS,
-						})
-					}
-				}
 			}
 			if job.T != nil {
 				if useLocal && job.T.ReadOnly {
-					snap.SubmitLocalRead(ci, job.T, finishLocal)
+					snap.SubmitLocalRead(ci, job.T, j.finishLocal)
 				} else {
-					d.Sys.Submit(ci, job.T, func(r txn.Result) { finish(r, job.T) })
+					d.Sys.Submit(ci, job.T, j.finishSub)
 				}
 			} else {
-				runChain(d, ci, job.I, 0, spec.MaxChainRestarts, finish)
+				runChain(d, ci, job.I, 0, spec.MaxChainRestarts, j.finish)
 			}
 		}
 		// Stagger coordinator start offsets deterministically.

@@ -7,10 +7,135 @@ import (
 
 	"tiga/internal/checker"
 	"tiga/internal/metrics"
+	"tiga/internal/pool"
 	"tiga/internal/protocol"
 	"tiga/internal/txn"
 	"tiga/internal/workload"
 )
+
+// olState is the per-run shared context of the open-loop driver: everything a
+// job's completion callback needs that is not per-arrival.
+type olState struct {
+	d          *Deployment
+	spec       LoadSpec
+	run        *metrics.Run
+	res        *RunResult
+	checkReads bool
+	// jobs recycles arrival envelopes. One pool per run, touched only from
+	// the run's single-threaded simulator loop (see internal/pool).
+	jobs *pool.Free[olJob]
+}
+
+// olJob is one arrival's envelope: the submit-time facts its completion
+// callback needs, plus that callback itself. The callbacks are bound once per
+// envelope lifetime (first Get) and survive recycling — the envelope's fields
+// are rewritten each arrival — so the three per-arrival closures the driver
+// used to allocate are amortized down to the pool's high-water mark. An
+// envelope whose transaction never completes (lost in an outage, or still in
+// flight when the horizon ends) simply never returns to the pool.
+type olJob struct {
+	st       *olState
+	region   string
+	start    time.Duration
+	inWindow bool
+	t        *txn.Txn
+
+	finish      func(txn.Result, *txn.Txn)
+	finishSub   func(txn.Result)
+	finishLocal func(txn.Result)
+}
+
+func (st *olState) get() *olJob {
+	j := st.jobs.Get()
+	if j.st == nil {
+		j.st = st
+		j.finish = j.onFinish
+		j.finishSub = func(r txn.Result) { j.onFinish(r, j.t) }
+		j.finishLocal = j.onFinishLocal
+	}
+	return j
+}
+
+// onFinish handles a coordinator-path completion. Accounting differs from the
+// closed loop in one way: time spent waiting in an admission queue
+// (Result.Queued) is recorded in Run.QueueLat, and Run.Lat holds service
+// latency (end-to-end minus queue wait), so the two decompose a committed
+// transaction's end-to-end time. Shed transactions count in Counters.Shed
+// (and Aborted).
+func (j *olJob) onFinish(r txn.Result, t *txn.Txn) {
+	st := j.st
+	defer st.jobs.Put(j)
+	run, res, spec := st.run, st.res, &st.spec
+	now := st.d.Sim.Now()
+	if !j.inWindow {
+		return
+	}
+	if r.Shed {
+		run.Counters.Shed++
+	}
+	if !r.OK {
+		run.Counters.Aborted++
+		if spec.TrackSamples {
+			res.Aborts = append(res.Aborts, Sample{At: now, Lat: now - j.start, Region: j.region})
+		}
+		return
+	}
+	// Service latency excludes the admission-queue wait, which is
+	// accounted separately.
+	lat := now - j.start - r.Queued
+	run.QueueLat.Add(r.Queued)
+	if spec.TrackSamples {
+		res.Samples = append(res.Samples, Sample{At: now, Lat: lat, Region: j.region})
+	}
+	run.RecordCommit(now, lat, j.region, r.FastPath)
+	run.Counters.Retries += int64(r.Retries)
+	if t != nil && t.ReadOnly {
+		run.ReadLat.Add(lat)
+	}
+	if spec.Check && t != nil {
+		res.Counter.Committed(t)
+		res.Commits = append(res.Commits, checker.Commit{
+			ID: t.ID, TS: r.TS, Submit: j.start, Complete: now,
+		})
+	}
+	if st.checkReads && t != nil && !t.ReadOnly && !r.TS.IsZero() {
+		for _, p := range t.Pieces {
+			for _, k := range p.WriteSet {
+				res.Writes = append(res.Writes, checker.WriteEvent{Key: k, TS: r.TS})
+			}
+		}
+	}
+}
+
+// onFinishLocal handles a local snapshot-read completion.
+func (j *olJob) onFinishLocal(r txn.Result) {
+	st := j.st
+	defer st.jobs.Put(j)
+	run, res, spec := st.run, st.res, &st.spec
+	now := st.d.Sim.Now()
+	if !j.inWindow {
+		return
+	}
+	if !r.OK {
+		run.Counters.Aborted++
+		if spec.TrackSamples {
+			res.Aborts = append(res.Aborts, Sample{At: now, Lat: now - j.start, Region: j.region})
+		}
+		return
+	}
+	if spec.TrackSamples {
+		res.Samples = append(res.Samples, Sample{At: now, Lat: now - j.start, Region: j.region})
+	}
+	run.RecordLocalRead(now, now-j.start, r.Waited, j.region)
+	run.Counters.Retries += int64(r.Retries)
+	if st.checkReads {
+		for _, ro := range r.Reads {
+			res.SnapReads = append(res.SnapReads, checker.SnapshotRead{
+				Key: ro.Key, At: r.SnapshotAt, Saw: ro.TS,
+			})
+		}
+	}
+}
 
 // runOpenLoop is RunLoad's true open-loop mode (LoadSpec.Arrival): every
 // coordinator draws inter-arrival gaps from a registered arrival process and
@@ -20,12 +145,6 @@ import (
 // measurable: a congestion-collapsing protocol keeps receiving work, and the
 // coordinator admission gate (admit-cap/admit-queue knobs) is what turns the
 // excess into bounded-latency shedding.
-//
-// Accounting differs from the closed loop in one way: time spent waiting in
-// an admission queue (Result.Queued) is recorded in Run.QueueLat, and
-// Run.Lat holds service latency (end-to-end minus queue wait), so the two
-// decompose a committed transaction's end-to-end time. Shed transactions
-// count in Counters.Shed (and Aborted).
 //
 // Determinism matches RunLoad: one rng per coordinator seeded from
 // (Seed, coordinator index), all scheduling through the simulator, so a
@@ -46,6 +165,8 @@ func runOpenLoop(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResul
 	run.Start = spec.Warmup
 	run.End = spec.Warmup + spec.Duration
 	res := &RunResult{Run: run, Counter: checker.NewCounter(), Deployment: d}
+	st := &olState{d: d, spec: spec, run: run, res: res, checkReads: checkReads,
+		jobs: pool.New[olJob]()}
 
 	// Pre-size the sample buffers at the base rate (curves swing around it);
 	// steady-state recording then rarely reallocates mid-run.
@@ -75,85 +196,22 @@ func runOpenLoop(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResul
 			// must not depend on what the submission does with rng.
 			d.Sim.After(arr.Next(d.Sim.Now(), rng), tick)
 			job := gen.Next(rng)
-			start := d.Sim.Now()
-			inWindow := start >= run.Start && start < run.End
-			if inWindow {
+			j := st.get()
+			j.region = region
+			j.start = d.Sim.Now()
+			j.inWindow = j.start >= run.Start && j.start < run.End
+			j.t = job.T
+			if j.inWindow {
 				run.Counters.Submitted++
-			}
-			finish := func(r txn.Result, t *txn.Txn) {
-				now := d.Sim.Now()
-				if !inWindow {
-					return
-				}
-				if r.Shed {
-					run.Counters.Shed++
-				}
-				if !r.OK {
-					run.Counters.Aborted++
-					if spec.TrackSamples {
-						res.Aborts = append(res.Aborts, Sample{At: now, Lat: now - start, Region: region})
-					}
-					return
-				}
-				// Service latency excludes the admission-queue wait,
-				// which is accounted separately.
-				lat := now - start - r.Queued
-				run.QueueLat.Add(r.Queued)
-				if spec.TrackSamples {
-					res.Samples = append(res.Samples, Sample{At: now, Lat: lat, Region: region})
-				}
-				run.RecordCommit(now, lat, region, r.FastPath)
-				run.Counters.Retries += int64(r.Retries)
-				if t != nil && t.ReadOnly {
-					run.ReadLat.Add(lat)
-				}
-				if spec.Check && t != nil {
-					res.Counter.Committed(t)
-					res.Commits = append(res.Commits, checker.Commit{
-						ID: t.ID, TS: r.TS, Submit: start, Complete: now,
-					})
-				}
-				if checkReads && t != nil && !t.ReadOnly && !r.TS.IsZero() {
-					for _, p := range t.Pieces {
-						for _, k := range p.WriteSet {
-							res.Writes = append(res.Writes, checker.WriteEvent{Key: k, TS: r.TS})
-						}
-					}
-				}
-			}
-			finishLocal := func(r txn.Result) {
-				now := d.Sim.Now()
-				if !inWindow {
-					return
-				}
-				if !r.OK {
-					run.Counters.Aborted++
-					if spec.TrackSamples {
-						res.Aborts = append(res.Aborts, Sample{At: now, Lat: now - start, Region: region})
-					}
-					return
-				}
-				if spec.TrackSamples {
-					res.Samples = append(res.Samples, Sample{At: now, Lat: now - start, Region: region})
-				}
-				run.RecordLocalRead(now, now-start, r.Waited, region)
-				run.Counters.Retries += int64(r.Retries)
-				if checkReads {
-					for _, ro := range r.Reads {
-						res.SnapReads = append(res.SnapReads, checker.SnapshotRead{
-							Key: ro.Key, At: r.SnapshotAt, Saw: ro.TS,
-						})
-					}
-				}
 			}
 			if job.T != nil {
 				if useLocal && job.T.ReadOnly {
-					snap.SubmitLocalRead(ci, job.T, finishLocal)
+					snap.SubmitLocalRead(ci, job.T, j.finishLocal)
 				} else {
-					d.Sys.Submit(ci, job.T, func(r txn.Result) { finish(r, job.T) })
+					d.Sys.Submit(ci, job.T, j.finishSub)
 				}
 			} else {
-				runChain(d, ci, job.I, 0, spec.MaxChainRestarts, finish)
+				runChain(d, ci, job.I, 0, spec.MaxChainRestarts, j.finish)
 			}
 		}
 		// The first arrival is itself a draw from the process, so the

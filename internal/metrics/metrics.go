@@ -5,7 +5,7 @@ package metrics
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -42,7 +42,7 @@ func (l *Latency) Percentile(p float64) time.Duration {
 		return 0
 	}
 	if !l.sorted {
-		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		slices.Sort(l.samples)
 		l.sorted = true
 	}
 	idx := int(p / 100 * float64(len(l.samples)-1))

@@ -42,6 +42,53 @@ func TestPercentileAfterInterleavedAdds(t *testing.T) {
 	}
 }
 
+// TestPercentilePin pins exact percentile outputs over a fixed LCG-shuffled
+// sample set, so sort-implementation changes (sort.Slice → slices.Sort) that
+// alter results — not just speed — fail loudly.
+func TestPercentilePin(t *testing.T) {
+	var l Latency
+	l.Grow(1000)
+	x := uint64(42)
+	for i := 0; i < 1000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		l.Add(time.Duration(x%1_000_000) * time.Microsecond)
+	}
+	pins := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 607 * time.Microsecond},
+		{50, 522102 * time.Microsecond},
+		{90, 915936 * time.Microsecond},
+		{99, 987411 * time.Microsecond},
+		{100, 999594 * time.Microsecond},
+	}
+	for _, pin := range pins {
+		if got := l.Percentile(pin.p); got != pin.want {
+			t.Errorf("p%v = %v, want %v", pin.p, got, pin.want)
+		}
+	}
+}
+
+func TestGrowPreservesSamplesAndCapacity(t *testing.T) {
+	var l Latency
+	l.Add(7 * time.Millisecond)
+	l.Grow(100)
+	if cap(l.samples)-len(l.samples) < 100 {
+		t.Fatalf("Grow(100) left headroom %d", cap(l.samples)-len(l.samples))
+	}
+	before := cap(l.samples)
+	for i := 0; i < 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	if cap(l.samples) != before {
+		t.Fatal("Adds within grown capacity reallocated")
+	}
+	if l.Percentile(100) != 99*time.Millisecond || l.Percentile(0) != 0 {
+		t.Fatal("samples corrupted by Grow")
+	}
+}
+
 func TestSeries(t *testing.T) {
 	s := NewSeries(time.Second)
 	s.Add(100 * time.Millisecond)

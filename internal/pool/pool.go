@@ -1,0 +1,88 @@
+// Package pool provides deterministic freelists for the transaction path.
+//
+// The simulator's goldens are byte-identical across -workers settings because
+// every simulation is single-threaded and driven by one seeded rng; a
+// sync.Pool would break that (its hit rate depends on GC timing and the
+// P the goroutine happens to run on, so recycled-object identity — and any
+// latent state bug — would vary run to run). A Free[T] is instead owned by
+// exactly one simulated cluster (coordinator, server, or protocol instance)
+// and used only from that simulation's event loop, so Get/Put order is a pure
+// function of the seed. Objects handed back via Put are fully overwritten by
+// the next Get site before reuse; the pool itself does not zero them.
+//
+// Lifecycle discipline (see README "Allocation budget"): a pooled object may
+// be recycled only by code that can prove no other reference outlives the
+// Put. In practice that means
+//   - unicast wire messages: the receiving handler recycles after decoding,
+//   - multicast payloads: each destination gets its own pooled copy,
+//   - coordinator-local records: recycled when the txn finishes,
+//   - anything retained by a server log (e.g. *txn.Txn): never pooled.
+//
+// Double frees corrupt simulations silently (two live txns sharing one
+// struct), so Check mode — enabled by tests — makes Put panic on an object
+// already in the pool.
+package pool
+
+// Check enables the debug double-free detector on pools created while it is
+// set. Tests flip it on; the serving path leaves it off (the id map costs an
+// allocation per tracked Put).
+var Check bool
+
+// Free is a LIFO freelist of *T. The zero value is NOT ready to use; create
+// pools with New so the Check snapshot is taken consistently.
+type Free[T any] struct {
+	free  []*T
+	inUse map[*T]bool // nil unless Check was set at New time
+
+	// Gets / News count pool hits and misses for the alloc-profile
+	// harness; they are not part of any golden output.
+	Gets, News int
+}
+
+// New returns an empty freelist, arming the double-free detector if
+// pool.Check is set.
+func New[T any]() *Free[T] {
+	f := &Free[T]{}
+	if Check {
+		f.inUse = make(map[*T]bool)
+	}
+	return f
+}
+
+// Get pops the most recently freed object, or allocates a fresh one when the
+// freelist is empty. The caller must overwrite every field it reads.
+func (f *Free[T]) Get() *T {
+	f.Gets++
+	n := len(f.free)
+	if n == 0 {
+		f.News++
+		p := new(T)
+		if f.inUse != nil {
+			f.inUse[p] = true
+		}
+		return p
+	}
+	p := f.free[n-1]
+	f.free[n-1] = nil
+	f.free = f.free[:n-1]
+	if f.inUse != nil {
+		f.inUse[p] = true
+	}
+	return p
+}
+
+// Put returns an object to the freelist. With pool.Check armed, putting an
+// object that is already free (or that this pool never handed out) panics —
+// that is the double-recycle bug class this exists to catch.
+func (f *Free[T]) Put(p *T) {
+	if p == nil {
+		return
+	}
+	if f.inUse != nil {
+		if !f.inUse[p] {
+			panic("pool: double free (object not checked out)")
+		}
+		delete(f.inUse, p)
+	}
+	f.free = append(f.free, p)
+}

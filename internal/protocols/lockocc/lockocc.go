@@ -17,6 +17,7 @@ import (
 	"tiga/internal/admit"
 	"tiga/internal/locks"
 	"tiga/internal/paxos"
+	"tiga/internal/pool"
 	"tiga/internal/simnet"
 	"tiga/internal/snapread"
 	"tiga/internal/store"
@@ -166,6 +167,23 @@ type pendingSrv struct {
 	// coordinator's decision, is necessarily later than its arrival here.
 	prepTS time.Duration
 	ts     txn.Timestamp // decided commit timestamp (from commitReq)
+	// id is the transaction ID this record was created under, latched at
+	// creation. The grant callback must dispatch on it rather than p.t.ID:
+	// t points at the coordinator's Txn object, whose ID field submit
+	// reassigns in place on retry — so after a lost abortReq orphans this
+	// attempt, a late lock grant would otherwise finish the RETRY's id on a
+	// shard still tracking this one (s.pending, lt.held, lt.queued are all
+	// keyed by the creation-time id).
+	id txn.ID
+	// grant is the lock-grant callback, bound once per record (the record is
+	// pooled; see server.getPend). It replaces the per-transaction closures
+	// the 2PL and relock paths used to allocate, dispatching on id and
+	// relockPath, both latched at creation.
+	grant func()
+	// relockPath latches which acquire loop the grants belong to: false =
+	// the 2PL prepare loop (onReqExec), true = the post-reboot relock loop
+	// (onCommitReq). A record lifetime runs exactly one of the two.
+	relockPath bool
 }
 
 // server is a shard leader plus its Paxos group membership.
@@ -180,7 +198,11 @@ type server struct {
 	occRead map[string]map[txn.ID]bool // OCC: key -> in-flight readers
 	pax     *paxos.Replica
 	pending map[txn.ID]*pendingSrv
-	onSlot  map[int]txn.ID // slot -> awaiting commit reply
+	// pend recycles pendingSrv records. Safe because every removal path
+	// either never queued lock requests (OCC) or runs lt.ReleaseAll first,
+	// which purges queued grant callbacks — so no reference outlives the Put.
+	pend   *pool.Free[pendingSrv]
+	onSlot map[int]txn.ID // slot -> awaiting commit reply
 	// applied records every Paxos-applied commit, so re-sent commit requests
 	// (after a leader reboot) are answered instead of re-proposed.
 	applied map[txn.ID]bool
@@ -245,7 +267,8 @@ func New(spec Spec) *System {
 	for _, reg := range spec.CoordRegions {
 		node := spec.Net.AddNode(reg, nil)
 		co := &coordinator{sys: sys, node: node, idx: int32(len(sys.coords) + 1),
-			pending: make(map[txn.ID]*pendingCo), reads: make(map[uint64]*pendingRead)}
+			pending: make(map[txn.ID]*pendingCo), pend: pool.New[pendingCo](),
+			reads: make(map[uint64]*pendingRead)}
 		co.gate = admit.Gate{
 			Cap: spec.AdmitCap, Queue: spec.AdmitQueue, ShedOldest: spec.ShedOldest,
 			Now: func() time.Duration { return spec.Net.Sim().Now() },
@@ -265,7 +288,8 @@ func newServer(sys *System, s, r int) *server {
 		sys: sys, shard: s, replica: r, node: node,
 		st: store.New(), lt: locks.NewTable(),
 		occLock: make(map[string]txn.ID), occRead: make(map[string]map[txn.ID]bool),
-		pending: make(map[txn.ID]*pendingSrv), onSlot: make(map[int]txn.ID),
+		pending: make(map[txn.ID]*pendingSrv), pend: pool.New[pendingSrv](),
+		onSlot:  make(map[int]txn.ID),
 		applied: make(map[txn.ID]bool),
 	}
 	srv.pax = paxos.NewReplica("pax", node, sys.nodes[s], r, 0, sys.spec.F)
@@ -430,6 +454,29 @@ func (s *server) onRecoverRep(m recoverRep) {
 	s.catchingUp = s.pax.Committed() < s.pax.LogLen()
 }
 
+// getPend draws a reset pendingSrv from the server's freelist, binding its
+// grant callback on first use. The bound closure replaces the per-transaction
+// grant literals the 2PL and relock paths used to allocate.
+func (s *server) getPend() *pendingSrv {
+	p := s.pend.Get()
+	grant := p.grant
+	occHeld, occRead := p.occHeld[:0], p.occRead[:0]
+	*p = pendingSrv{occHeld: occHeld, occRead: occRead, grant: grant}
+	if p.grant == nil {
+		p.grant = func() {
+			p.waiting--
+			if p.waiting == 0 {
+				if p.relockPath {
+					s.finishRelock(p.id)
+				} else {
+					s.finishLock(p.id)
+				}
+			}
+		}
+	}
+	return p
+}
+
 func (s *server) onWound(victim txn.ID) {
 	// A transaction that already voted OK on THIS shard must not be wounded:
 	// its coordinator may already be committing it elsewhere, so aborting it
@@ -447,7 +494,8 @@ func (s *server) onReqExec(m reqExec) {
 	if _, dup := s.pending[id]; dup {
 		return
 	}
-	p := &pendingSrv{t: m.T, prio: m.Prio, coord: m.Coord, prepTS: s.sys.spec.Net.Sim().Now()}
+	p := s.getPend()
+	p.id, p.t, p.prio, p.coord, p.prepTS = id, m.T, m.Prio, m.Coord, s.sys.spec.Net.Sim().Now()
 	s.pending[id] = p
 	piece := m.T.Pieces[s.shard]
 	if s.sys.spec.CC == OCC {
@@ -458,6 +506,7 @@ func (s *server) onReqExec(m reqExec) {
 		s.node.Work(s.sys.spec.ExecCost)
 		if s.occConflict(id, piece) {
 			delete(s.pending, id)
+			s.pend.Put(p)
 			s.node.Send(m.Coord, voteMsg{Shard: s.shard, ID: id, OK: false})
 			return
 		}
@@ -486,19 +535,13 @@ func (s *server) onReqExec(m reqExec) {
 	}
 	// 2PL: acquire all locks (wound-wait), then execute.
 	p.waiting = 0
-	grant := func() {
-		p.waiting--
-		if p.waiting == 0 {
-			s.finishLock(id)
-		}
-	}
 	for _, k := range piece.ReadSet {
-		if !contains(piece.WriteSet, k) && !s.lt.Acquire(k, locks.Shared, id, m.Prio, grant) {
+		if !contains(piece.WriteSet, k) && !s.lt.Acquire(k, locks.Shared, id, m.Prio, p.grant) {
 			p.waiting++
 		}
 	}
 	for _, k := range piece.WriteSet {
-		if !s.lt.Acquire(k, locks.Exclusive, id, m.Prio, grant) {
+		if !s.lt.Acquire(k, locks.Exclusive, id, m.Prio, p.grant) {
 			p.waiting++
 		}
 	}
@@ -515,7 +558,9 @@ func (s *server) finishLock(id txn.ID) {
 	if p.wounded {
 		s.lt.ReleaseAll(id)
 		delete(s.pending, id)
-		s.node.Send(p.coord, voteMsg{Shard: s.shard, ID: id, OK: false})
+		coord := p.coord
+		s.pend.Put(p)
+		s.node.Send(coord, voteMsg{Shard: s.shard, ID: id, OK: false})
 		return
 	}
 	p.voted = true
@@ -564,8 +609,10 @@ func (s *server) onCommitReq(m commitReq) {
 	}
 	p := s.pending[m.ID]
 	if p == nil {
-		p = &pendingSrv{t: m.T, prio: m.Prio, coord: m.Coord, voted: true, relocking: true,
-			prepTS: s.sys.spec.Net.Sim().Now(), ts: m.TS}
+		p = s.getPend()
+		p.t, p.prio, p.coord, p.voted, p.relocking = m.T, m.Prio, m.Coord, true, true
+		p.id, p.relockPath = m.ID, true
+		p.prepTS, p.ts = s.sys.spec.Net.Sim().Now(), m.TS
 		s.pending[m.ID] = p
 		s.relock(m.ID, p)
 		return
@@ -586,19 +633,13 @@ func (s *server) onCommitReq(m commitReq) {
 // locks so the commit applies on top of the current store state.
 func (s *server) relock(id txn.ID, p *pendingSrv) {
 	piece := p.t.Pieces[s.shard]
-	grant := func() {
-		p.waiting--
-		if p.waiting == 0 {
-			s.finishRelock(id)
-		}
-	}
 	for _, k := range piece.ReadSet {
-		if !contains(piece.WriteSet, k) && !s.lt.Acquire(k, locks.Shared, id, p.prio, grant) {
+		if !contains(piece.WriteSet, k) && !s.lt.Acquire(k, locks.Shared, id, p.prio, p.grant) {
 			p.waiting++
 		}
 	}
 	for _, k := range piece.WriteSet {
-		if !s.lt.Acquire(k, locks.Exclusive, id, p.prio, grant) {
+		if !s.lt.Acquire(k, locks.Exclusive, id, p.prio, p.grant) {
 			p.waiting++
 		}
 	}
@@ -618,7 +659,9 @@ func (s *server) finishRelock(id txn.ID) {
 		// the locks (InstallLog re-proposes the adopted tail).
 		s.lt.ReleaseAll(id)
 		delete(s.pending, id)
-		s.node.Send(p.coord, committedMsg{Shard: s.shard, ID: id})
+		coord := p.coord
+		s.pend.Put(p)
+		s.node.Send(coord, committedMsg{Shard: s.shard, ID: id})
 		return
 	}
 	s.node.Work(s.sys.spec.ExecCost)
@@ -638,6 +681,7 @@ func (s *server) abortLocal(id txn.ID) {
 	s.releaseOCC(p, id)
 	s.lt.ReleaseAll(id)
 	delete(s.pending, id)
+	s.pend.Put(p)
 }
 
 // releaseOCC drops the transaction's OCC read marks and write locks.
@@ -699,7 +743,9 @@ func (s *server) onPaxosCommit(slot int, cmd paxos.Command) {
 			s.releaseOCC(p, id)
 			s.lt.ReleaseAll(id)
 			delete(s.pending, id)
-			s.node.Send(p.coord, committedMsg{Shard: s.shard, ID: id})
+			coord := p.coord
+			s.pend.Put(p)
+			s.node.Send(coord, committedMsg{Shard: s.shard, ID: id})
 		}
 	}
 }
@@ -754,6 +800,11 @@ type coordinator struct {
 	idx     int32
 	seq     uint64
 	pending map[txn.ID]*pendingCo
+	// pend recycles pendingCo records (maps cleared, not remade, on reuse).
+	// Recycle happens only after the record left co.pending and everything a
+	// later callback needs was copied out — retry closures capture fields,
+	// never the record itself.
+	pend *pool.Free[pendingCo]
 
 	// gate is the admission-control gate (Spec.AdmitCap etc.); disabled by
 	// default, it passes submissions straight through.
@@ -778,8 +829,15 @@ func (sys *System) Submit(coord int, t *txn.Txn, done func(txn.Result)) {
 func (co *coordinator) submit(t *txn.Txn, done func(txn.Result), retries int, prio uint64) {
 	co.seq++
 	t.ID = txn.ID{Coord: co.idx, Seq: co.seq}
-	p := &pendingCo{t: t, done: done, votes: make(map[int]voteMsg), commits: make(map[int]bool),
-		retries: retries, start: co.sys.spec.Net.Sim().Now()}
+	p := co.pend.Get()
+	if p.votes == nil {
+		p.votes, p.commits = make(map[int]voteMsg), make(map[int]bool)
+	} else {
+		clear(p.votes)
+		clear(p.commits)
+	}
+	p.t, p.done, p.phase, p.ts = t, done, 0, txn.Timestamp{}
+	p.retries, p.start = retries, co.sys.spec.Net.Sim().Now()
 	// Wound-wait priority: older transactions (earlier first submission)
 	// win; retries keep their original priority so victims make progress.
 	p.prio = prio
@@ -881,7 +939,12 @@ func (co *coordinator) onCommitted(m committedMsg) {
 	for sh, v := range p.votes {
 		res.PerShard[sh] = v.Ret
 	}
-	p.done(res)
+	done := p.done
+	// Recycle before the callback: done may synchronously submit the next
+	// transaction (closed-loop clients), which draws from the same pool;
+	// everything res needs was copied out above.
+	co.pend.Put(p)
+	done(res)
 }
 
 // abort releases every shard and retries with backoff (plus the caller's
@@ -891,11 +954,15 @@ func (co *coordinator) abort(p *pendingCo, stagger time.Duration) {
 	for _, sh := range p.t.Shards() {
 		co.node.Send(co.sys.leaderNode(sh), abortReq{ID: p.t.ID})
 	}
-	if p.retries >= co.sys.spec.MaxRetries {
+	// Copy out what the continuations need: the record returns to the pool
+	// now, and the retry closure must not read it later.
+	t, done, retries, prio := p.t, p.done, p.retries, p.prio
+	co.pend.Put(p)
+	if retries >= co.sys.spec.MaxRetries {
 		co.sys.Aborts++
-		p.done(txn.Result{Aborted: true, Retries: p.retries})
+		done(txn.Result{Aborted: true, Retries: retries})
 		return
 	}
-	backoff := co.sys.spec.RetryBackoff*time.Duration(p.retries+1) + stagger
-	co.node.After(backoff, func() { co.submit(p.t, p.done, p.retries+1, p.prio) })
+	backoff := co.sys.spec.RetryBackoff*time.Duration(retries+1) + stagger
+	co.node.After(backoff, func() { co.submit(t, done, retries+1, prio) })
 }

@@ -250,8 +250,14 @@ func (s *server) serveSnapRead(to simnet.NodeID, m snapread.Req, waited time.Dur
 	s.node.Work(s.sys.spec.ExecCost)
 	vals := make([][]byte, len(m.Keys))
 	seen := make([]txn.Timestamp, len(m.Keys))
-	for i, k := range m.Keys {
-		vals[i], seen[i], _ = s.st.GetAt(k, m.At)
+	if len(m.KeyIDs) == len(m.Keys) {
+		for i, id := range m.KeyIDs {
+			vals[i], seen[i], _ = s.st.GetAtID(id, m.At)
+		}
+	} else {
+		for i, k := range m.Keys {
+			vals[i], seen[i], _ = s.st.GetAt(k, m.At)
+		}
 	}
 	s.node.Send(to, snapread.Rep{Shard: s.shard, Seq: m.Seq, Vals: vals, Seen: seen, Waited: waited})
 }
@@ -295,9 +301,14 @@ func (co *coordinator) sendReadReqs(pr *pendingRead) {
 		if pr.got[sh] {
 			continue
 		}
-		co.node.Send(co.sys.nodes[sh][co.nearestReplica(sh)], snapread.Req{
-			Shard: sh, Coord: co.idx, Seq: pr.t.ID.Seq, At: pr.at, Keys: pr.t.Pieces[sh].ReadSet,
-		})
+		piece := pr.t.Pieces[sh]
+		req := snapread.Req{
+			Shard: sh, Coord: co.idx, Seq: pr.t.ID.Seq, At: pr.at, Keys: piece.ReadSet,
+		}
+		if piece.Interned() {
+			req.KeyIDs = piece.ReadIDs
+		}
+		co.node.Send(co.sys.nodes[sh][co.nearestReplica(sh)], req)
 	}
 }
 

@@ -25,6 +25,17 @@ const (
 	// evCPUStart runs fn once the node's CPU has freed up; stale if the
 	// node crashed since (epoch mismatch).
 	evCPUStart
+	// evGatedTimer is a supersedable node timer (Node.AfterGate): like
+	// evTimer, but fn runs only while *gate still equals gseq, so one
+	// persistent closure serves every re-arm of a deadline. The gate is
+	// checked when fn would RUN, not when the timer fires: a superseded
+	// timer still reserves the node's CPU exactly like a timer whose
+	// callback no-ops, keeping service times independent of how the
+	// supersede check is expressed.
+	evGatedTimer
+	// evGatedCPUStart is evGatedTimer's deferred-start twin of evCPUStart:
+	// the gate is re-checked once the CPU frees up.
+	evGatedCPUStart
 )
 
 // event is one scheduled occurrence, ordered by (at, seq): seq is the global
@@ -45,6 +56,11 @@ type event struct {
 	// time means the node crashed in between and the event is stale.
 	epoch int32
 	kind  eventKind
+	// gate/gseq implement evGatedTimer: the event is live only while *gate
+	// still holds gseq. Callers bump the gate to supersede pending timers
+	// without scheduling a fresh closure per arm.
+	gate *uint64
+	gseq uint64
 }
 
 // before is the queue's strict total order: time, then scheduling order.

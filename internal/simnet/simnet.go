@@ -125,6 +125,32 @@ func (s *Sim) dispatch(e *event) {
 			return
 		}
 		e.fn()
+	case evGatedTimer:
+		nd := e.node
+		if nd.down || nd.epoch != e.epoch {
+			return
+		}
+		// Reserve the CPU like any timer (a superseded arm still costs a
+		// no-op callback's service time); check the gate only when fn is
+		// about to run, after any CPU-queue wait.
+		start := s.now
+		if nd.busyUntil > start {
+			start = nd.busyUntil
+		}
+		nd.busyUntil = start + nd.cost
+		if start == s.now {
+			if *e.gate == e.gseq {
+				e.fn()
+			}
+			return
+		}
+		s.schedule(start, event{kind: evGatedCPUStart, node: nd, fn: e.fn, epoch: nd.epoch, gate: e.gate, gseq: e.gseq})
+	case evGatedCPUStart:
+		nd := e.node
+		if nd.down || nd.epoch != e.epoch || *e.gate != e.gseq {
+			return
+		}
+		e.fn()
 	}
 }
 
@@ -400,17 +426,31 @@ func (nd *Node) After(d time.Duration, fn func()) {
 	sim.schedule(sim.now+d, event{kind: evTimer, node: nd, fn: fn, epoch: nd.epoch})
 }
 
+// AfterGate schedules fn to run on this node's CPU after d, but only if
+// *gate still equals seq when fn is about to execute. A caller that re-arms a deadline bumps
+// the gate to invalidate every earlier pending arm, so a single long-lived
+// closure serves all arms instead of one capturing closure per arm — the
+// pattern behind Tiga's pump and safe-flush timers.
+func (nd *Node) AfterGate(d time.Duration, gate *uint64, seq uint64, fn func()) {
+	sim := nd.net.sim
+	sim.schedule(sim.now+d, event{kind: evGatedTimer, node: nd, fn: fn, epoch: nd.epoch, gate: gate, gseq: seq})
+}
+
 // Every schedules fn to run every interval until the node crashes or fn
-// returns false.
+// returns false. The CPU-queue wrapper is hoisted out of the tick so a
+// long-running loop allocates nothing per firing; `cont` is reset before each
+// run because a deferred execution (busy CPU) reports through the same cell.
 func (nd *Node) Every(interval time.Duration, fn func() bool) {
 	epoch := nd.epoch
+	cont := true
+	run := func() { cont = fn() }
 	var tick func()
 	tick = func() {
 		if nd.down || nd.epoch != epoch {
 			return
 		}
-		cont := true
-		nd.runOnCPU(func() { cont = fn() })
+		cont = true
+		nd.runOnCPU(run)
 		if cont {
 			nd.net.sim.After(interval, tick)
 		}

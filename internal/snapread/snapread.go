@@ -29,6 +29,11 @@ type Req struct {
 	Seq   uint64
 	At    time.Duration
 	Keys  []string
+	// KeyIDs is the interned form of Keys (positionally parallel), set when
+	// the transaction's piece carries ids for its whole read set. Servers
+	// then serve the read through the store's ID fast path (GetAtID) without
+	// hashing a single key string.
+	KeyIDs []txn.KeyID
 }
 
 // Rep carries one shard's answer: values and observed commit timestamps

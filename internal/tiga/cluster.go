@@ -58,6 +58,11 @@ type Cluster struct {
 	coordNodes  []simnet.NodeID
 	vmNodes     []simnet.NodeID
 
+	// msgs are the cluster-wide wire-message freelists (see config.go). They
+	// are shared by every node of this cluster but only ever touched from the
+	// owning simulation's single-threaded event loop.
+	msgs *msgPools
+
 	initialGVec []int
 	initialMode Mode
 }
@@ -67,7 +72,8 @@ type Cluster struct {
 func NewCluster(net *simnet.Network, cfg Config, pl Placement, cf *clocks.Factory,
 	seed func(int, *store.Store)) *Cluster {
 
-	c := &Cluster{Cfg: cfg, Net: net, Seed: seed, initialGVec: make([]int, cfg.Shards)}
+	c := &Cluster{Cfg: cfg, Net: net, Seed: seed, initialGVec: make([]int, cfg.Shards),
+		msgs: newMsgPools()}
 
 	// Mode selection (§3.8): preventive iff the initial leaders (replica 0
 	// of each shard) are mutually within the co-location threshold.

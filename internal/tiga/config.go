@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"tiga/internal/hashlog"
+	"tiga/internal/pool"
 	"tiga/internal/simnet"
 	"tiga/internal/txn"
 )
@@ -149,6 +150,49 @@ func (c Config) SuperQuorum() int { return 1 + c.F + (c.F+1)/2 }
 // ---- Wire messages ----
 // All messages carry view identifiers; receivers reject mismatching views
 // (Appendix A).
+//
+// The per-transaction messages (txnMsg, fastReply, slowReply, tsNotification,
+// logSyncMsg) and the per-tick ones (syncPointMsg, safeTimeMsg) travel as
+// pooled pointers drawn from the cluster's freelists below; the low-rate
+// view-change, probe, and fetch messages stay plain values. Lifecycle
+// discipline for pooled messages:
+//
+//   - the sender Gets a fresh object per destination — one object is never
+//     shared across Sends, so a multicast is N pooled copies;
+//   - the receiver's handle() recycles the object after its handler returns,
+//     which requires handlers to copy (never alias) anything they retain —
+//     pendingSync, safePairs, and the coordinator reply arrays all store
+//     struct copies, while pointers reaching THROUGH a message (*txn.Txn,
+//     result bytes) are not pool-owned and may be kept;
+//   - messages dropped in flight (loss, partitions, crashes) simply leak from
+//     the freelist and are re-allocated on demand.
+//
+// All Gets and Puts happen on one simulation's event loop, so recycling order
+// is deterministic and runs stay byte-identical across -workers settings.
+
+// msgPools holds one cluster's wire-message freelists (see pool.Free for the
+// determinism rationale; pool.Check arms double-free detection in tests).
+type msgPools struct {
+	txn      *pool.Free[txnMsg]
+	fastRep  *pool.Free[fastReply]
+	slowRep  *pool.Free[slowReply]
+	tsNote   *pool.Free[tsNotification]
+	logSync  *pool.Free[logSyncMsg]
+	syncPt   *pool.Free[syncPointMsg]
+	safeTime *pool.Free[safeTimeMsg]
+}
+
+func newMsgPools() *msgPools {
+	return &msgPools{
+		txn:      pool.New[txnMsg](),
+		fastRep:  pool.New[fastReply](),
+		slowRep:  pool.New[slowReply](),
+		tsNote:   pool.New[tsNotification](),
+		logSync:  pool.New[logSyncMsg](),
+		syncPt:   pool.New[syncPointMsg](),
+		safeTime: pool.New[safeTimeMsg](),
+	}
+}
 
 type viewInfo struct {
 	GView int

@@ -6,20 +6,39 @@ import (
 
 	"tiga/internal/admit"
 	"tiga/internal/clocks"
+	"tiga/internal/pool"
 	"tiga/internal/simnet"
 	"tiga/internal/snapread"
 	"tiga/internal/txn"
 )
 
-// pendingTxn tracks one outstanding transaction at the coordinator.
+// pendingTxn tracks one outstanding transaction at the coordinator. It is
+// drawn from the coordinator's freelist at launch and recycled at finish, so
+// the reply arrays are reused across transactions: fast/slow hold the newest
+// reply per (involved shard, replica), indexed shardPos*replicas+replica,
+// with the parallel set flags distinguishing "no reply yet" from a zero one.
 type pendingTxn struct {
 	t       *txn.Txn
 	ts      txn.Timestamp
 	start   time.Duration
 	done    func(txn.Result)
-	fast    map[int]map[int]fastReply // shard -> replica -> newest reply
-	slow    map[int]map[int]slowReply
 	retries int
+	shards  []int // t.Shards(), cached (memoized, not owned — never mutated)
+	fast    []fastReply
+	fastSet []bool
+	slow    []slowReply
+	slowSet []bool
+}
+
+// shardPos returns the index of sh in the involved-shard list, or -1 when the
+// transaction does not touch sh (e.g. a broadcast inquiry reply).
+func (p *pendingTxn) shardPos(sh int) int {
+	for i, s := range p.shards {
+		if s == sh {
+			return i
+		}
+	}
+	return -1
 }
 
 // Coordinator submits transactions per §3.1 (future-timestamp initialization)
@@ -55,6 +74,16 @@ type Coordinator struct {
 	// by default, it passes submissions straight through.
 	gate admit.Gate
 
+	// ptPool recycles pendingTxn envelopes (launch -> finish lifecycle, all
+	// on this coordinator). The scratch slices below back headroom's OWD
+	// sort, pendingInOrder's deterministic ordering, and inquireSlow's
+	// involved-shard set — per-call allocations otherwise.
+	ptPool     *pool.Free[pendingTxn]
+	owdScratch []time.Duration
+	idScratch  []txn.ID
+	shardSeen  []bool
+	shardOrder []int
+
 	// Retries counts protocol-level re-submissions (stats for the harness).
 	Retries int64
 	Aborts  int64
@@ -68,6 +97,7 @@ func newCoordinator(c *Cluster, idx int32, node *simnet.Node, clk clocks.Clock) 
 		owd:     make(map[simnet.NodeID]time.Duration),
 		pending: make(map[txn.ID]*pendingTxn),
 		reads:   make(map[uint64]*pendingRead),
+		ptPool:  pool.New[pendingTxn](),
 	}
 	co.gate = admit.Gate{
 		Cap: c.Cfg.AdmitCap, Queue: c.Cfg.AdmitQueue, ShedOldest: c.Cfg.ShedOldest,
@@ -104,10 +134,12 @@ func (co *Coordinator) start() {
 
 func (co *Coordinator) handle(from simnet.NodeID, msg simnet.Message) {
 	switch m := msg.(type) {
-	case fastReply:
+	case *fastReply:
 		co.onFastReply(from, m)
-	case slowReply:
+		co.cluster.msgs.fastRep.Put(m)
+	case *slowReply:
 		co.onSlowReply(m)
+		co.cluster.msgs.slowRep.Put(m)
 	case slowInquiryRep:
 		co.onSlowInquiryRep(from, m)
 	case snapread.Rep:
@@ -141,10 +173,11 @@ func (co *Coordinator) headroom(t *txn.Txn) time.Duration {
 	}
 	var h time.Duration
 	for _, sh := range t.Shards() {
-		owds := make([]time.Duration, 0, co.cfg.Replicas())
+		owds := co.owdScratch[:0]
 		for rep := 0; rep < co.cfg.Replicas(); rep++ {
 			owds = append(owds, co.owd[co.cluster.serverNode(sh, rep)])
 		}
+		co.owdScratch = owds
 		// Super quorum of the closest replicas.
 		for i := 1; i < len(owds); i++ {
 			for j := i; j > 0 && owds[j] < owds[j-1]; j-- {
@@ -179,12 +212,28 @@ func (co *Coordinator) Submit(t *txn.Txn, done func(txn.Result)) {
 func (co *Coordinator) launch(t *txn.Txn, done func(txn.Result)) {
 	co.seq++
 	t.ID = txn.ID{Coord: co.idx, Seq: co.seq}
-	p := &pendingTxn{
-		t:     t,
-		start: co.cluster.Net.Sim().Now(),
-		done:  done,
-		fast:  make(map[int]map[int]fastReply),
-		slow:  make(map[int]map[int]slowReply),
+	p := co.ptPool.Get()
+	p.t = t
+	p.ts = txn.Timestamp{}
+	p.start = co.cluster.Net.Sim().Now()
+	p.done = done
+	p.retries = 0
+	p.shards = t.Shards()
+	n := len(p.shards) * co.cfg.Replicas()
+	if cap(p.fast) < n {
+		p.fast = make([]fastReply, n)
+		p.fastSet = make([]bool, n)
+		p.slow = make([]slowReply, n)
+		p.slowSet = make([]bool, n)
+	} else {
+		p.fast = p.fast[:n]
+		p.fastSet = p.fastSet[:n]
+		p.slow = p.slow[:n]
+		p.slowSet = p.slowSet[:n]
+		clear(p.fast) // drop stale Ret references along with the flags
+		clear(p.fastSet)
+		clear(p.slow)
+		clear(p.slowSet)
 	}
 	co.pending[t.ID] = p
 	co.multicast(p)
@@ -197,9 +246,10 @@ func (co *Coordinator) multicast(p *pendingTxn) {
 	// re-position the pending transaction to it, which re-converges the
 	// leaders' queue orders when local timestamp bumps made them diverge.
 	p.ts = txn.Timestamp{Time: sendClock + co.headroom(p.t), Coord: co.idx, Seq: p.t.ID.Seq}
-	m := txnMsg{T: p.t, TS: p.ts, SendClock: sendClock, Coord: co.node.ID(), GView: co.gview, Retry: p.retries}
-	for _, sh := range p.t.Shards() {
+	for _, sh := range p.shards {
 		for rep := 0; rep < co.cfg.Replicas(); rep++ {
+			m := co.cluster.msgs.txn.Get()
+			*m = txnMsg{T: p.t, TS: p.ts, SendClock: sendClock, Coord: co.node.ID(), GView: co.gview, Retry: p.retries}
 			co.node.Send(co.cluster.serverNode(sh, rep), m)
 		}
 	}
@@ -221,7 +271,7 @@ func (co *Coordinator) armRetry(p *pendingTxn) {
 	})
 }
 
-func (co *Coordinator) onFastReply(from simnet.NodeID, m fastReply) {
+func (co *Coordinator) onFastReply(from simnet.NodeID, m *fastReply) {
 	if m.GView > co.gview {
 		co.node.Send(co.cluster.vmLeaderNode(), vmInquire{From: co.node.ID()})
 		return
@@ -236,19 +286,18 @@ func (co *Coordinator) onFastReply(from simnet.NodeID, m fastReply) {
 	if m.OWD > 0 {
 		co.updateOWD(from, m.OWD)
 	}
-	byRep := p.fast[m.Shard]
-	if byRep == nil {
-		byRep = make(map[int]fastReply)
-		p.fast[m.Shard] = byRep
+	if i := p.shardPos(m.Shard); i >= 0 {
+		j := i*co.cfg.Replicas() + m.Replica
+		if p.fastSet[j] && m.TS.Less(p.fast[j].TS) {
+			return // stale (a newer reply with a larger timestamp already arrived)
+		}
+		p.fast[j] = *m // copy: the message is recycled after return
+		p.fastSet[j] = true
 	}
-	if prev, ok := byRep[m.Replica]; ok && m.TS.Less(prev.TS) {
-		return // stale (a newer reply with a larger timestamp already arrived)
-	}
-	byRep[m.Replica] = m
 	co.evaluate(p)
 }
 
-func (co *Coordinator) onSlowReply(m slowReply) {
+func (co *Coordinator) onSlowReply(m *slowReply) {
 	if m.GView != co.gview || m.LView != co.gvec[m.Shard] {
 		return
 	}
@@ -256,15 +305,14 @@ func (co *Coordinator) onSlowReply(m slowReply) {
 	if !ok {
 		return
 	}
-	byRep := p.slow[m.Shard]
-	if byRep == nil {
-		byRep = make(map[int]slowReply)
-		p.slow[m.Shard] = byRep
+	if i := p.shardPos(m.Shard); i >= 0 {
+		j := i*co.cfg.Replicas() + m.Replica
+		if p.slowSet[j] && m.TS.Less(p.slow[j].TS) {
+			return
+		}
+		p.slow[j] = *m
+		p.slowSet[j] = true
 	}
-	if prev, ok := byRep[m.Replica]; ok && m.TS.Less(prev.TS) {
-		return
-	}
-	byRep[m.Replica] = m
 	co.evaluate(p)
 }
 
@@ -274,19 +322,23 @@ func (co *Coordinator) inquireSlow() {
 	if len(co.pending) == 0 {
 		return
 	}
-	shards := make(map[int]bool)
+	if co.shardSeen == nil {
+		co.shardSeen = make([]bool, co.cfg.Shards)
+	}
+	order := co.shardOrder[:0]
 	for _, p := range co.pending {
-		for _, sh := range p.t.Shards() {
-			shards[sh] = true
+		for _, sh := range p.shards {
+			if !co.shardSeen[sh] {
+				co.shardSeen[sh] = true
+				order = append(order, sh)
+			}
 		}
 	}
 	// Deterministic send order: the simulation's event order follows it.
-	order := make([]int, 0, len(shards))
-	for sh := range shards {
-		order = append(order, sh)
-	}
 	sort.Ints(order)
+	co.shardOrder = order
 	for _, sh := range order {
+		co.shardSeen[sh] = false
 		for rep := 0; rep < co.cfg.Replicas(); rep++ {
 			if rep == co.gvec[sh]%co.cfg.Replicas() {
 				continue
@@ -302,17 +354,20 @@ func (co *Coordinator) onSlowInquiryRep(from simnet.NodeID, m slowInquiryRep) {
 	}
 	// A follower whose sync-point passed the leader-assigned log position of
 	// a pending transaction counts as a slow reply for it.
+	R := co.cfg.Replicas()
+	leaderRep := co.gvec[m.Shard] % R
 	for _, p := range co.pending {
-		lf, ok := p.fast[m.Shard][co.gvec[m.Shard]%co.cfg.Replicas()]
-		if !ok || m.SyncPoint <= lf.LogPos {
+		i := p.shardPos(m.Shard)
+		if i < 0 || !p.fastSet[i*R+leaderRep] {
 			continue
 		}
-		byRep := p.slow[m.Shard]
-		if byRep == nil {
-			byRep = make(map[int]slowReply)
-			p.slow[m.Shard] = byRep
+		lf := &p.fast[i*R+leaderRep]
+		if m.SyncPoint <= lf.LogPos {
+			continue
 		}
-		byRep[m.Replica] = slowReply{viewInfo: m.viewInfo, Shard: m.Shard, Replica: m.Replica, ID: p.t.ID, TS: lf.TS}
+		j := i*R + m.Replica
+		p.slow[j] = slowReply{viewInfo: m.viewInfo, Shard: m.Shard, Replica: m.Replica, ID: p.t.ID, TS: lf.TS}
+		p.slowSet[j] = true
 	}
 	// Evaluate in submission order: completions run client callbacks and
 	// sends, so map-iteration order here would diverge runs.
@@ -336,41 +391,45 @@ func sortIDs(ids []txn.ID) {
 }
 
 // pendingInOrder returns the pending transaction IDs in submission (sequence)
-// order; all of a coordinator's IDs share its Coord component.
+// order; all of a coordinator's IDs share its Coord component. The returned
+// slice is coordinator-owned scratch, valid until the next call.
 func (co *Coordinator) pendingInOrder() []txn.ID {
-	ids := make([]txn.ID, 0, len(co.pending))
+	ids := co.idScratch[:0]
 	for id := range co.pending {
 		ids = append(ids, id)
 	}
 	sortIDs(ids)
+	co.idScratch = ids
 	return ids
 }
 
 // evaluate runs Algorithm 3's quorum checks and completes the transaction
 // when every involved shard fast- or slow-committed with a consistent
-// leader timestamp.
+// leader timestamp. Evaluate runs on every reply, so the not-yet-committed
+// paths allocate nothing: the result map is only built once the transaction
+// actually commits.
 func (co *Coordinator) evaluate(p *pendingTxn) {
-	shards := p.t.Shards()
 	var agreedTS txn.Timestamp
-	results := make(map[int][]byte, len(shards))
 	fastPath := true
-	leaderReplies := make([]fastReply, 0, len(shards))
-	for _, sh := range shards {
-		leaderRep := co.gvec[sh] % co.cfg.Replicas()
-		lf, ok := p.fast[sh][leaderRep]
-		if !ok {
+	mismatch := false
+	R := co.cfg.Replicas()
+	for i, sh := range p.shards {
+		leaderRep := co.gvec[sh] % R
+		if !p.fastSet[i*R+leaderRep] {
 			return // no leader reply yet (line 15–16)
 		}
-		leaderReplies = append(leaderReplies, lf)
+		lf := &p.fast[i*R+leaderRep]
 		fastQ := 1 // the leader
-		for rep, fr := range p.fast[sh] {
-			if rep != leaderRep && fr.Hash == lf.Hash && fr.TS.Equal(lf.TS) {
+		slowQ := 0
+		for rep := 0; rep < R; rep++ {
+			if rep == leaderRep {
+				continue
+			}
+			j := i*R + rep
+			if p.fastSet[j] && p.fast[j].Hash == lf.Hash && p.fast[j].TS.Equal(lf.TS) {
 				fastQ++
 			}
-		}
-		slowQ := 0
-		for rep, sr := range p.slow[sh] {
-			if rep != leaderRep && sr.TS.Equal(lf.TS) {
+			if p.slowSet[j] && p.slow[j].TS.Equal(lf.TS) {
 				slowQ++
 			}
 		}
@@ -381,22 +440,25 @@ func (co *Coordinator) evaluate(p *pendingTxn) {
 		} else {
 			return // not committed yet (line 26–27)
 		}
-		results[sh] = lf.Ret
 		if agreedTS.IsZero() {
 			agreedTS = lf.TS
+		} else if !lf.TS.Equal(agreedTS) {
+			mismatch = true
 		}
 	}
 	// Leaders must all have used the same timestamp (line 28–32).
-	for _, lf := range leaderReplies {
-		if !lf.TS.Equal(agreedTS) {
-			if co.cfg.EpsilonBound > 0 {
-				// Coordination-free mode has no agreement to converge the
-				// timestamps; abort and let the application retry (§6).
-				co.finish(p, txn.Result{Aborted: true, Retries: p.retries})
-				co.Aborts++
-			}
-			return
+	if mismatch {
+		if co.cfg.EpsilonBound > 0 {
+			// Coordination-free mode has no agreement to converge the
+			// timestamps; abort and let the application retry (§6).
+			co.finish(p, txn.Result{Aborted: true, Retries: p.retries})
+			co.Aborts++
 		}
+		return
+	}
+	results := make(map[int][]byte, len(p.shards))
+	for i, sh := range p.shards {
+		results[sh] = p.fast[i*R+co.gvec[sh]%R].Ret
 	}
 	co.finish(p, txn.Result{OK: true, PerShard: results, FastPath: fastPath, Retries: p.retries, TS: agreedTS})
 }
@@ -406,6 +468,9 @@ func (co *Coordinator) finish(p *pendingTxn, res txn.Result) {
 	if p.done != nil {
 		p.done(res)
 	}
+	// Recycle after the callback: done may synchronously submit the next
+	// transaction (closed-loop clients), which draws from the same pool.
+	co.ptPool.Put(p)
 }
 
 // Latency returns the submission time of a pending transaction (harness).
@@ -428,8 +493,10 @@ func (co *Coordinator) adoptView(gv int, gvec []int, mode Mode) {
 	// deterministic submission order.
 	for _, id := range co.pendingInOrder() {
 		p := co.pending[id]
-		p.fast = make(map[int]map[int]fastReply)
-		p.slow = make(map[int]map[int]slowReply)
+		clear(p.fast)
+		clear(p.fastSet)
+		clear(p.slow)
+		clear(p.slowSet)
 		co.multicast(p)
 	}
 }

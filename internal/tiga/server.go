@@ -1,6 +1,7 @@
 package tiga
 
 import (
+	"slices"
 	"sort"
 	"time"
 
@@ -44,18 +45,62 @@ type rec struct {
 	result   []byte
 	owd      time.Duration
 
-	// Timestamp agreement state (§3.5). round1/round2 map shard id -> the
+	// Timestamp agreement state (§3.5). round1/round2 hold, per shard, the
 	// timestamp that shard's leader announced in that round.
 	proposed  bool // preventive mode: round-1 notification sent
 	round     int
-	round1    map[int]txn.Timestamp
-	round2    map[int]txn.Timestamp
+	round1    tsSet
+	round2    tsSet
 	agreed    bool // agreement finished; safe to release once (re-)executed
 	replyHash hashlog.Hash
 	fetching  bool
 }
 
 func (r *rec) multiShard() bool { return r.t != nil && len(r.t.Pieces) > 1 }
+
+// shardTS is one shard leader's announced timestamp in an agreement round.
+type shardTS struct {
+	shard int
+	ts    txn.Timestamp
+}
+
+// tsSet is a small shard -> timestamp map backed by an inline array: the
+// agreement state of a transaction spans its involved shards (2–4 in every
+// workload here), so a linear scan beats hashing and — crucially for the
+// per-transaction allocation budget — the zero value is ready to use and
+// single-shard transactions and followers never populate it at all, where
+// the map form cost two eager allocations per rec on every replica. Entries
+// alias the inline buffer, so a rec must not be copied once populated (recs
+// travel by pointer only).
+type tsSet struct {
+	items []shardTS
+	buf   [4]shardTS
+}
+
+func (s *tsSet) set(shard int, ts txn.Timestamp) {
+	for i := range s.items {
+		if s.items[i].shard == shard {
+			s.items[i].ts = ts
+			return
+		}
+	}
+	if s.items == nil {
+		s.items = s.buf[:0]
+	}
+	s.items = append(s.items, shardTS{shard: shard, ts: ts})
+}
+
+// get returns the zero timestamp for an absent shard, like a map lookup.
+func (s *tsSet) get(shard int) txn.Timestamp {
+	for i := range s.items {
+		if s.items[i].shard == shard {
+			return s.items[i].ts
+		}
+	}
+	return txn.Timestamp{}
+}
+
+func (s *tsSet) len() int { return len(s.items) }
 
 // prioQueue holds pending transactions ordered by timestamp (pq, Figure 4).
 type prioQueue struct{ items []*rec }
@@ -144,6 +189,18 @@ type Server struct {
 	pumping bool
 	repump  bool
 
+	// Reused hot-path scratch. blockedR/blockedW are pumpOnce's conflict
+	// shadow sets (cleared after each pump instead of reallocated per pump);
+	// spScratch backs the commit-point quantile in onSyncPoint; idScratch
+	// backs resendAgreements' deterministic ID ordering; pumpFire/flushFire
+	// are the persistent bodies of the gated pump and safe-flush timers.
+	blockedR  map[string]bool
+	blockedW  map[string]bool
+	spScratch []int
+	idScratch []txn.ID
+	pumpFire  func()
+	flushFire func()
+
 	// Local snapshot-read state (active only with Config.LocalReads).
 	safeTime  time.Duration    // monotonic safe-time watermark (clock domain)
 	safeLie   time.Duration    // test hook: fault-injected watermark inflation
@@ -189,6 +246,8 @@ func newServer(c *Cluster, shard, replica int, node *simnet.Node, clk clocks.Clo
 	if c.Cfg.LocalReads {
 		s.st.EnableSnapshots()
 	}
+	s.pumpFire = func() { s.pumpAt = 0; s.pump() }
+	s.flushFire = func() { s.flushAt = 0; s.advanceSafeTime() }
 	node.SetHandler(s.handle)
 	return s
 }
@@ -231,13 +290,15 @@ func (s *Server) start() {
 	s.node.Every(s.cfg.SyncPointEvery, func() bool {
 		s.pump()
 		if s.status == statusNormal && !s.IsLeader() {
-			s.node.Send(s.leaderNode(), syncPointMsg{
+			m := s.cluster.msgs.syncPt.Get()
+			*m = syncPointMsg{
 				viewInfo:  s.views(),
 				Shard:     s.shard,
 				Replica:   s.replica,
 				SyncPoint: s.syncPoint,
 				W:         s.safeTime,
-			})
+			}
+			s.node.Send(s.leaderNode(), m)
 		}
 		if s.cfg.LocalReads && s.status == statusNormal && s.IsLeader() {
 			s.broadcastSafeTime()
@@ -269,19 +330,25 @@ func (s *Server) leaderNode() simnet.NodeID {
 	return s.cluster.serverNode(s.shard, s.lview%s.cfg.Replicas())
 }
 
-// handle dispatches incoming messages.
+// handle dispatches incoming messages. Pooled hot-path messages are recycled
+// here, after their handler returns — handlers copy whatever they retain.
 func (s *Server) handle(from simnet.NodeID, msg simnet.Message) {
 	switch m := msg.(type) {
-	case txnMsg:
+	case *txnMsg:
 		s.onTxn(from, m)
-	case tsNotification:
+		s.cluster.msgs.txn.Put(m)
+	case *tsNotification:
 		s.onTsNotification(from, m)
-	case logSyncMsg:
+		s.cluster.msgs.tsNote.Put(m)
+	case *logSyncMsg:
 		s.onLogSync(m)
-	case syncPointMsg:
+		s.cluster.msgs.logSync.Put(m)
+	case *syncPointMsg:
 		s.onSyncPoint(m)
-	case safeTimeMsg:
+		s.cluster.msgs.syncPt.Put(m)
+	case *safeTimeMsg:
 		s.onSafeTime(m)
+		s.cluster.msgs.safeTime.Put(m)
 	case snapread.Req:
 		s.onSnapRead(from, m)
 	case probeMsg:
@@ -350,7 +417,7 @@ func (s *Server) minAcceptable(p *txn.Piece) time.Duration {
 	return max.Time + 1
 }
 
-func (s *Server) onTxn(from simnet.NodeID, m txnMsg) {
+func (s *Server) onTxn(from simnet.NodeID, m *txnMsg) {
 	if s.status != statusNormal || m.GView != s.gview {
 		return
 	}
@@ -402,14 +469,12 @@ func (s *Server) onTxn(from simnet.NodeID, m txnMsg) {
 		return
 	}
 	r := &rec{
-		id:     m.ID(),
-		t:      m.T,
-		piece:  m.T.Pieces[s.shard],
-		ts:     m.TS,
-		coord:  m.Coord,
-		owd:    s.now() - m.SendClock,
-		round1: make(map[int]txn.Timestamp),
-		round2: make(map[int]txn.Timestamp),
+		id:    m.ID(),
+		t:     m.T,
+		piece: m.T.Pieces[s.shard],
+		ts:    m.TS,
+		coord: m.Coord,
+		owd:   s.now() - m.SendClock,
 	}
 	s.recs[r.id] = r
 	s.admit(r)
@@ -453,20 +518,26 @@ func (s *Server) resendReply(r *rec) {
 	}
 	if s.IsLeader() {
 		// Resend the reply as originally issued (hash at release time).
-		s.node.Send(r.coord, fastReply{
+		m := s.cluster.msgs.fastRep.Get()
+		*m = fastReply{
 			viewInfo: s.views(), Shard: s.shard, Replica: s.replica,
 			ID: r.id, TS: r.ts, Hash: r.replyHash, Ret: r.result,
 			IsLeader: true, LogPos: len(s.log),
-		})
+		}
+		s.node.Send(r.coord, m)
 	} else if r.released {
 		// Synced already? Then the slow reply is what the coordinator needs.
 		if _, inTail := s.tail[r.id]; !inTail {
-			s.node.Send(r.coord, slowReply{viewInfo: s.views(), Shard: s.shard, Replica: s.replica, ID: r.id, TS: r.ts})
+			m := s.cluster.msgs.slowRep.Get()
+			*m = slowReply{viewInfo: s.views(), Shard: s.shard, Replica: s.replica, ID: r.id, TS: r.ts}
+			s.node.Send(r.coord, m)
 		} else {
-			s.node.Send(r.coord, fastReply{
+			m := s.cluster.msgs.fastRep.Get()
+			*m = fastReply{
 				viewInfo: s.views(), Shard: s.shard, Replica: s.replica,
 				ID: r.id, TS: r.ts, Hash: r.replyHash,
-			})
+			}
+			s.node.Send(r.coord, m)
 		}
 	}
 }
@@ -487,18 +558,16 @@ func (s *Server) schedulePump(tsTime time.Duration) {
 	}
 	s.pumpAt = at
 	s.pumpSeq++
-	seq := s.pumpSeq
 	d := at - simNow
 	if d < 0 {
 		d = 0
 	}
-	s.node.After(d, func() {
-		if s.pumpSeq != seq {
-			return // superseded by an earlier deadline
-		}
-		s.pumpAt = 0
-		s.pump()
-	})
+	// Gated timer: a stale arm (superseded by an earlier deadline, which
+	// bumped pumpSeq) no-ops at fire time, and the persistent pumpFire body
+	// replaces a capturing closure per arm. pumpSeq cannot change between the
+	// gate check and the CPU-queued run: re-arming requires a deadline
+	// strictly before pumpAt, and pumpAt is the deadline firing right now.
+	s.node.AfterGate(d, &s.pumpSeq, s.pumpSeq, s.pumpFire)
 }
 
 // pump scans the expired prefix of the priority queue in timestamp order and
@@ -531,7 +600,10 @@ func (s *Server) pumpOnce() {
 	if s.cfg.EpsilonBound > 0 {
 		hold = s.cfg.EpsilonBound
 	}
-	var blockedR, blockedW map[string]bool
+	// The conflict shadow sets are server-owned scratch, cleared after the
+	// scan instead of reallocated per pump — pumps run on every sync tick and
+	// every release, so fresh maps here dominated the allocation profile.
+	dirty := false
 	i := 0
 	for i < len(s.pq.items) {
 		r := s.pq.items[i]
@@ -539,10 +611,11 @@ func (s *Server) pumpOnce() {
 			break
 		}
 		s.PumpScan++
-		if blockedBy(r.piece, blockedR, blockedW) {
+		if s.blockedBy(r.piece) {
 			// Blocked behind an earlier conflicting transaction: it stays,
 			// and its own keys block later conflicting transactions too.
-			blockedR, blockedW = addKeys(r.piece, blockedR, blockedW)
+			s.addBlocked(r.piece)
+			dirty = true
 			i++
 			continue
 		}
@@ -550,17 +623,23 @@ func (s *Server) pumpOnce() {
 		s.process(r)
 		if len(s.pq.items) == before && s.pq.items[i] == r {
 			// Still pending (e.g. awaiting agreement): it blocks conflicts.
-			blockedR, blockedW = addKeys(r.piece, blockedR, blockedW)
+			s.addBlocked(r.piece)
+			dirty = true
 			i++
 		}
 		// If process released or repositioned r, re-examine index i.
+	}
+	if dirty {
+		clear(s.blockedR)
+		clear(s.blockedW)
 	}
 	if i < len(s.pq.items) {
 		s.schedulePump(s.pq.items[i].ts.Time)
 	}
 }
 
-func blockedBy(p *txn.Piece, br, bw map[string]bool) bool {
+func (s *Server) blockedBy(p *txn.Piece) bool {
+	br, bw := s.blockedR, s.blockedW
 	if bw != nil {
 		for _, k := range p.ReadSet {
 			if bw[k] {
@@ -579,18 +658,17 @@ func blockedBy(p *txn.Piece, br, bw map[string]bool) bool {
 	return false
 }
 
-func addKeys(p *txn.Piece, br, bw map[string]bool) (map[string]bool, map[string]bool) {
-	if br == nil {
-		br = make(map[string]bool)
-		bw = make(map[string]bool)
+func (s *Server) addBlocked(p *txn.Piece) {
+	if s.blockedR == nil {
+		s.blockedR = make(map[string]bool)
+		s.blockedW = make(map[string]bool)
 	}
 	for _, k := range p.ReadSet {
-		br[k] = true
+		s.blockedR[k] = true
 	}
 	for _, k := range p.WriteSet {
-		bw[k] = true
+		s.blockedW[k] = true
 	}
-	return br, bw
 }
 
 // process handles one expired, unblocked transaction.
@@ -607,7 +685,7 @@ func (s *Server) process(r *rec) {
 			s.recordMaps(r)
 			r.proposed = true
 			r.round = 1
-			r.round1[s.shard] = r.ts
+			r.round1.set(s.shard, r.ts)
 			s.broadcastNotification(r, 1, r.ts)
 			s.checkAgreement(r)
 		} else if r.agreed && !r.executed {
@@ -628,7 +706,7 @@ func (s *Server) process(r *rec) {
 		}
 		if r.round == 0 {
 			r.round = 1
-			r.round1[s.shard] = r.ts
+			r.round1.set(s.shard, r.ts)
 			s.broadcastNotification(r, 1, r.ts)
 		}
 		if r.agreed {
@@ -669,11 +747,13 @@ func (s *Server) executeLeader(r *rec) {
 
 func (s *Server) sendFastReply(r *rec) {
 	r.replyHash = s.relHash.Sum()
-	s.node.Send(r.coord, fastReply{
+	m := s.cluster.msgs.fastRep.Get()
+	*m = fastReply{
 		viewInfo: s.views(), Shard: s.shard, Replica: s.replica,
 		ID: r.id, TS: r.ts, Hash: r.replyHash, Ret: r.result,
 		IsLeader: true, LogPos: len(s.log), OWD: r.owd,
-	})
+	}
+	s.node.Send(r.coord, m)
 }
 
 // releaseLeader appends r to the log, synchronizes followers, and removes it
@@ -699,10 +779,12 @@ func (s *Server) releaseLeader(r *rec) {
 		if rep == s.replica {
 			continue
 		}
-		s.node.Send(s.cluster.serverNode(s.shard, rep), logSyncMsg{
+		m := s.cluster.msgs.logSync.Get()
+		*m = logSyncMsg{
 			viewInfo: s.views(), Shard: s.shard,
 			Pos: pos, ID: e.ID, TS: e.TS, T: e.T, CommitPoint: s.commitPoint,
-		})
+		}
+		s.node.Send(s.cluster.serverNode(s.shard, rep), m)
 	}
 	if s.cfg.LocalReads {
 		// The released entry may have been the queue head holding the
@@ -719,10 +801,12 @@ func (s *Server) releaseFollower(r *rec) {
 	s.tail[r.id] = logEntry{ID: r.id, TS: r.ts, T: r.t}
 	s.relHash.Add(r.id, r.ts)
 	r.replyHash = s.relHash.Sum()
-	s.node.Send(r.coord, fastReply{
+	m := s.cluster.msgs.fastRep.Get()
+	*m = fastReply{
 		viewInfo: s.views(), Shard: s.shard, Replica: s.replica,
 		ID: r.id, TS: r.ts, Hash: r.replyHash, OWD: r.owd,
-	})
+	}
+	s.node.Send(r.coord, m)
 }
 
 // ---- §3.5 timestamp agreement ----
@@ -733,13 +817,15 @@ func (s *Server) broadcastNotification(r *rec, round int, ts txn.Timestamp) {
 			continue
 		}
 		lead := s.gvec[sh] % s.cfg.Replicas()
-		s.node.Send(s.cluster.serverNode(sh, lead), tsNotification{
+		m := s.cluster.msgs.tsNote.Get()
+		*m = tsNotification{
 			viewInfo: s.views(), Shard: s.shard, ID: r.id, TS: ts, Round: round,
-		})
+		}
+		s.node.Send(s.cluster.serverNode(sh, lead), m)
 	}
 }
 
-func (s *Server) onTsNotification(from simnet.NodeID, m tsNotification) {
+func (s *Server) onTsNotification(from simnet.NodeID, m *tsNotification) {
 	if s.status != statusNormal || m.GView != s.gview || !s.IsLeader() {
 		return
 	}
@@ -751,15 +837,15 @@ func (s *Server) onTsNotification(from simnet.NodeID, m tsNotification) {
 		// Notification before the coordinator's multicast arrived (or the
 		// coordinator failed mid-multicast, Appendix B): remember the
 		// timestamps and fetch the body if it never shows up.
-		r = &rec{id: m.ID, round1: make(map[int]txn.Timestamp), round2: make(map[int]txn.Timestamp)}
+		r = &rec{id: m.ID}
 		s.recs[m.ID] = r
 		s.scheduleFetch(r, from)
 	}
 	switch m.Round {
 	case 1:
-		r.round1[m.Shard] = m.TS
+		r.round1.set(m.Shard, m.TS)
 	case 2:
-		r.round2[m.Shard] = m.TS
+		r.round2.set(m.Shard, m.TS)
 	}
 	s.checkAgreement(r)
 }
@@ -778,18 +864,18 @@ func (s *Server) checkAgreement(r *rec) {
 		return
 	}
 	nShards := len(r.t.Pieces)
-	if len(r.round1) < nShards {
+	if r.round1.len() < nShards {
 		return
 	}
-	agreed := r.round1[s.shard]
+	agreed := r.round1.get(s.shard)
 	mismatch := false
-	for _, ts := range r.round1 {
-		if agreed.Less(ts) {
-			agreed = ts
+	for _, e := range r.round1.items {
+		if agreed.Less(e.ts) {
+			agreed = e.ts
 		}
 	}
-	for _, ts := range r.round1 {
-		if !ts.Equal(agreed) {
+	for _, e := range r.round1.items {
+		if !e.ts.Equal(agreed) {
 			mismatch = true
 			break
 		}
@@ -802,7 +888,7 @@ func (s *Server) checkAgreement(r *rec) {
 	}
 	if r.round < 2 {
 		r.round = 2
-		r.round2[s.shard] = agreed
+		r.round2.set(s.shard, agreed)
 		s.broadcastNotification(r, 2, agreed)
 		if r.ts.Less(agreed) {
 			// Case-3: our optimistic execution (if any) used a stale
@@ -822,7 +908,7 @@ func (s *Server) checkAgreement(r *rec) {
 		// release until round 2 confirms every leader adopted the timestamp
 		// — otherwise timestamp inversion (§3.6, Fig 5).
 	}
-	if len(r.round2) >= nShards {
+	if r.round2.len() >= nShards {
 		r.agreed = true
 		s.finishAgreement(r)
 	}
@@ -849,8 +935,8 @@ func (s *Server) resendAgreements() {
 		return
 	}
 	// Broadcast in a deterministic ID order — rebroadcast sends feed the
-	// simulation's event order.
-	ids := make([]txn.ID, 0, len(s.recs))
+	// simulation's event order. The ID slice is server-owned scratch.
+	ids := s.idScratch[:0]
 	for id, r := range s.recs {
 		if r.t == nil || r.agreed || r.released || !r.multiShard() {
 			continue
@@ -858,13 +944,14 @@ func (s *Server) resendAgreements() {
 		ids = append(ids, id)
 	}
 	sortIDs(ids)
+	s.idScratch = ids
 	for _, id := range ids {
 		r := s.recs[id]
 		switch r.round {
 		case 1:
-			s.broadcastNotification(r, 1, r.round1[s.shard])
+			s.broadcastNotification(r, 1, r.round1.get(s.shard))
 		case 2:
-			s.broadcastNotification(r, 2, r.round2[s.shard])
+			s.broadcastNotification(r, 2, r.round2.get(s.shard))
 		}
 	}
 }
@@ -911,7 +998,7 @@ func (s *Server) onFetchTxnRep(m fetchTxnRep) {
 
 // ---- §3.7 log synchronization and slow path ----
 
-func (s *Server) onLogSync(m logSyncMsg) {
+func (s *Server) onLogSync(m *logSyncMsg) {
 	if s.status != statusNormal || m.GView != s.gview || m.LView != s.lview || s.IsLeader() {
 		return
 	}
@@ -919,7 +1006,7 @@ func (s *Server) onLogSync(m logSyncMsg) {
 		s.advanceCommitPoint(m.CommitPoint)
 		return // duplicate
 	}
-	s.pendingSync[m.Pos] = m
+	s.pendingSync[m.Pos] = *m // copy: the message is recycled after return
 	for {
 		next, ok := s.pendingSync[s.syncPoint]
 		if !ok {
@@ -978,7 +1065,9 @@ func (s *Server) applySync(m logSyncMsg) {
 	}
 	if !s.cfg.BatchSlowReplies {
 		coord := s.cluster.coordNode(m.ID.Coord)
-		s.node.Send(coord, slowReply{viewInfo: s.views(), Shard: s.shard, Replica: s.replica, ID: m.ID, TS: m.TS})
+		sr := s.cluster.msgs.slowRep.Get()
+		*sr = slowReply{viewInfo: s.views(), Shard: s.shard, Replica: s.replica, ID: m.ID, TS: m.TS}
+		s.node.Send(coord, sr)
 	}
 }
 
@@ -1013,7 +1102,12 @@ func (s *Server) maybeCheckpoint(pos int) {
 	}
 	s.checkpoint = s.st.Snapshot()
 	s.checkpointPos = pos
-	s.checkpointIDs = make([]txn.ID, pos)
+	// Reuse the previous checkpoint's ID slice when it has the capacity.
+	if cap(s.checkpointIDs) < pos {
+		s.checkpointIDs = make([]txn.ID, pos)
+	} else {
+		s.checkpointIDs = s.checkpointIDs[:pos]
+	}
 	for i := 0; i < pos && i < len(s.log); i++ {
 		s.checkpointIDs[i] = s.log[i].ID
 	}
@@ -1023,7 +1117,7 @@ func (s *Server) maybeCheckpoint(pos int) {
 // advances the commit-point once f+1 servers (leader included) hold an entry,
 // and retransmits log entries to followers that fell behind (lost log-sync
 // messages would otherwise stall their contiguous prefixes forever).
-func (s *Server) onSyncPoint(m syncPointMsg) {
+func (s *Server) onSyncPoint(m *syncPointMsg) {
 	if !s.IsLeader() || m.GView != s.gview || m.LView != s.lview {
 		return
 	}
@@ -1035,10 +1129,12 @@ func (s *Server) onSyncPoint(m syncPointMsg) {
 		dst := s.cluster.serverNode(s.shard, m.Replica)
 		for pos := m.SyncPoint; pos < end; pos++ {
 			e := s.log[pos]
-			s.node.Send(dst, logSyncMsg{
+			ls := s.cluster.msgs.logSync.Get()
+			*ls = logSyncMsg{
 				viewInfo: s.views(), Shard: s.shard,
 				Pos: pos, ID: e.ID, TS: e.TS, T: e.T, CommitPoint: s.commitPoint,
-			})
+			}
+			s.node.Send(dst, ls)
 		}
 	}
 	if m.SyncPoint > s.followerSP[m.Replica] {
@@ -1047,15 +1143,16 @@ func (s *Server) onSyncPoint(m syncPointMsg) {
 	if m.W > s.followerW[m.Replica] {
 		s.followerW[m.Replica] = m.W
 	}
-	sps := make([]int, 0, len(s.followerSP))
+	sps := s.spScratch[:0]
 	for _, sp := range s.followerSP {
 		sps = append(sps, sp)
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(sps)))
+	slices.Sort(sps)
+	s.spScratch = sps
 	if len(sps) < s.cfg.F {
 		return
 	}
-	cp := sps[s.cfg.F-1] // f followers + the leader = f+1 servers
+	cp := sps[len(sps)-s.cfg.F] // f followers + the leader = f+1 servers
 	if cp <= s.commitPoint {
 		return
 	}
@@ -1102,13 +1199,14 @@ func (s *Server) broadcastSafeTime() {
 	if s.cfg.VersionGC {
 		s.advanceGCHorizon()
 	}
-	m := safeTimeMsg{
-		viewInfo: s.views(), Shard: s.shard,
-		W: s.safeTime, N: len(s.log), CP: s.commitPoint, GC: s.gcHorizon,
-	}
 	for rep := 0; rep < s.cfg.Replicas(); rep++ {
 		if rep == s.replica {
 			continue
+		}
+		m := s.cluster.msgs.safeTime.Get()
+		*m = safeTimeMsg{
+			viewInfo: s.views(), Shard: s.shard,
+			W: s.safeTime, N: len(s.log), CP: s.commitPoint, GC: s.gcHorizon,
 		}
 		s.node.Send(s.cluster.serverNode(s.shard, rep), m)
 	}
@@ -1118,7 +1216,7 @@ func (s *Server) broadcastSafeTime() {
 // promised log prefix is applied locally. The piggybacked commit-point lets
 // the follower apply entries without waiting for the next log-sync message,
 // shortening watermark lag by roughly one sync interval.
-func (s *Server) onSafeTime(m safeTimeMsg) {
+func (s *Server) onSafeTime(m *safeTimeMsg) {
 	if !s.cfg.LocalReads || s.status != statusNormal || s.IsLeader() ||
 		m.GView != s.gview || m.LView != s.lview {
 		return
@@ -1132,7 +1230,7 @@ func (s *Server) onSafeTime(m safeTimeMsg) {
 		s.pruneTo(m.GC)
 		return
 	}
-	s.safePairs = append(s.safePairs, m)
+	s.safePairs = append(s.safePairs, *m) // copy: m is recycled after return
 }
 
 // adoptSafePairs folds buffered (W, N) watermark pairs whose log prefixes
@@ -1244,8 +1342,14 @@ func (s *Server) serveSnapRead(to simnet.NodeID, m snapread.Req, waited time.Dur
 	s.node.Work(s.cfg.ExecCost)
 	vals := make([][]byte, len(m.Keys))
 	seen := make([]txn.Timestamp, len(m.Keys))
-	for i, k := range m.Keys {
-		vals[i], seen[i], _ = s.st.GetAt(k, m.At)
+	if len(m.KeyIDs) == len(m.Keys) {
+		for i, id := range m.KeyIDs {
+			vals[i], seen[i], _ = s.st.GetAtID(id, m.At)
+		}
+	} else {
+		for i, k := range m.Keys {
+			vals[i], seen[i], _ = s.st.GetAt(k, m.At)
+		}
 	}
 	s.node.Send(to, snapread.Rep{Shard: s.shard, Seq: m.Seq, Vals: vals, Seen: seen, Waited: waited})
 }
@@ -1262,16 +1366,11 @@ func (s *Server) scheduleSafeFlush(at time.Duration) {
 	}
 	s.flushAt = when
 	s.flushSeq++
-	seq := s.flushSeq
-	s.node.After(when-simNow, func() {
-		if s.flushSeq != seq {
-			return
-		}
-		s.flushAt = 0
-		// If the queue head still pins the watermark below at, the read
-		// keeps waiting; releaseLeader and the periodic tick will flush it.
-		s.advanceSafeTime()
-	})
+	// Gated timer (see schedulePump): superseded arms no-op at fire time, and
+	// flushFire is one persistent closure. If the queue head still pins the
+	// watermark below at, the read keeps waiting; releaseLeader and the
+	// periodic tick will flush it.
+	s.node.AfterGate(when-simNow, &s.flushSeq, s.flushSeq, s.flushFire)
 }
 
 // SafeTime exposes the replica's current watermark (harness staleness

@@ -57,9 +57,14 @@ func (co *Coordinator) sendSnapReqs(pr *pendingRead) {
 		if pr.got[sh] {
 			continue
 		}
-		co.node.Send(co.cluster.serverNode(sh, co.nearestReplica(sh)), snapread.Req{
-			Shard: sh, Coord: co.idx, Seq: pr.t.ID.Seq, At: pr.at, Keys: pr.t.Pieces[sh].ReadSet,
-		})
+		piece := pr.t.Pieces[sh]
+		req := snapread.Req{
+			Shard: sh, Coord: co.idx, Seq: pr.t.ID.Seq, At: pr.at, Keys: piece.ReadSet,
+		}
+		if piece.Interned() {
+			req.KeyIDs = piece.ReadIDs
+		}
+		co.node.Send(co.cluster.serverNode(sh, co.nearestReplica(sh)), req)
 	}
 }
 

@@ -61,6 +61,22 @@ type KV interface {
 	Put(key string, val []byte)
 }
 
+// KeyID is a dense per-shard interned key index: key i of a shard's seeded
+// keyspace (store.SeedBulk order, which the workload generators make equal to
+// their own key index). A piece executes on exactly one shard, so its ids
+// need no shard qualifier. IDs exist alongside — never instead of — the
+// string names: wire formats, checkers, and TPC-C stay on strings.
+type KeyID = uint32
+
+// IDKV is the interned fast path a store view may additionally implement:
+// slice-indexed reads and writes that never hash a key string. Piece
+// executors type-assert for it and fall back to the string KV when absent
+// (e.g. lockocc's buffered-write view).
+type IDKV interface {
+	GetID(id KeyID) []byte
+	PutID(id KeyID, val []byte)
+}
+
 // PieceFunc executes one shard's piece of a transaction against the shard's
 // store and returns an opaque per-shard result.
 type PieceFunc func(kv KV) []byte
@@ -71,7 +87,20 @@ type PieceFunc func(kv KV) []byte
 type Piece struct {
 	ReadSet  []string
 	WriteSet []string
+	// ReadIDs/WriteIDs are the interned forms of ReadSet/WriteSet, set by
+	// workloads whose keyspace is seeded densely (micro/uniform/ycsbt/
+	// hotwrite); nil for string-only workloads. When set, they are
+	// positionally parallel to the string sets.
+	ReadIDs  []KeyID
+	WriteIDs []KeyID
 	Exec     PieceFunc
+}
+
+// Interned reports whether the piece carries ids for its whole declared
+// read/write set, making the ID fast paths usable.
+func (p *Piece) Interned() bool {
+	return len(p.ReadIDs) == len(p.ReadSet) && len(p.WriteIDs) == len(p.WriteSet) &&
+		(len(p.ReadIDs) > 0 || len(p.WriteIDs) > 0)
 }
 
 // Conflicts reports whether two pieces have a read-write or write-write
@@ -109,16 +138,24 @@ type Txn struct {
 	ReadOnly bool
 	// Label tags the transaction type for metrics (e.g. "neworder").
 	Label string
+	// shards memoizes Shards(): the involved-shard list is asked for on
+	// every coordinator evaluation tick, and Pieces never changes after
+	// construction.
+	shards []int
 }
 
-// Shards returns the involved shard ids in ascending order.
+// Shards returns the involved shard ids in ascending order. The slice is
+// memoized and shared — callers must not mutate it.
 func (t *Txn) Shards() []int {
-	out := make([]int, 0, len(t.Pieces))
-	for s := range t.Pieces {
-		out = append(out, s)
+	if t.shards == nil {
+		out := make([]int, 0, len(t.Pieces))
+		for s := range t.Pieces {
+			out = append(out, s)
+		}
+		sort.Ints(out)
+		t.shards = out
 	}
-	sort.Ints(out)
-	return out
+	return t.shards
 }
 
 // ConflictsWith reports whether t and o conflict on any common shard.
@@ -214,11 +251,46 @@ func IncrementPiece(keys ...string) *Piece {
 	}
 }
 
+// IncrementPieceID is IncrementPiece for one interned key: the executor uses
+// the store's slice-indexed fast path when offered one and falls back to the
+// string KV otherwise, writing identical values either way.
+func IncrementPieceID(key string, id KeyID) *Piece {
+	ks := []string{key}
+	ids := []KeyID{id}
+	return &Piece{
+		ReadSet: ks, WriteSet: ks, ReadIDs: ids, WriteIDs: ids,
+		Exec: func(kv KV) []byte {
+			if ikv, ok := kv.(IDKV); ok {
+				out := EncodeInt(DecodeInt(ikv.GetID(id)) + 1)
+				ikv.PutID(id, out)
+				return out
+			}
+			out := EncodeInt(DecodeInt(kv.Get(key)) + 1)
+			kv.Put(key, out)
+			return out
+		},
+	}
+}
+
 // ReadPiece returns a read-only piece fetching one key.
 func ReadPiece(key string) *Piece {
 	return &Piece{
 		ReadSet: []string{key},
 		Exec:    func(kv KV) []byte { return kv.Get(key) },
+	}
+}
+
+// ReadPieceID is ReadPiece for one interned key.
+func ReadPieceID(key string, id KeyID) *Piece {
+	return &Piece{
+		ReadSet: []string{key},
+		ReadIDs: []KeyID{id},
+		Exec: func(kv KV) []byte {
+			if ikv, ok := kv.(IDKV); ok {
+				return ikv.GetID(id)
+			}
+			return kv.Get(key)
+		},
 	}
 }
 

@@ -47,11 +47,12 @@ func (y *YCSBT) Next(rng *rand.Rand) Job {
 	readOnly := true
 	for i := 0; i < y.TxnKeys; i++ {
 		sh := (start + i) % y.Shards
-		k := y.names.key(sh, y.Keys, y.zipf.Next(rng))
+		idx := y.zipf.Next(rng)
+		k := y.names.key(sh, y.Keys, idx)
 		if rng.Float64() < y.ReadRatio {
-			t.Pieces[sh] = txn.ReadPiece(k)
+			t.Pieces[sh] = txn.ReadPieceID(k, KeyID(idx))
 		} else {
-			t.Pieces[sh] = txn.IncrementPiece(k)
+			t.Pieces[sh] = txn.IncrementPieceID(k, KeyID(idx))
 			readOnly = false
 		}
 	}
@@ -104,7 +105,8 @@ func (h *HotWrite) Next(rng *rand.Rand) Job {
 	start := rng.Intn(h.Shards)
 	for i := 0; i < h.TxnKeys; i++ {
 		sh := (start + i) % h.Shards
-		t.Pieces[sh] = txn.IncrementPiece(h.names.key(sh, h.Keys, h.zipf.Next(rng)))
+		idx := h.zipf.Next(rng)
+		t.Pieces[sh] = txn.IncrementPieceID(h.names.key(sh, h.Keys, idx), KeyID(idx))
 	}
 	return Job{T: t, Label: "hotwrite"}
 }

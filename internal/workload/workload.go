@@ -91,6 +91,13 @@ func NewMicroBench(shards, keys int, skew float64) *MicroBench {
 // Key names a MicroBench key.
 func Key(shard, idx int) string { return fmt.Sprintf("k%d-%d", shard, idx) }
 
+// KeyID is the interned form of a key: its dense index within one shard's
+// seeded keyspace. The generators here seed each shard with store.SeedBulk
+// over the keycache's idx-ordered name slice, so the workload key index and
+// the store's intern id coincide by construction — Key(shard, i) is always
+// id i of shard's store — and pieces can carry ids without any lookup.
+type KeyID = txn.KeyID
+
 // zeroValue is the shared pre-population value. Stored values are immutable
 // (increments decode and Put a fresh encoding), so every seeded key of every
 // replica can point at one 8-byte buffer.
@@ -147,22 +154,36 @@ func (m *MicroBench) Next(rng *rand.Rand) Job {
 	start := rng.Intn(m.Shards)
 	ps := make([]txn.Piece, nShards)
 	ks := make([]string, nShards)
+	ids := make([]KeyID, nShards)
 	for i := 0; i < nShards; i++ {
 		sh := (start + i) % m.Shards
-		ks[i] = m.names.key(sh, m.Keys, m.zipf.Next(rng))
+		idx := m.zipf.Next(rng)
+		ks[i] = m.names.key(sh, m.Keys, idx)
+		ids[i] = KeyID(idx)
 		key := ks[i : i+1 : i+1]
-		ps[i] = txn.Piece{ReadSet: key, WriteSet: key, Exec: incrementExec(key)}
+		kid := ids[i : i+1 : i+1]
+		ps[i] = txn.Piece{ReadSet: key, WriteSet: key, ReadIDs: kid, WriteIDs: kid,
+			Exec: incrementExec(key, kid)}
 		t.Pieces[sh] = &ps[i]
 	}
 	return Job{T: t, Label: "micro"}
 }
 
-// incrementExec is txn.IncrementPiece's operation over a caller-owned key
-// slice. Stored values are immutable, so the buffer handed to Put doubles as
-// the piece result instead of encoding twice.
-func incrementExec(ks []string) txn.PieceFunc {
+// incrementExec is txn.IncrementPiece's operation over caller-owned key and
+// id slices. Stored values are immutable, so the buffer handed to Put doubles
+// as the piece result instead of encoding twice. Views offering the interned
+// fast path (txn.IDKV) are driven by id — no string ever reaches a hash — and
+// the string path stays for buffered views like lockocc's.
+func incrementExec(ks []string, ids []KeyID) txn.PieceFunc {
 	return func(kv txn.KV) []byte {
 		var out []byte
+		if ikv, ok := kv.(txn.IDKV); ok && len(ids) == len(ks) {
+			for _, id := range ids {
+				out = txn.EncodeInt(txn.DecodeInt(ikv.GetID(id)) + 1)
+				ikv.PutID(id, out)
+			}
+			return out
+		}
 		for _, k := range ks {
 			out = txn.EncodeInt(txn.DecodeInt(kv.Get(k)) + 1)
 			kv.Put(k, out)
@@ -188,13 +209,14 @@ func (u *Uniform) Seed(shard int, st *store.Store) {
 // Next generates a single-shard read or increment.
 func (u *Uniform) Next(rng *rand.Rand) Job {
 	sh := rng.Intn(u.Shards)
-	k := u.names.key(sh, u.Keys, rng.Intn(u.Keys))
+	idx := rng.Intn(u.Keys)
+	k := u.names.key(sh, u.Keys, idx)
 	t := &txn.Txn{Pieces: make(map[int]*txn.Piece, 1), Label: "uniform"}
 	if rng.Float64() < u.ReadRatio {
-		t.Pieces[sh] = txn.ReadPiece(k)
+		t.Pieces[sh] = txn.ReadPieceID(k, KeyID(idx))
 		t.ReadOnly = true
 	} else {
-		t.Pieces[sh] = txn.IncrementPiece(k)
+		t.Pieces[sh] = txn.IncrementPieceID(k, KeyID(idx))
 	}
 	return Job{T: t, Label: "uniform"}
 }
