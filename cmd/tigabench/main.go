@@ -20,6 +20,7 @@
 //	tigabench -exp chaos             # protocol × fault-plan matrix
 //	tigabench -exp localreads        # 0-WRTT local snapshot reads vs the coordinator path
 //	tigabench -exp scaleout          # shards × replication, open-loop arrivals, admission gates
+//	tigabench -exp breakdown         # critical-path latency decomposition by phase
 //	tigabench -exp all               # everything
 //	tigabench -exp list              # list the registered experiments
 //
@@ -58,6 +59,16 @@
 //	tigabench -exp chaos -chaos leader-crash,clock-step
 //	                                 # fault-plan subset for the chaos matrix
 //
+// Tracing:
+//
+//	tigabench -exp table1 -trace out.json
+//	                                 # record every transaction's lifecycle
+//	                                 # spans and write the per-run phase
+//	                                 # summaries — critical-path breakdowns
+//	                                 # plus tail exemplars — as Chrome
+//	                                 # trace-event JSON (load in Perfetto or
+//	                                 # chrome://tracing)
+//
 // Add -quick for a reduced sweep (seconds instead of minutes per figure).
 // Independent sweep points run on the parallel driver; -workers bounds the
 // in-flight points per experiment (0 = all cores, 1 = the old serial
@@ -78,7 +89,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"runtime/trace"
+	rtrace "runtime/trace"
 	"strconv"
 	"strings"
 	"sync"
@@ -89,6 +100,7 @@ import (
 	"tiga/internal/protocol"
 	"tiga/internal/report"
 	"tiga/internal/simnet"
+	"tiga/internal/trace"
 	"tiga/internal/workload"
 )
 
@@ -355,7 +367,9 @@ func main() {
 		"append the sim-core microbenchmarks (ns/event, allocs/event) and the txn-path allocation rows (allocs per committed txn, peak heap) as an extra experiment")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap (allocation) profile to this file at exit")
-	tracePath := flag.String("trace", "", "write a runtime execution trace of the run to this file")
+	tracePath := flag.String("trace", "",
+		"trace every transaction's lifecycle and write the per-run phase summaries (critical-path breakdowns + tail exemplars) as Chrome trace-event JSON to this file (load in Perfetto)")
+	execTracePath := flag.String("exectrace", "", "write a Go runtime execution trace of the run to this file")
 	var sets multiFlag
 	flag.Var(&sets, "set", "knob override proto.knob=value (repeatable; see -knobs)")
 	var ops multiFlag
@@ -400,10 +414,10 @@ func main() {
 		fail("unknown format %q\nvalid formats: text, json, csv", *format)
 	}
 
-	// Profiling taps (-cpuprofile/-memprofile/-trace): every path is opened
-	// up front so an unwritable location exits 2 before minutes of sweeping,
-	// and the profiles cover the experiment runs end to end. See README
-	// "Simulator performance" for the capture-and-inspect workflow.
+	// Profiling taps (-cpuprofile/-memprofile/-exectrace): every path is
+	// opened up front so an unwritable location exits 2 before minutes of
+	// sweeping, and the profiles cover the experiment runs end to end. See
+	// README "Simulator performance" for the capture-and-inspect workflow.
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -417,17 +431,39 @@ func main() {
 			f.Close()
 		}()
 	}
+	if *execTracePath != "" {
+		f, err := os.Create(*execTracePath)
+		if err != nil {
+			fail("-exectrace: %v", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			fail("-exectrace: %v", err)
+		}
+		defer func() {
+			rtrace.Stop()
+			f.Close()
+		}()
+	}
+	// Txn-lifecycle tracing (-trace): arm the harness's trace sink so every
+	// run records per-txn phase spans; the collected summaries are exported
+	// as Chrome trace-event JSON after the experiments finish. The output
+	// path is opened up front (same unwritable-location rule as the
+	// profiling taps).
+	var traceFile *os.File
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fail("-trace: %v", err)
 		}
-		if err := trace.Start(f); err != nil {
-			fail("-trace: %v", err)
-		}
+		traceFile = f
+		harness.EnableTracing(trace.Config{Seed: *seed})
 		defer func() {
-			trace.Stop()
-			f.Close()
+			sums := harness.CollectTraces()
+			if err := trace.WriteChrome(traceFile, sums); err != nil {
+				fmt.Fprintf(os.Stderr, "tigabench: -trace: %v\n", err)
+			}
+			traceFile.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s (%d traced runs, Chrome trace-event JSON)\n", *tracePath, len(sums))
 		}()
 	}
 	var memFile *os.File

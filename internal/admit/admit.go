@@ -12,6 +12,7 @@ package admit
 import (
 	"time"
 
+	"tiga/internal/trace"
 	"tiga/internal/txn"
 )
 
@@ -87,6 +88,10 @@ func (g *Gate) shed(done func(txn.Result), queued time.Duration) {
 }
 
 func (g *Gate) launch(t *txn.Txn, done func(txn.Result), queued time.Duration, start func(*txn.Txn, func(txn.Result))) {
+	// The admission wait ends here; attribute submit→launch to the queue
+	// phase (a no-op when the trace is nil or the gate passed straight
+	// through at the same instant).
+	t.Trace.Mark(g.Now(), trace.PhaseQueue)
 	g.inflight++
 	released := false
 	start(t, func(r txn.Result) {

@@ -97,6 +97,13 @@ func TestGoldenTextRenderer(t *testing.T) {
 			rep, _ := ScenarioMatrix(o)
 			return rep
 		}},
+		{"breakdown", func(t *testing.T) *report.Report {
+			// Captured at PR 10 (tracing introduction): pins the phase
+			// decomposition — and, transitively, the trace determinism the
+			// breakdown experiment rides on — at the golden configuration.
+			rep, _ := Breakdown(goldenOpts())
+			return rep
+		}},
 		{"emptysel", func(t *testing.T) *report.Report {
 			// The by-design exclusion remark: Detock-only against Table 2
 			// renders the title, the header, and the explanatory note.

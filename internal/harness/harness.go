@@ -24,6 +24,7 @@ import (
 	"tiga/internal/protocol"
 	"tiga/internal/simnet"
 	"tiga/internal/store"
+	"tiga/internal/trace"
 	"tiga/internal/txn"
 	"tiga/internal/workload"
 
@@ -101,6 +102,9 @@ type Deployment struct {
 	Net          *simnet.Network
 	Sys          protocol.System
 	CoordRegions []simnet.Region
+	// Protocol is the registered protocol name the deployment was built
+	// for; trace labels and post-run reporting key on it.
+	Protocol string
 	// Topology is the resolved WAN layout the deployment runs on; it names
 	// the regions latency metrics are bucketed under.
 	Topology *simnet.Topology
@@ -250,7 +254,7 @@ func Build(spec ClusterSpec) *Deployment {
 		panic(err)
 	}
 	return &Deployment{Sim: sim, Net: net, Sys: sys, CoordRegions: coords,
-		Topology: topo, Clocks: clockFactory}
+		Protocol: spec.Protocol, Topology: topo, Clocks: clockFactory}
 }
 
 // LoadSpec drives the open-loop workload.
@@ -288,6 +292,12 @@ type LoadSpec struct {
 	// ArrivalParams are typed parameter overrides for the named arrival
 	// process (validated against its registered schema).
 	ArrivalParams map[string]any
+	// Trace enables the txn-lifecycle span recorder for this run (see
+	// internal/trace): every submission gets a trace whose phase breakdown
+	// feeds Run.Phase and RunResult.Trace. Nil leaves tracing off (the
+	// default, zero-allocation path) unless EnableTracing armed the
+	// process-wide sink.
+	Trace *trace.Config
 }
 
 // Sample is one commit observation.
@@ -317,6 +327,9 @@ type RunResult struct {
 	// Deployment is the deployment the run was driven against, for
 	// post-run inspection (net counters, capability interfaces).
 	Deployment *Deployment
+	// Trace is the run's sealed trace summary (phase accumulators + tail
+	// exemplars) when the run was traced; nil otherwise.
+	Trace *trace.Summary
 }
 
 // clState is the closed loop's per-run shared context, mirroring olState in
@@ -329,6 +342,9 @@ type clState struct {
 	res        *RunResult
 	checkReads bool
 	jobs       *pool.Free[clJob]
+	// tracer is the run's span recorder; nil on untraced runs (the
+	// default), making every per-job hook a pointer test.
+	tracer *trace.Tracer
 }
 
 // clJob is one closed-loop submission's envelope — pooled like olJob, bound
@@ -341,10 +357,26 @@ type clJob struct {
 	start       time.Duration
 	inWindow    bool
 	t           *txn.Txn
+	tr          *trace.T
 
 	finish      func(txn.Result, *txn.Txn)
 	finishSub   func(txn.Result)
 	finishLocal func(txn.Result)
+}
+
+// finishTrace seals a traced job's span record: the breakdown of a committed
+// in-window transaction feeds Run.Phase, and the trace is retained or
+// recycled by the tracer. Called before the in-window early-outs so every
+// trace is sealed exactly once.
+func finishTrace(tracer *trace.Tracer, tr *trace.T, t *txn.Txn,
+	run *metrics.Run, now time.Duration, keep bool) {
+	if t != nil {
+		t.Trace = nil
+	}
+	bd := tracer.Finish(tr, now, keep)
+	if keep {
+		run.Phase.Add(bd)
+	}
 }
 
 func (st *clState) get() *clJob {
@@ -364,6 +396,10 @@ func (j *clJob) onFinish(r txn.Result, t *txn.Txn) {
 	*j.outstanding--
 	run, res, spec := st.run, st.res, &st.spec
 	now := st.d.Sim.Now()
+	if j.tr != nil {
+		finishTrace(st.tracer, j.tr, t, run, now, r.OK && j.inWindow)
+		j.tr = nil
+	}
 	if !j.inWindow {
 		return
 	}
@@ -407,6 +443,10 @@ func (j *clJob) onFinishLocal(r txn.Result) {
 	*j.outstanding--
 	run, res, spec := st.run, st.res, &st.spec
 	now := st.d.Sim.Now()
+	if j.tr != nil {
+		finishTrace(st.tracer, j.tr, j.t, run, now, r.OK && j.inWindow)
+		j.tr = nil
+	}
 	if !j.inWindow {
 		return
 	}
@@ -460,8 +500,9 @@ func RunLoad(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResult {
 	run.Start = spec.Warmup
 	run.End = spec.Warmup + spec.Duration
 	res := &RunResult{Run: run, Counter: checker.NewCounter(), Deployment: d}
+	tracer, publish := newRunTracer(d, &spec)
 	st := &clState{d: d, spec: spec, run: run, res: res, checkReads: checkReads,
-		jobs: pool.New[clJob]()}
+		jobs: pool.New[clJob](), tracer: tracer}
 
 	// Pre-size the sample buffers: the open loop submits about rate ×
 	// duration transactions per coordinator inside the measurement window,
@@ -496,6 +537,11 @@ func RunLoad(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResult {
 			j.start = d.Sim.Now()
 			j.inWindow = j.start >= run.Start && j.start < run.End
 			j.t = job.T
+			j.tr = nil
+			if st.tracer != nil && job.T != nil {
+				j.tr = st.tracer.Begin(job.T.Label, j.start)
+				job.T.Trace = j.tr
+			}
 			if j.inWindow {
 				run.Counters.Submitted++
 			}
@@ -513,6 +559,7 @@ func RunLoad(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResult {
 		d.Sim.After(time.Duration(rng.Int63n(int64(interval)+1)), tick)
 	}
 	d.Sim.Run(run.End + 2*time.Second) // drain tail completions
+	sealTrace(res, tracer, publish)
 	return res
 }
 

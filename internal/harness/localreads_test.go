@@ -124,14 +124,17 @@ func TestLyingReplicaCaught(t *testing.T) {
 }
 
 // TestTigaLocalReadLatency is the headline acceptance check: with a modest
-// staleness bound (covering the follower watermark lag), Tiga serves YCSB-T
-// read-only transactions from the nearest replica with a p50 below one WAN
-// OWD (the cheapest geo4 cross-region link is 55 ms one way; the coordinator
-// commit path costs a full WRTT or more), with the snapshot-read checker
-// armed and passing.
+// staleness bound (covering the watermark lag), Tiga serves YCSB-T read-only
+// transactions from the nearest replica with a p50 below one WAN OWD (the
+// cheapest geo4 cross-region link is 55 ms one way; the coordinator commit
+// path costs a full WRTT or more), with the snapshot-read checker armed and
+// passing. The watermark is held at the commit point — not release — so it
+// lags by the replication round trip (~1 WRTT + the sync-point cadence) and
+// the staleness bound must cover that lag for reads to stay wait-free; the
+// breakdown experiment measures what tighter bounds cost in SAFETIME wait.
 func TestTigaLocalReadLatency(t *testing.T) {
 	spec := localReadTestSpec(t, "Tiga", 0.95)
-	spec.SetKnob("Tiga", "read-staleness", 200*time.Millisecond)
+	spec.SetKnob("Tiga", "read-staleness", 400*time.Millisecond)
 	d := Build(spec)
 	res := RunLoad(d, spec.Gen, LoadSpec{
 		RatePerCoord: 150, Outstanding: 200, Duration: 8 * time.Second,

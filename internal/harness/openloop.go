@@ -9,6 +9,7 @@ import (
 	"tiga/internal/metrics"
 	"tiga/internal/pool"
 	"tiga/internal/protocol"
+	"tiga/internal/trace"
 	"tiga/internal/txn"
 	"tiga/internal/workload"
 )
@@ -24,6 +25,8 @@ type olState struct {
 	// jobs recycles arrival envelopes. One pool per run, touched only from
 	// the run's single-threaded simulator loop (see internal/pool).
 	jobs *pool.Free[olJob]
+	// tracer is the run's span recorder; nil on untraced runs.
+	tracer *trace.Tracer
 }
 
 // olJob is one arrival's envelope: the submit-time facts its completion
@@ -39,6 +42,7 @@ type olJob struct {
 	start    time.Duration
 	inWindow bool
 	t        *txn.Txn
+	tr       *trace.T
 
 	finish      func(txn.Result, *txn.Txn)
 	finishSub   func(txn.Result)
@@ -67,6 +71,10 @@ func (j *olJob) onFinish(r txn.Result, t *txn.Txn) {
 	defer st.jobs.Put(j)
 	run, res, spec := st.run, st.res, &st.spec
 	now := st.d.Sim.Now()
+	if j.tr != nil {
+		finishTrace(st.tracer, j.tr, t, run, now, r.OK && j.inWindow)
+		j.tr = nil
+	}
 	if !j.inWindow {
 		return
 	}
@@ -113,6 +121,10 @@ func (j *olJob) onFinishLocal(r txn.Result) {
 	defer st.jobs.Put(j)
 	run, res, spec := st.run, st.res, &st.spec
 	now := st.d.Sim.Now()
+	if j.tr != nil {
+		finishTrace(st.tracer, j.tr, j.t, run, now, r.OK && j.inWindow)
+		j.tr = nil
+	}
 	if !j.inWindow {
 		return
 	}
@@ -165,8 +177,9 @@ func runOpenLoop(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResul
 	run.Start = spec.Warmup
 	run.End = spec.Warmup + spec.Duration
 	res := &RunResult{Run: run, Counter: checker.NewCounter(), Deployment: d}
+	tracer, publish := newRunTracer(d, &spec)
 	st := &olState{d: d, spec: spec, run: run, res: res, checkReads: checkReads,
-		jobs: pool.New[olJob]()}
+		jobs: pool.New[olJob](), tracer: tracer}
 
 	// Pre-size the sample buffers at the base rate (curves swing around it);
 	// steady-state recording then rarely reallocates mid-run.
@@ -201,6 +214,11 @@ func runOpenLoop(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResul
 			j.start = d.Sim.Now()
 			j.inWindow = j.start >= run.Start && j.start < run.End
 			j.t = job.T
+			j.tr = nil
+			if st.tracer != nil && job.T != nil {
+				j.tr = st.tracer.Begin(job.T.Label, j.start)
+				job.T.Trace = j.tr
+			}
 			if j.inWindow {
 				run.Counters.Submitted++
 			}
@@ -219,5 +237,6 @@ func runOpenLoop(d *Deployment, gen workload.Generator, spec LoadSpec) *RunResul
 		d.Sim.After(arr.Next(0, rng), tick)
 	}
 	d.Sim.Run(run.End + 2*time.Second) // drain tail completions
+	sealTrace(res, tracer, publish)
 	return res
 }

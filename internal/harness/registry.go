@@ -85,6 +85,10 @@ var experimentList = []Experiment{
 		r, _ := ScaleOut(o)
 		return r
 	}},
+	{"breakdown", "critical-path latency decomposition: per-phase breakdown from txn-lifecycle traces, commit and local-read paths", func(o Options) *report.Report {
+		r, _ := Breakdown(o)
+		return r
+	}},
 }
 
 // Experiments returns every registered experiment in presentation order.

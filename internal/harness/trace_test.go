@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"tiga/internal/clocks"
+	"tiga/internal/pool"
+	"tiga/internal/trace"
+)
+
+// traceTestSpec builds a small commit-path deployment for the tracing tests:
+// the classic WAN, MicroBench, three shards.
+func traceTestSpec(t *testing.T, proto string) ClusterSpec {
+	t.Helper()
+	spec := ClusterSpec{
+		Protocol: proto, Workload: "micro", WorkloadKeys: 2000,
+		Shards: 3, F: 1, Clock: clocks.ModelChrony,
+		CoordsPerRegion: 1, CoordsRemote: 1, Seed: 42,
+		CostScale: CPUScale,
+	}
+	if err := spec.EnsureGen(); err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestTraceBreakdownExactness pins the trace model's core invariant at the
+// harness level, per protocol: every committed transaction's phase breakdown
+// sums EXACTLY to its end-to-end latency, so the run-level accumulators agree
+// to the nanosecond with the independently recorded latency samples. This
+// holds by construction (the clamped monotone walk in internal/trace), but
+// the test also pins what the walk cannot guarantee alone — that the harness
+// keeps exactly the in-window committed set (Count == samples) and seals
+// traces at the same instant it samples latency.
+func TestTraceBreakdownExactness(t *testing.T) {
+	for _, proto := range []string{"Tiga", "2PL+Paxos", "OCC+Paxos"} {
+		spec := traceTestSpec(t, proto)
+		d := Build(spec)
+		res := RunLoad(d, spec.Gen, LoadSpec{
+			RatePerCoord: 150, Outstanding: 64,
+			Warmup: 500 * time.Millisecond, Duration: 3 * time.Second,
+			Seed: 17, TrackSamples: true,
+			Trace: &trace.Config{Seed: 17},
+		})
+		s := res.Trace
+		if s == nil || s.Count == 0 {
+			t.Fatalf("%s: traced run produced no trace summary", proto)
+		}
+		if s.Count != len(res.Samples) {
+			t.Errorf("%s: trace kept %d txns but the run sampled %d commits",
+				proto, s.Count, len(res.Samples))
+		}
+		var want time.Duration
+		for _, smp := range res.Samples {
+			want += smp.Lat
+		}
+		if got := s.Phase.Total(); got != want {
+			t.Errorf("%s: phase breakdown sums to %v, committed latency sums to %v (diff %v)",
+				proto, got, want, got-want)
+		}
+		// The instrumentation actually attributes phases: every protocol
+		// crosses the WAN, so flight time must be nonzero — an all-Other
+		// breakdown would mean the marks never landed.
+		if s.Phase[trace.BucketWRTT] == 0 {
+			t.Errorf("%s: WRTT bucket is zero — no flight marks recorded", proto)
+		}
+		for _, ex := range s.Exemplars {
+			bd := ex.Breakdown()
+			if bd.Total() != ex.Latency() {
+				t.Errorf("%s: exemplar idx=%d breakdown %v != latency %v",
+					proto, ex.Idx, bd.Total(), ex.Latency())
+			}
+		}
+	}
+}
+
+// TestTraceDeterminismAcrossWorkers pins the tracer to the simulator's core
+// guarantee: with a fixed seed, the process-wide trace sink drains the same
+// summaries — same accumulators, same retained exemplars, same Chrome
+// trace-event bytes — whether the sweep points ran serially or on eight
+// workers. Retention is hash-of-(seed,idx), never wall clock; the sink sorts
+// by content-derived keys; and the double-free detector is armed so a pooled
+// trace recycled across runs fails loudly.
+func TestTraceDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full load windows; skipped under -short")
+	}
+	pool.Check = true
+	defer func() { pool.Check = false }()
+
+	chrome := func(workers int) []byte {
+		EnableTracing(trace.Config{Seed: 5})
+		defer DisableTracing()
+		o := Options{Quick: true, Keys: 800, Seed: 42, Workers: workers}
+		protos := []string{"Tiga", "2PL+Paxos", "OCC+Paxos", "Tiga"}
+		runs := make([]SpecRun, 0, len(protos))
+		for i, p := range protos {
+			spec, _ := o.microSpec(p, 0.5, false, clocks.ModelChrony)
+			spec.CostScale = CPUScale
+			runs = append(runs, SpecRun{Spec: spec, Load: LoadSpec{
+				RatePerCoord: 150, Outstanding: 64,
+				Warmup: 500 * time.Millisecond, Duration: 2 * time.Second,
+				Seed: o.Seed + int64(i),
+			}})
+		}
+		RunSpecs(runs, workers)
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, CollectTraces()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, parallel := chrome(1), chrome(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("Chrome trace export differs between -workers 1 and 8\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestTracingDisabledAllocBudget pins the disabled path's cost: with no
+// Trace config on the load and the sink unarmed, every tracing hook is a nil
+// test or a plain stamp write into a pooled message, so the allocation
+// budget per committed transaction must not move. The measurement mirrors
+// the simbench txn-path row (fresh deployment, allocator deltas around
+// RunLoad divided by commits): PR 9 pinned that budget at ~53 allocs/txn,
+// CI's benchdiff gate allows a 10% rise, and the ceiling here sits just
+// above that gate — far below the cost of even one boxed mark or span per
+// transaction, which is what a disabled-path regression would add.
+// pool.Check is armed so a recycle bug fails as itself, not as an
+// allocation anomaly.
+func TestTracingDisabledAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full load windows; skipped under -short")
+	}
+	pool.Check = true
+	defer func() { pool.Check = false }()
+
+	spec := traceTestSpec(t, "Tiga")
+	d := Build(spec)
+	load := LoadSpec{
+		RatePerCoord: 500, Outstanding: 100,
+		Warmup: 200 * time.Millisecond, Duration: time.Second, Seed: 43,
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res := RunLoad(d, spec.Gen, load)
+	runtime.ReadMemStats(&m1)
+	if res.Trace != nil {
+		t.Fatal("untraced run carries a trace summary")
+	}
+	committed := res.Run.Counters.Committed
+	if committed == 0 {
+		t.Fatal("no commits in the measurement run")
+	}
+	perTxn := float64(m1.Mallocs-m0.Mallocs) / float64(committed)
+	const ceiling = 60.0
+	t.Logf("tracing disabled: %.1f allocs per committed txn (%d commits)", perTxn, committed)
+	if perTxn > ceiling {
+		t.Errorf("tracing-disabled run allocates %.1f per committed txn, budget %.0f — the disabled path must stay allocation-free",
+			perTxn, ceiling)
+	}
+}

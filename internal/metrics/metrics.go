@@ -77,9 +77,14 @@ type Series struct {
 // NewSeries returns a series with the given bucket width.
 func NewSeries(bucket time.Duration) *Series { return &Series{Bucket: bucket} }
 
-// Add increments the bin containing t.
+// Add increments the bin containing t. Events from before the series origin
+// (negative t — e.g. a completion stamped against a window that started
+// later) clamp into bucket 0 instead of indexing off the front of the slice.
 func (s *Series) Add(t time.Duration) {
 	i := int(t / s.Bucket)
+	if i < 0 {
+		i = 0
+	}
 	for len(s.counts) <= i {
 		s.counts = append(s.counts, 0)
 	}
@@ -149,6 +154,44 @@ type Run struct {
 	// in open-loop runs; Lat then holds service latency (queue excluded),
 	// so the two decompose end-to-end time.
 	QueueLat Latency
+	// Phase accumulates the critical-path latency decomposition of traced
+	// committed transactions (internal/trace bucket order: wrtt, queue,
+	// headroom, lockval, repl, other). Zero unless the run was traced.
+	Phase PhaseLat
+}
+
+// PhaseLat sums per-bucket critical-path time over committed transactions.
+// The array is indexed by trace.Bucket; metrics stays taxonomy-agnostic (the
+// breakdown experiment names the columns) so the dependency points from the
+// trace layer to metrics, never back.
+type PhaseLat struct {
+	NS    [6]time.Duration
+	Count int64
+}
+
+// Add accumulates one transaction's bucket breakdown.
+func (p *PhaseLat) Add(bd [6]time.Duration) {
+	for i, d := range bd {
+		p.NS[i] += d
+	}
+	p.Count++
+}
+
+// Mean returns the average per-transaction time in bucket i.
+func (p *PhaseLat) Mean(i int) time.Duration {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.NS[i] / time.Duration(p.Count)
+}
+
+// Total returns the summed attribution across buckets.
+func (p *PhaseLat) Total() time.Duration {
+	var t time.Duration
+	for _, d := range p.NS {
+		t += d
+	}
+	return t
 }
 
 // NewRun returns an initialized Run with 1-second throughput bins.
@@ -194,9 +237,12 @@ func (r *Run) Throughput() float64 {
 	return float64(r.Counters.Committed) / dur
 }
 
-// String summarizes the run.
+// String summarizes the run with the figures the experiments actually
+// report: the tail percentile (p99) alongside p50/p90, and the serving-layer
+// outcomes (shed, local reads) next to the path split.
 func (r *Run) String() string {
-	return fmt.Sprintf("thpt=%.0f txn/s commit=%.1f%% p50=%s p90=%s fast=%d slow=%d rollback=%d",
+	return fmt.Sprintf("thpt=%.0f txn/s commit=%.1f%% p50=%s p90=%s p99=%s fast=%d slow=%d rollback=%d shed=%d local=%d",
 		r.Throughput(), r.Counters.CommitRate(), r.Lat.Percentile(50), r.Lat.Percentile(90),
-		r.Counters.FastPath, r.Counters.SlowPath, r.Counters.Rollbacks)
+		r.Lat.Percentile(99), r.Counters.FastPath, r.Counters.SlowPath, r.Counters.Rollbacks,
+		r.Counters.Shed, r.Counters.LocalReads)
 }

@@ -100,6 +100,38 @@ func TestSeries(t *testing.T) {
 	}
 }
 
+// Pre-window events (negative t) must clamp into bucket 0, not panic on a
+// negative index.
+func TestSeriesNegativeTimeClamps(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Add(-1500 * time.Millisecond) // would index bucket -2
+	s.Add(-1 * time.Nanosecond)
+	s.Add(500 * time.Millisecond)
+	r := s.Rate()
+	if len(r) != 1 || r[0] != 3 {
+		t.Fatalf("rate = %v, want all three events clamped into bucket 0", r)
+	}
+}
+
+func TestPhaseLat(t *testing.T) {
+	var p PhaseLat
+	p.Add([6]time.Duration{100 * time.Millisecond, 0, 20 * time.Millisecond, 0, 40 * time.Millisecond, 10 * time.Millisecond})
+	p.Add([6]time.Duration{200 * time.Millisecond, 0, 40 * time.Millisecond, 0, 0, 0})
+	if p.Count != 2 {
+		t.Fatalf("count %d", p.Count)
+	}
+	if p.Mean(0) != 150*time.Millisecond || p.Mean(2) != 30*time.Millisecond {
+		t.Fatalf("means %v %v", p.Mean(0), p.Mean(2))
+	}
+	if p.Total() != 410*time.Millisecond {
+		t.Fatalf("total %v", p.Total())
+	}
+	var zero PhaseLat
+	if zero.Mean(0) != 0 {
+		t.Fatal("zero-count mean")
+	}
+}
+
 func TestCounters(t *testing.T) {
 	c := Counters{Submitted: 200, Committed: 150, Rollbacks: 30}
 	if c.CommitRate() != 75 {

@@ -21,6 +21,7 @@ import (
 	"tiga/internal/simnet"
 	"tiga/internal/snapread"
 	"tiga/internal/store"
+	"tiga/internal/trace"
 	"tiga/internal/txn"
 )
 
@@ -100,6 +101,13 @@ type voteMsg struct {
 	OK     bool
 	Ret    []byte
 	Writes map[string][]byte
+	// Span stamps (internal/trace), in sim time: ArriveS = reqExec arrival
+	// at the shard leader, LockS = every lock granted (2PL; equals ArriveS
+	// for OCC's immediate validation), DoneS = execution departure. RecvS
+	// is stamped by the coordinator when the vote arrives. The stamps ride
+	// the votes the coordinator retains anyway, so the commit path needs no
+	// tracker-side state to reconstruct its critical path.
+	ArriveS, LockS, DoneS, RecvS time.Duration
 }
 
 type commitReq struct {
@@ -138,6 +146,10 @@ type recoverRep struct {
 type committedMsg struct {
 	Shard int
 	ID    txn.ID
+	// Span stamps (see voteMsg): ArriveS = commitReq arrival at the leader,
+	// CommitS = Paxos replication reached the commit point. Zero on the
+	// dedup re-acknowledgement paths — the breakdown walk clamps them.
+	ArriveS, CommitS time.Duration
 }
 
 // commitRec is the Paxos-replicated commit record.
@@ -165,8 +177,13 @@ type pendingSrv struct {
 	// prepTS pins the leader's safe-time watermark below this in-flight
 	// transaction (LocalReads): its eventual commit timestamp, minted at the
 	// coordinator's decision, is necessarily later than its arrival here.
+	// It doubles as the arrival span stamp on outgoing votes.
 	prepTS time.Duration
-	ts     txn.Timestamp // decided commit timestamp (from commitReq)
+	// lockS/cReqS are span stamps (internal/trace) copied onto outgoing
+	// votes and commit acknowledgements: every-lock-granted time and
+	// commitReq arrival time.
+	lockS, cReqS time.Duration
+	ts           txn.Timestamp // decided commit timestamp (from commitReq)
 	// id is the transaction ID this record was created under, latched at
 	// creation. The grant callback must dispatch on it rather than p.t.ID:
 	// t points at the coordinator's Txn object, whose ID field submit
@@ -529,7 +546,8 @@ func (s *server) onReqExec(m reqExec) {
 		p.voted = true
 		ret, writes := executeBuffered(s.st, piece)
 		p.writes = writes
-		s.node.Send(m.Coord, voteMsg{Shard: s.shard, ID: id, OK: true, Ret: ret, Writes: writes})
+		s.node.Send(m.Coord, voteMsg{Shard: s.shard, ID: id, OK: true, Ret: ret, Writes: writes,
+			ArriveS: p.prepTS, LockS: p.prepTS, DoneS: s.node.Busy()})
 		s.armDecisionQuery(id)
 		return
 	}
@@ -564,10 +582,12 @@ func (s *server) finishLock(id txn.ID) {
 		return
 	}
 	p.voted = true
+	p.lockS = s.sys.spec.Net.Sim().Now()
 	s.node.Work(s.sys.spec.ExecCost)
 	ret, writes := executeBuffered(s.st, p.t.Pieces[s.shard])
 	p.writes = writes
-	s.node.Send(p.coord, voteMsg{Shard: s.shard, ID: id, OK: true, Ret: ret, Writes: writes})
+	s.node.Send(p.coord, voteMsg{Shard: s.shard, ID: id, OK: true, Ret: ret, Writes: writes,
+		ArriveS: p.prepTS, LockS: p.lockS, DoneS: s.node.Busy()})
 	s.armDecisionQuery(id)
 }
 
@@ -623,6 +643,7 @@ func (s *server) onCommitReq(m commitReq) {
 		return
 	}
 	p.proposed = true
+	p.cReqS = s.sys.spec.Net.Sim().Now()
 	slot := s.pax.Propose(commitRec{ID: m.ID, TS: p.ts, Writes: p.writes})
 	s.onSlot[slot] = m.ID
 }
@@ -743,9 +764,10 @@ func (s *server) onPaxosCommit(slot int, cmd paxos.Command) {
 			s.releaseOCC(p, id)
 			s.lt.ReleaseAll(id)
 			delete(s.pending, id)
-			coord := p.coord
+			coord, cReqS := p.coord, p.cReqS
 			s.pend.Put(p)
-			s.node.Send(coord, committedMsg{Shard: s.shard, ID: id})
+			s.node.Send(coord, committedMsg{Shard: s.shard, ID: id,
+				ArriveS: cReqS, CommitS: s.sys.spec.Net.Sim().Now()})
 		}
 	}
 }
@@ -827,6 +849,11 @@ func (sys *System) Submit(coord int, t *txn.Txn, done func(txn.Result)) {
 }
 
 func (co *coordinator) submit(t *txn.Txn, done func(txn.Result), retries int, prio uint64) {
+	if retries > 0 {
+		// The failed attempt plus its backoff are retry-attributed; the mark
+		// also advances the trace cursor past the dead attempt's stamps.
+		t.Trace.Mark(co.sys.spec.Net.Sim().Now(), trace.PhaseRetry)
+	}
 	co.seq++
 	t.ID = txn.ID{Coord: co.idx, Seq: co.seq}
 	p := co.pend.Get()
@@ -906,6 +933,7 @@ func (co *coordinator) onVote(m voteMsg) {
 		co.abort(p, 0)
 		return
 	}
+	m.RecvS = co.sys.spec.Net.Sim().Now()
 	p.votes[m.Shard] = m
 	if len(p.votes) < len(p.t.Pieces) {
 		return
@@ -935,6 +963,27 @@ func (co *coordinator) onCommitted(m committedMsg) {
 		return
 	}
 	delete(co.pending, m.ID)
+	if tr := p.t.Trace; tr != nil {
+		// Critical path: the decisive (latest-arriving) vote decomposes the
+		// prepare round into flight out, lock wait, execution, and flight
+		// back; this committedMsg — the one completing the 2PC — carries
+		// the commit round's stamps, with the Paxos wait as replication.
+		// Iterate shards in sorted order so RecvS ties break identically
+		// across runs (map order must not leak into the marks).
+		var dv voteMsg
+		for _, sh := range p.t.Shards() {
+			if v, ok := p.votes[sh]; ok && v.RecvS > dv.RecvS {
+				dv = v
+			}
+		}
+		tr.Mark(dv.ArriveS, trace.PhaseFlight)
+		tr.Mark(dv.LockS, trace.PhaseLockWait)
+		tr.Mark(dv.DoneS, trace.PhaseExec)
+		tr.Mark(dv.RecvS, trace.PhaseFlight)
+		tr.Mark(m.ArriveS, trace.PhaseFlight)
+		tr.Mark(m.CommitS, trace.PhaseRepl)
+		tr.Mark(co.sys.spec.Net.Sim().Now(), trace.PhaseFlight)
+	}
 	res := txn.Result{OK: true, Retries: p.retries, PerShard: make(map[int][]byte), TS: p.ts}
 	for sh, v := range p.votes {
 		res.PerShard[sh] = v.Ret

@@ -6,6 +6,7 @@ import (
 	"tiga/internal/protocol"
 	"tiga/internal/simnet"
 	"tiga/internal/snapread"
+	"tiga/internal/trace"
 	"tiga/internal/txn"
 )
 
@@ -237,16 +238,17 @@ func (s *server) onSnapRead(from simnet.NodeID, m snapread.Req) {
 	if s.replica == 0 {
 		s.advanceSafeT()
 	}
+	arriveS := s.sys.spec.Net.Sim().Now()
 	if m.At <= s.safeTime+s.safeLie {
-		s.serveSnapRead(from, m, 0)
+		s.serveSnapRead(from, m, 0, arriveS)
 		return
 	}
-	s.waiters.Add(m.At, s.sys.spec.Net.Sim().Now(), func(waited time.Duration) {
-		s.serveSnapRead(from, m, waited)
+	s.waiters.Add(m.At, arriveS, func(waited time.Duration) {
+		s.serveSnapRead(from, m, waited, arriveS)
 	})
 }
 
-func (s *server) serveSnapRead(to simnet.NodeID, m snapread.Req, waited time.Duration) {
+func (s *server) serveSnapRead(to simnet.NodeID, m snapread.Req, waited time.Duration, arriveS time.Duration) {
 	s.node.Work(s.sys.spec.ExecCost)
 	vals := make([][]byte, len(m.Keys))
 	seen := make([]txn.Timestamp, len(m.Keys))
@@ -259,7 +261,8 @@ func (s *server) serveSnapRead(to simnet.NodeID, m snapread.Req, waited time.Dur
 			vals[i], seen[i], _ = s.st.GetAt(k, m.At)
 		}
 	}
-	s.node.Send(to, snapread.Rep{Shard: s.shard, Seq: m.Seq, Vals: vals, Seen: seen, Waited: waited})
+	s.node.Send(to, snapread.Rep{Shard: s.shard, Seq: m.Seq, Vals: vals, Seen: seen, Waited: waited,
+		ArriveS: arriveS, ServedS: s.node.Busy()})
 }
 
 // ---- coordinator read path ----
@@ -320,6 +323,7 @@ func (co *coordinator) armReadRetry(pr *pendingRead) {
 			return
 		}
 		pr.retries++
+		pr.t.Trace.Mark(co.sys.spec.Net.Sim().Now(), trace.PhaseRetry)
 		co.sendReadReqs(pr)
 		co.armReadRetry(pr)
 	})
@@ -350,6 +354,13 @@ func (co *coordinator) onSnapRep(m snapread.Rep) {
 		return
 	}
 	delete(co.reads, m.Seq)
+	// Decisive reply = this one (it completed the read): flight out,
+	// SAFETIME wait at the replica, flight back.
+	if tr := pr.t.Trace; tr != nil {
+		tr.Mark(m.ArriveS, trace.PhaseFlight)
+		tr.Mark(m.ServedS, trace.PhaseSafeTime)
+		tr.Mark(co.sys.spec.Net.Sim().Now(), trace.PhaseFlight)
+	}
 	pr.done(txn.Result{
 		OK: true, FastPath: true, Retries: pr.retries, PerShard: pr.vals,
 		SnapshotAt: pr.at, Waited: pr.waited, Reads: pr.reads,

@@ -45,6 +45,12 @@ type Rep struct {
 	Vals   [][]byte
 	Seen   []txn.Timestamp
 	Waited time.Duration
+	// Span stamps (internal/trace), in sim time: ArriveS = request arrival
+	// at the replica, ServedS = the moment the read was actually served
+	// (after any SAFETIME wait). The coordinator turns them into flight /
+	// safetime marks on the transaction's trace. Zero on untraced runs'
+	// decisive paths is harmless: the breakdown walk clamps stale stamps.
+	ArriveS, ServedS time.Duration
 }
 
 type waiter struct {

@@ -221,6 +221,15 @@ type fastReply struct {
 	IsLeader bool
 	LogPos   int           // leader only: assigned log position (Appendix E)
 	OWD      time.Duration // measured arrival delay sample for the estimator
+
+	// Span stamps (internal/trace): the server-side lifecycle of this
+	// attempt in sim time, carried on the reply so the coordinator can
+	// reconstruct the decisive chain at finish without any tracker-side
+	// state. ArriveS = txnMsg arrival, EligS = future-timestamp expiry
+	// (became eligible for release), RelS = priority-queue release, DoneS =
+	// execution departure. RecvS is stamped by the coordinator when the
+	// reply arrives. All zero on untraced runs.
+	ArriveS, EligS, RelS, DoneS, RecvS time.Duration
 }
 
 // slowReply notifies the coordinator a follower synced the entry (§3.7).
@@ -230,6 +239,8 @@ type slowReply struct {
 	Replica int
 	ID      txn.ID
 	TS      txn.Timestamp
+	// RecvS is the coordinator-side arrival stamp (see fastReply).
+	RecvS time.Duration
 }
 
 // tsNotification is the inter-leader timestamp agreement message (§3.5).

@@ -9,6 +9,7 @@ import (
 	"tiga/internal/pool"
 	"tiga/internal/simnet"
 	"tiga/internal/snapread"
+	"tiga/internal/trace"
 	"tiga/internal/txn"
 )
 
@@ -241,6 +242,7 @@ func (co *Coordinator) launch(t *txn.Txn, done func(txn.Result)) {
 }
 
 func (co *Coordinator) multicast(p *pendingTxn) {
+	p.t.Trace.Mark(co.cluster.Net.Sim().Now(), trace.PhaseDispatch)
 	sendClock := co.now()
 	// Retries carry a fresh, larger timestamp (Appendix B): servers
 	// re-position the pending transaction to it, which re-converges the
@@ -264,6 +266,10 @@ func (co *Coordinator) armRetry(p *pendingTxn) {
 		}
 		p.retries++
 		co.Retries++
+		// The wait that expired into this timeout is retry-attributed: the
+		// mark advances the trace cursor, so stale stamps from the abandoned
+		// attempt clamp to zero in the breakdown walk.
+		p.t.Trace.Mark(co.cluster.Net.Sim().Now(), trace.PhaseRetry)
 		// The view may have changed under us — refresh, then resubmit.
 		co.node.Send(co.cluster.vmLeaderNode(), vmInquire{From: co.node.ID()})
 		co.multicast(p)
@@ -292,6 +298,7 @@ func (co *Coordinator) onFastReply(from simnet.NodeID, m *fastReply) {
 			return // stale (a newer reply with a larger timestamp already arrived)
 		}
 		p.fast[j] = *m // copy: the message is recycled after return
+		p.fast[j].RecvS = co.cluster.Net.Sim().Now()
 		p.fastSet[j] = true
 	}
 	co.evaluate(p)
@@ -311,6 +318,7 @@ func (co *Coordinator) onSlowReply(m *slowReply) {
 			return
 		}
 		p.slow[j] = *m
+		p.slow[j].RecvS = co.cluster.Net.Sim().Now()
 		p.slowSet[j] = true
 	}
 	co.evaluate(p)
@@ -366,7 +374,8 @@ func (co *Coordinator) onSlowInquiryRep(from simnet.NodeID, m slowInquiryRep) {
 			continue
 		}
 		j := i*R + m.Replica
-		p.slow[j] = slowReply{viewInfo: m.viewInfo, Shard: m.Shard, Replica: m.Replica, ID: p.t.ID, TS: lf.TS}
+		p.slow[j] = slowReply{viewInfo: m.viewInfo, Shard: m.Shard, Replica: m.Replica, ID: p.t.ID, TS: lf.TS,
+			RecvS: co.cluster.Net.Sim().Now()}
 		p.slowSet[j] = true
 	}
 	// Evaluate in submission order: completions run client callbacks and
@@ -460,7 +469,47 @@ func (co *Coordinator) evaluate(p *pendingTxn) {
 	for i, sh := range p.shards {
 		results[sh] = p.fast[i*R+co.gvec[sh]%R].Ret
 	}
+	co.traceCommitPath(p, fastPath)
 	co.finish(p, txn.Result{OK: true, PerShard: results, FastPath: fastPath, Retries: p.retries, TS: agreedTS})
+}
+
+// traceCommitPath reconstructs the committing transaction's critical path
+// from the span stamps its replies carried back, and marks it on the trace.
+// The decisive reply is the latest-arriving fast reply — the last leg the
+// coordinator actually waited for; its server-side stamps decompose the
+// round trip into flight out, headroom wait, queue reorder, execution, and
+// flight back. Slow-path commits additionally waited for follower sync
+// acknowledgements, attributed to replication. Stamps older than the trace
+// cursor (stale attempts superseded by a retry) clamp to zero in the
+// breakdown walk, so the sum invariant holds unconditionally.
+func (co *Coordinator) traceCommitPath(p *pendingTxn, fastPath bool) {
+	tr := p.t.Trace
+	if tr == nil {
+		return
+	}
+	var dec *fastReply
+	for j := range p.fast {
+		if p.fastSet[j] && (dec == nil || p.fast[j].RecvS > dec.RecvS) {
+			dec = &p.fast[j]
+		}
+	}
+	if dec != nil {
+		tr.Mark(dec.ArriveS, trace.PhaseFlight)
+		tr.Mark(dec.EligS, trace.PhaseHeadroom)
+		tr.Mark(dec.RelS, trace.PhasePQ)
+		tr.Mark(dec.DoneS, trace.PhaseExec)
+		tr.Mark(dec.RecvS, trace.PhaseFlight)
+	}
+	if !fastPath {
+		var srecv time.Duration
+		for j := range p.slow {
+			if p.slowSet[j] && p.slow[j].RecvS > srecv {
+				srecv = p.slow[j].RecvS
+			}
+		}
+		tr.Mark(srecv, trace.PhaseRepl)
+	}
+	tr.Mark(co.cluster.Net.Sim().Now(), trace.PhaseDecision)
 }
 
 func (co *Coordinator) finish(p *pendingTxn, res txn.Result) {

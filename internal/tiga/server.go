@@ -54,6 +54,12 @@ type rec struct {
 	agreed    bool // agreement finished; safe to release once (re-)executed
 	replyHash hashlog.Hash
 	fetching  bool
+
+	// Span stamps (internal/trace), in sim time, copied onto outgoing fast
+	// replies: arriveS = txnMsg arrival, eligS = first expired-prefix scan
+	// that reached the record (timestamp expiry), relS = picked for
+	// release/execution. Plain field writes — no per-txn cost beyond them.
+	arriveS, eligS, relS time.Duration
 }
 
 func (r *rec) multiShard() bool { return r.t != nil && len(r.t.Pieces) > 1 }
@@ -434,6 +440,7 @@ func (s *Server) onTxn(from simnet.NodeID, m *txnMsg) {
 			r.piece = m.T.Pieces[s.shard]
 			r.ts = m.TS
 			r.owd = s.now() - m.SendClock
+			r.arriveS = s.cluster.Net.Sim().Now()
 			s.admit(r)
 			s.checkAgreement(r)
 			return
@@ -469,12 +476,13 @@ func (s *Server) onTxn(from simnet.NodeID, m *txnMsg) {
 		return
 	}
 	r := &rec{
-		id:    m.ID(),
-		t:     m.T,
-		piece: m.T.Pieces[s.shard],
-		ts:    m.TS,
-		coord: m.Coord,
-		owd:   s.now() - m.SendClock,
+		id:      m.ID(),
+		t:       m.T,
+		piece:   m.T.Pieces[s.shard],
+		ts:      m.TS,
+		coord:   m.Coord,
+		owd:     s.now() - m.SendClock,
+		arriveS: s.cluster.Net.Sim().Now(),
 	}
 	s.recs[r.id] = r
 	s.admit(r)
@@ -605,12 +613,18 @@ func (s *Server) pumpOnce() {
 	// every release, so fresh maps here dominated the allocation profile.
 	dirty := false
 	i := 0
+	simNow := s.cluster.Net.Sim().Now()
 	for i < len(s.pq.items) {
 		r := s.pq.items[i]
 		if r.ts.Time+hold > now {
 			break
 		}
 		s.PumpScan++
+		if r.eligS == 0 {
+			// First expired-prefix scan that reached the record: the
+			// future-timestamp headroom wait ends here.
+			r.eligS = simNow
+		}
 		if s.blockedBy(r.piece) {
 			// Blocked behind an earlier conflicting transaction: it stays,
 			// and its own keys block later conflicting transactions too.
@@ -737,6 +751,7 @@ func (s *Server) recordMaps(r *rec) {
 }
 
 func (s *Server) executeLeader(r *rec) {
+	r.relS = s.cluster.Net.Sim().Now()
 	s.node.Work(s.cfg.ExecCost)
 	r.result = s.st.Execute(r.id, r.ts, r.piece)
 	r.executed = true
@@ -752,6 +767,7 @@ func (s *Server) sendFastReply(r *rec) {
 		viewInfo: s.views(), Shard: s.shard, Replica: s.replica,
 		ID: r.id, TS: r.ts, Hash: r.replyHash, Ret: r.result,
 		IsLeader: true, LogPos: len(s.log), OWD: r.owd,
+		ArriveS: r.arriveS, EligS: r.eligS, RelS: r.relS, DoneS: s.node.Busy(),
 	}
 	s.node.Send(r.coord, m)
 }
@@ -766,14 +782,6 @@ func (s *Server) releaseLeader(r *rec) {
 	e := logEntry{ID: r.id, TS: r.ts, T: r.t}
 	s.log = append(s.log, e)
 	s.syncPoint = len(s.log)
-	if s.cfg.LocalReads {
-		// Release is the leader's stabilization point: the timestamp is
-		// final (agreement done, Case-3 cannot revoke a released entry),
-		// so mark the versions committed now — snapshot reads at the
-		// leader must see them as soon as the watermark passes their
-		// timestamp. The later commit-point advance's Commit is a no-op.
-		s.st.Commit(r.id)
-	}
 	pos := len(s.log) - 1
 	for rep := 0; rep < s.cfg.Replicas(); rep++ {
 		if rep == s.replica {
@@ -795,6 +803,7 @@ func (s *Server) releaseLeader(r *rec) {
 
 // releaseFollower appends to the optimistic tail and fast-replies (§3.3).
 func (s *Server) releaseFollower(r *rec) {
+	r.relS = s.cluster.Net.Sim().Now()
 	s.pq.erase(r)
 	s.node.Work(s.cfg.PQCost)
 	r.released = true
@@ -805,6 +814,7 @@ func (s *Server) releaseFollower(r *rec) {
 	*m = fastReply{
 		viewInfo: s.views(), Shard: s.shard, Replica: s.replica,
 		ID: r.id, TS: r.ts, Hash: r.replyHash, OWD: r.owd,
+		ArriveS: r.arriveS, EligS: r.eligS, RelS: r.relS, DoneS: s.node.Busy(),
 	}
 	s.node.Send(r.coord, m)
 }
@@ -1162,16 +1172,28 @@ func (s *Server) onSyncPoint(m *syncPointMsg) {
 	}
 	s.applied = s.commitPoint
 	s.maybeCheckpoint(s.applied)
+	if s.cfg.LocalReads {
+		// The commit-point advance just made the released prefix durable —
+		// the leader watermark (held below undurable entries) can move, and
+		// reads blocked on it can be served without waiting for the next
+		// broadcast tick.
+		s.advanceSafeTime()
+	}
 }
 
 // ---- Local snapshot reads (safe-time watermarks) ----
 
 // advanceSafeTime recomputes the leader's watermark: one tick below its
 // synchronized clock, capped below every pending (unreleased) transaction in
-// the priority queue. Safe because (a) released entries already committed
-// their versions (releaseLeader), (b) everything unreleased sits in the
-// queue, and (c) admission lifts any later arrival above the current
-// watermark — so no transaction can ever commit at or below it. Monotonic by
+// the priority queue AND below every released entry the commit point has not
+// yet passed. Safe because (a) versions become visible to reads only at the
+// commit-point Commit, and the watermark trails the earliest timestamp still
+// awaiting it, (b) everything unreleased sits in the queue, and (c) admission
+// lifts any later arrival above the current watermark — so no transaction can
+// ever commit at or below it. Holding the watermark at the commit point
+// (rather than release) means a leader read never observes a prefix that a
+// failover could roll back; the cost is commit-point lag (~1 OWD + sync-point
+// cadence) on strong leader reads, measured in EXPERIMENTS.md. Monotonic by
 // construction: the watermark only moves forward.
 func (s *Server) advanceSafeTime() {
 	if !s.IsLeader() || s.status != statusNormal {
@@ -1181,6 +1203,15 @@ func (s *Server) advanceSafeTime() {
 	if len(s.pq.items) > 0 {
 		if m := s.pq.items[0].ts.Time - 1; m < w {
 			w = m
+		}
+	}
+	// The log is release-ordered, not timestamp-ordered, so scan the whole
+	// undurable suffix (bounded by the replication lag) for its minimum.
+	if s.commitPoint < len(s.log) {
+		for _, e := range s.log[s.commitPoint:] {
+			if m := e.TS.Time - 1; m < w {
+				w = m
+			}
 		}
 	}
 	if w > s.safeTime {
@@ -1326,19 +1357,20 @@ func (s *Server) onSnapRead(from simnet.NodeID, m snapread.Req) {
 	}
 	// Leaders answer at clock freshness rather than tick freshness.
 	s.advanceSafeTime()
+	arriveS := s.cluster.Net.Sim().Now()
 	if m.At <= s.safeTime+s.safeLie {
-		s.serveSnapRead(from, m, 0)
+		s.serveSnapRead(from, m, 0, arriveS)
 		return
 	}
-	s.waiters.Add(m.At, s.cluster.Net.Sim().Now(), func(waited time.Duration) {
-		s.serveSnapRead(from, m, waited)
+	s.waiters.Add(m.At, arriveS, func(waited time.Duration) {
+		s.serveSnapRead(from, m, waited, arriveS)
 	})
 	if s.IsLeader() {
 		s.scheduleSafeFlush(m.At)
 	}
 }
 
-func (s *Server) serveSnapRead(to simnet.NodeID, m snapread.Req, waited time.Duration) {
+func (s *Server) serveSnapRead(to simnet.NodeID, m snapread.Req, waited time.Duration, arriveS time.Duration) {
 	s.node.Work(s.cfg.ExecCost)
 	vals := make([][]byte, len(m.Keys))
 	seen := make([]txn.Timestamp, len(m.Keys))
@@ -1351,7 +1383,8 @@ func (s *Server) serveSnapRead(to simnet.NodeID, m snapread.Req, waited time.Dur
 			vals[i], seen[i], _ = s.st.GetAt(k, m.At)
 		}
 	}
-	s.node.Send(to, snapread.Rep{Shard: s.shard, Seq: m.Seq, Vals: vals, Seen: seen, Waited: waited})
+	s.node.Send(to, snapread.Rep{Shard: s.shard, Seq: m.Seq, Vals: vals, Seen: seen, Waited: waited,
+		ArriveS: arriveS, ServedS: s.node.Busy()})
 }
 
 // scheduleSafeFlush arms a timer for the moment the leader's clock passes at,

@@ -6,6 +6,7 @@ import (
 	"tiga/internal/protocol"
 	"tiga/internal/simnet"
 	"tiga/internal/snapread"
+	"tiga/internal/trace"
 	"tiga/internal/txn"
 )
 
@@ -81,6 +82,7 @@ func (co *Coordinator) armReadRetry(pr *pendingRead) {
 		}
 		pr.retries++
 		co.Retries++
+		pr.t.Trace.Mark(co.cluster.Net.Sim().Now(), trace.PhaseRetry)
 		co.sendSnapReqs(pr)
 		co.armReadRetry(pr)
 	})
@@ -111,6 +113,14 @@ func (co *Coordinator) onSnapRep(m snapread.Rep) {
 		return
 	}
 	delete(co.reads, m.Seq)
+	// The decisive reply is this one — it completed the read. Its stamps
+	// split the round trip into flight out, SAFETIME wait at the replica
+	// (watermark lag, including the serve cost), and flight back.
+	if tr := pr.t.Trace; tr != nil {
+		tr.Mark(m.ArriveS, trace.PhaseFlight)
+		tr.Mark(m.ServedS, trace.PhaseSafeTime)
+		tr.Mark(co.cluster.Net.Sim().Now(), trace.PhaseFlight)
+	}
 	pr.done(txn.Result{
 		OK: true, FastPath: true, Retries: pr.retries, PerShard: pr.vals,
 		SnapshotAt: pr.at, Waited: pr.waited, Reads: pr.reads,

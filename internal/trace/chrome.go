@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Chrome trace-event export: the retained exemplar span trees serialized in
+// the Trace Event Format (the JSON object form with a traceEvents array), so
+// `tigabench -trace out.json` produces a file Perfetto and chrome://tracing
+// load directly. Each run summary becomes one process (pid), each exemplar
+// transaction one thread (tid), and each attributed phase segment one
+// complete ("X") event whose category is the reporting bucket.
+//
+// Output is deterministic: callers pass summaries in a stable order (the
+// harness sorts by label), exemplars are ordered by submission index, and the
+// segment walk is the same clamped monotone walk the breakdowns use.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid,omitempty"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// PhaseNames returns the full phase taxonomy in declaration order — the list
+// the export's taxonomy metadata carries and CI validates slice names
+// against.
+func PhaseNames() []string {
+	out := make([]string, NumPhases)
+	for i := range out {
+		out[i] = Phase(i).String()
+	}
+	return out
+}
+
+// BucketNames returns the reporting-bucket names in declaration order.
+func BucketNames() []string {
+	out := make([]string, NumBuckets)
+	for i := range out {
+		out[i] = Bucket(i).String()
+	}
+	return out
+}
+
+// WriteChrome serializes the summaries' exemplar span trees as Chrome trace
+// events. One metadata event per process names the run; a process-wide
+// "phase_taxonomy" instant event lists every phase and bucket name so
+// consumers (and the CI smoke check) can validate slice names without
+// knowing the taxonomy a priori.
+func WriteChrome(w io.Writer, sums []*Summary) error {
+	doc := chromeDoc{DisplayTimeUnit: "ms"}
+	doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+		Name: "phase_taxonomy", Ph: "M", Pid: 0,
+		Args: map[string]any{"phases": PhaseNames(), "buckets": BucketNames()},
+	})
+	for pid, s := range sums {
+		if s == nil {
+			continue
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid + 1,
+			Args: map[string]any{"name": s.Label},
+		})
+		for tid, t := range s.Exemplars {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid + 1, Tid: tid + 1,
+				Args: map[string]any{
+					"name": t.Label, "txn": t.Idx,
+					"latency_ms": float64(t.Latency()) / float64(time.Millisecond),
+				},
+			})
+			// The whole-transaction envelope, then the phase segments it
+			// nests (same walk as the breakdown, so the slices tile the
+			// envelope exactly).
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: t.Label, Cat: "txn", Ph: "X", Pid: pid + 1, Tid: tid + 1,
+				Ts: us(t.Start), Dur: us(t.End - t.Start),
+			})
+			cur := t.Start
+			emit := func(at time.Duration, p Phase) {
+				if at > t.End {
+					at = t.End
+				}
+				if at <= cur {
+					return
+				}
+				doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+					Name: p.String(), Cat: p.Bucket().String(), Ph: "X",
+					Pid: pid + 1, Tid: tid + 1, Ts: us(cur), Dur: us(at - cur),
+				})
+				cur = at
+			}
+			for _, m := range t.Marks {
+				emit(m.At, m.Phase)
+			}
+			emit(t.End, PhaseOther)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

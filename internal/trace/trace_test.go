@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+// The walk must attribute exactly End-Start no matter how marks are placed:
+// in order, out of order, before Start, past End, or absent entirely.
+func TestBreakdownSumsExactly(t *testing.T) {
+	cases := []struct {
+		name  string
+		start time.Duration
+		end   time.Duration
+		marks []Mark
+	}{
+		{"ordinary chain", 10 * ms, 100 * ms, []Mark{
+			{20 * ms, PhaseDispatch}, {50 * ms, PhaseFlight}, {70 * ms, PhaseHeadroom}, {100 * ms, PhaseFlight}}},
+		{"no marks", 0, 42 * ms, nil},
+		{"mark before start", 50 * ms, 80 * ms, []Mark{{10 * ms, PhaseFlight}, {60 * ms, PhaseExec}}},
+		{"mark past end", 0, 30 * ms, []Mark{{10 * ms, PhaseFlight}, {90 * ms, PhaseRepl}}},
+		{"non-monotone marks", 0, 40 * ms, []Mark{
+			{30 * ms, PhaseFlight}, {10 * ms, PhaseExec}, {40 * ms, PhaseRepl}}},
+		{"zero-length trace", 5 * ms, 5 * ms, []Mark{{5 * ms, PhaseFlight}}},
+	}
+	for _, c := range cases {
+		tr := &T{Start: c.start, End: c.end, Marks: c.marks}
+		bd := tr.Breakdown()
+		if got, want := bd.Total(), c.end-c.start; got != want {
+			t.Errorf("%s: breakdown sums to %v, want %v (%+v)", c.name, got, want, bd)
+		}
+		fine := tr.Phases()
+		var ft time.Duration
+		for _, d := range fine {
+			ft += d
+		}
+		if want := c.end - c.start; ft != want {
+			t.Errorf("%s: fine phases sum to %v, want %v", c.name, ft, want)
+		}
+	}
+}
+
+func TestWalkAttribution(t *testing.T) {
+	tr := &T{Start: 0, End: 100 * ms, Marks: []Mark{
+		{10 * ms, PhaseDispatch}, // 10ms dispatch -> other
+		{40 * ms, PhaseFlight},   // 30ms flight -> wrtt
+		{60 * ms, PhaseHeadroom}, // 20ms headroom
+		{70 * ms, PhaseRepl},     // 10ms repl
+		// 30ms tail unattributed -> other
+	}}
+	bd := tr.Breakdown()
+	if bd[BucketWRTT] != 30*ms || bd[BucketHeadroom] != 20*ms || bd[BucketRepl] != 10*ms ||
+		bd[BucketOther] != 40*ms || bd[BucketQueue] != 0 || bd[BucketLockVal] != 0 {
+		t.Fatalf("unexpected attribution: %+v", bd)
+	}
+}
+
+func TestPhaseBucketRollup(t *testing.T) {
+	for p := 0; p < NumPhases; p++ {
+		if int(Phase(p).Bucket()) >= NumBuckets {
+			t.Fatalf("phase %v maps outside the bucket range", Phase(p))
+		}
+	}
+	if PhaseFlight.Bucket() != BucketWRTT || PhaseQueue.Bucket() != BucketQueue ||
+		PhaseHeadroom.Bucket() != BucketHeadroom || PhasePQ.Bucket() != BucketHeadroom ||
+		PhaseSafeTime.Bucket() != BucketHeadroom || PhaseLockWait.Bucket() != BucketLockVal ||
+		PhaseRepl.Bucket() != BucketRepl {
+		t.Fatal("phase->bucket mapping drifted from the documented taxonomy")
+	}
+}
+
+// Disabled tracing is a nil tracer and nil traces: every hook must be a
+// no-op, and none may allocate.
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tt := tr.Begin("x", 0)
+	if tt != nil {
+		t.Fatal("nil tracer handed out a trace")
+	}
+	tt.Mark(10*ms, PhaseFlight) // must not panic
+	if bd := tr.Finish(tt, 20*ms, true); bd != (Breakdown{}) {
+		t.Fatalf("nil finish returned %+v", bd)
+	}
+	if tr.Summary() != nil {
+		t.Fatal("nil tracer produced a summary")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tt := tr.Begin("x", 0)
+		tt.Mark(10*ms, PhaseFlight)
+		tr.Finish(tt, 20*ms, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %.1f per txn, want 0", allocs)
+	}
+}
+
+func TestTopKRetention(t *testing.T) {
+	tr := New("run", Config{Seed: 1, TopK: 3, SampleEvery: -1})
+	lats := []time.Duration{50 * ms, 10 * ms, 90 * ms, 30 * ms, 90 * ms, 70 * ms}
+	for _, lat := range lats {
+		tt := tr.Begin("txn", 0)
+		tr.Finish(tt, lat, true)
+	}
+	s := tr.Summary()
+	if s.Count != len(lats) {
+		t.Fatalf("count %d, want %d", s.Count, len(lats))
+	}
+	if len(s.Exemplars) != 3 {
+		t.Fatalf("retained %d exemplars, want 3", len(s.Exemplars))
+	}
+	// Top-3 latencies are 90 (idx 2), 90 (idx 4), 70 (idx 5); exemplars are
+	// reported in submission order. The 90ms tie keeps the earlier index.
+	wantIdx := []int{2, 4, 5}
+	for i, ex := range s.Exemplars {
+		if ex.Idx != wantIdx[i] {
+			t.Fatalf("exemplar %d has idx %d, want %d", i, ex.Idx, wantIdx[i])
+		}
+	}
+}
+
+// The 1-in-N sample must be a pure function of (seed, submission index).
+func TestSamplingDeterminism(t *testing.T) {
+	pick := func() []int {
+		tr := New("run", Config{Seed: 42, SampleEvery: 4, TopK: -1})
+		var got []int
+		for i := 0; i < 256; i++ {
+			tt := tr.Begin("txn", 0)
+			tr.Finish(tt, time.Duration(i)*ms, true)
+		}
+		for _, ex := range tr.Summary().Exemplars {
+			got = append(got, ex.Idx)
+		}
+		return got
+	}
+	a, b := pick(), pick()
+	if len(a) == 0 {
+		t.Fatal("1-in-4 sample retained nothing out of 256")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sample sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// A different seed picks a different slice (overwhelmingly likely).
+	tr := New("run", Config{Seed: 43, SampleEvery: 4, TopK: -1})
+	for i := 0; i < 256; i++ {
+		tr.Finish(tr.Begin("txn", 0), time.Duration(i)*ms, true)
+	}
+	var c []int
+	for _, ex := range tr.Summary().Exemplars {
+		c = append(c, ex.Idx)
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and 43 sampled identical index sets")
+	}
+}
+
+// Uncommitted traces are recycled, never retained, and recycled envelopes
+// are reused (pool behavior).
+func TestRecycling(t *testing.T) {
+	tr := New("run", Config{Seed: 1, TopK: 1, SampleEvery: -1})
+	t1 := tr.Begin("a", 0)
+	t1.Mark(10*ms, PhaseFlight)
+	tr.Finish(t1, 10*ms, false) // aborted -> recycled
+	t2 := tr.Begin("b", 0)
+	if t2 != t1 {
+		t.Fatal("aborted trace was not recycled")
+	}
+	if len(t2.Marks) != 0 || t2.Label != "b" || t2.Idx != 1 {
+		t.Fatalf("recycled trace kept stale state: %+v", t2)
+	}
+	if tr.Summary().Count != 0 {
+		t.Fatal("aborted trace counted as committed")
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	tr := New("Tiga seed=42", Config{Seed: 42, TopK: 2, SampleEvery: -1})
+	tt := tr.Begin("micro", 5*ms)
+	tt.Mark(10*ms, PhaseDispatch)
+	tt.Mark(60*ms, PhaseFlight)
+	tt.Mark(80*ms, PhaseHeadroom)
+	tt.Mark(100*ms, PhaseFlight)
+	tr.Finish(tt, 100*ms, true)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, []*Summary{tr.Summary()}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	known := make(map[string]bool)
+	for _, n := range PhaseNames() {
+		known[n] = true
+	}
+	var taxonomy, slices int
+	var sliceUS float64
+	for _, e := range doc.TraceEvents {
+		if e.Name == "phase_taxonomy" {
+			taxonomy++
+			phases := e.Args["phases"].([]any)
+			if len(phases) != NumPhases {
+				t.Fatalf("taxonomy lists %d phases, want %d", len(phases), NumPhases)
+			}
+		}
+		if e.Ph == "X" && e.Cat != "txn" {
+			slices++
+			sliceUS += e.Dur
+			if !known[e.Name] {
+				t.Fatalf("slice %q is not a known phase name", e.Name)
+			}
+		}
+	}
+	if taxonomy != 1 {
+		t.Fatalf("want exactly one phase_taxonomy event, got %d", taxonomy)
+	}
+	if slices == 0 {
+		t.Fatal("export has no phase slices")
+	}
+	if want := us(95 * ms); sliceUS != want {
+		t.Fatalf("phase slices tile %vus, want %vus (the whole envelope)", sliceUS, want)
+	}
+}
+
+// A trace's breakdown and the Chrome export's slices are two views of the
+// same walk; Summary phase accumulators must agree with per-trace breakdowns.
+func TestSummaryAccumulators(t *testing.T) {
+	tr := New("run", Config{Seed: 7, TopK: -1, SampleEvery: -1})
+	var want Breakdown
+	for i := 0; i < 10; i++ {
+		tt := tr.Begin("txn", 0)
+		tt.Mark(time.Duration(i)*ms, PhaseFlight)
+		tt.Mark(time.Duration(2*i)*ms, PhaseRepl)
+		bd := tr.Finish(tt, time.Duration(3*i)*ms, true)
+		bd.AddTo(&want)
+		if bd.Total() != time.Duration(3*i)*ms {
+			t.Fatalf("trace %d: total %v, want %v", i, bd.Total(), time.Duration(3*i)*ms)
+		}
+	}
+	s := tr.Summary()
+	if s.Phase != want {
+		t.Fatalf("summary phase %+v, want %+v", s.Phase, want)
+	}
+	var fineTotal time.Duration
+	for _, d := range s.ByPhase {
+		fineTotal += d
+	}
+	if fineTotal != want.Total() {
+		t.Fatalf("fine accumulator sums to %v, want %v", fineTotal, want.Total())
+	}
+}

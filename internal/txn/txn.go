@@ -9,6 +9,8 @@ import (
 	"encoding/binary"
 	"sort"
 	"time"
+
+	"tiga/internal/trace"
 )
 
 // ID uniquely identifies a transaction: the coordinator attaches a sequence
@@ -138,6 +140,11 @@ type Txn struct {
 	ReadOnly bool
 	// Label tags the transaction type for metrics (e.g. "neworder").
 	Label string
+	// Trace is the transaction's span recorder (internal/trace), attached by
+	// the load driver when the run is traced and nil otherwise — protocol
+	// hooks call methods on it unconditionally, and the nil receiver makes
+	// every hook a free no-op on untraced runs.
+	Trace *trace.T
 	// shards memoizes Shards(): the involved-shard list is asked for on
 	// every coordinator evaluation tick, and Pieces never changes after
 	// construction.
